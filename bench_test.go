@@ -1,0 +1,418 @@
+// Package repro_test holds the benchmark harness: one benchmark per
+// table and figure in the paper's evaluation. Each benchmark reports
+// the paper's metric through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the numbers behind every figure (see EXPERIMENTS.md for
+// the paper-vs-measured record).
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/archcmp"
+	"repro/internal/core"
+	"repro/internal/matchtest"
+	"repro/internal/model"
+	"repro/internal/ops5"
+	"repro/internal/partition"
+	"repro/internal/psm"
+	"repro/internal/rete"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// systemTraces caches the synthetic workload traces across benchmarks.
+var systemTraces = func() map[string]*trace.Trace {
+	out := map[string]*trace.Trace{}
+	for _, p := range workload.Systems() {
+		out[p.Name] = workload.Generate(p)
+	}
+	return out
+}()
+
+// BenchmarkE1StateSaving reproduces §3.1: the per-change work of the
+// state-saving Rete matcher vs the naive rematcher on the same program
+// and change script. Metrics: instructions-equivalent work ratio.
+func BenchmarkE1StateSaving(b *testing.B) {
+	m := model.PaperCosts()
+	b.ReportMetric(m.BreakEvenRatio(), "break-even-ratio")
+	b.ReportMetric(m.Advantage(0.005), "advantage-at-0.5%")
+
+	rng := rand.New(rand.NewSource(11))
+	params := matchtest.DefaultGenParams()
+	params.Productions = 12
+	prods := matchtest.RandomProgram(rng, params)
+	script := matchtest.RandomScript(rng, params, 40, 2)
+
+	b.Run("rete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystemFromProgram(&ops5.Program{Productions: prods}, core.Options{Matcher: core.SerialRete})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range script.Batches {
+				sys.Matcher.Apply(cloneBatch(batch))
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystemFromProgram(&ops5.Program{Productions: prods}, core.Options{Matcher: core.Naive})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range script.Batches {
+				sys.Matcher.Apply(cloneBatch(batch))
+			}
+		}
+	})
+}
+
+func cloneBatch(batch []ops5.Change) []ops5.Change {
+	out := make([]ops5.Change, len(batch))
+	for i, ch := range batch {
+		w := ch.WME.Clone()
+		w.TimeTag = ch.WME.TimeTag
+		out[i] = ops5.Change{Kind: ch.Kind, WME: w}
+	}
+	return out
+}
+
+// BenchmarkE2Granularity reproduces §4's production-level vs
+// node-level parallelism comparison (unbounded processors).
+func BenchmarkE2Granularity(b *testing.B) {
+	tr := systemTraces["r1-soar"]
+	b.Run("production-level", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			cfg := psm.DefaultConfig(1024)
+			cfg.ProductionLevel = true
+			r = psm.Simulate(tr, cfg)
+		}
+		b.ReportMetric(r.TrueSpeedup, "speedup")
+	})
+	b.Run("node-level", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.Simulate(tr, psm.DefaultConfig(1024))
+		}
+		b.ReportMetric(r.TrueSpeedup, "speedup")
+	})
+}
+
+// BenchmarkFig61Concurrency reproduces Figure 6-1: one sub-benchmark
+// per workload, reporting concurrency on 32 processors.
+func BenchmarkFig61Concurrency(b *testing.B) {
+	for _, p := range workload.Systems() {
+		tr := systemTraces[p.Name]
+		b.Run(p.Name, func(b *testing.B) {
+			var r psm.Result
+			for i := 0; i < b.N; i++ {
+				r = psm.Simulate(tr, psm.DefaultConfig(32))
+			}
+			b.ReportMetric(r.Concurrency, "concurrency@32")
+			b.ReportMetric(r.TrueSpeedup, "speedup@32")
+		})
+	}
+}
+
+// BenchmarkFig62Speed reproduces Figure 6-2: execution speed in
+// wme-changes/sec on 32 2-MIPS processors per workload.
+func BenchmarkFig62Speed(b *testing.B) {
+	for _, p := range workload.Systems() {
+		tr := systemTraces[p.Name]
+		b.Run(p.Name, func(b *testing.B) {
+			var r psm.Result
+			for i := 0; i < b.N; i++ {
+				r = psm.Simulate(tr, psm.DefaultConfig(32))
+			}
+			b.ReportMetric(r.WMChangesPerSec, "wme-changes/s")
+			b.ReportMetric(r.FiringsPerSec, "firings/s")
+		})
+	}
+}
+
+// BenchmarkE5LostFactor reproduces §6's true-speed-up accounting: the
+// eight-workload averages at 32 processors.
+func BenchmarkE5LostFactor(b *testing.B) {
+	var sumC, sumT, sumL, sumS float64
+	var n float64
+	for i := 0; i < b.N; i++ {
+		sumC, sumT, sumL, sumS, n = 0, 0, 0, 0, 0
+		for _, tr := range systemTraces {
+			r := psm.Simulate(tr, psm.DefaultConfig(32))
+			sumC += r.Concurrency
+			sumT += r.TrueSpeedup
+			sumL += r.LostFactor
+			sumS += r.WMChangesPerSec
+			n++
+		}
+	}
+	b.ReportMetric(sumC/n, "avg-concurrency")
+	b.ReportMetric(sumT/n, "avg-speedup")
+	b.ReportMetric(sumL/n, "avg-lost-factor")
+	b.ReportMetric(sumS/n, "avg-wme/s")
+}
+
+// BenchmarkE6Architectures reproduces the §7 comparison table.
+func BenchmarkE6Architectures(b *testing.B) {
+	var rows []archcmp.Row
+	for i := 0; i < b.N; i++ {
+		r := psm.Simulate(systemTraces["r1-soar"], psm.DefaultConfig(32))
+		rows = archcmp.Compare(r.WMChangesPerSec, 32, 2.0)
+	}
+	for _, row := range rows {
+		name := sanitizeMetric(row.Machine)
+		b.ReportMetric(row.ModelWMEPerSec, name+"-wme/s")
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkE7Scheduler reproduces §5's hardware vs software task
+// scheduler comparison on 32 processors.
+func BenchmarkE7Scheduler(b *testing.B) {
+	tr := systemTraces["mud"]
+	b.Run("hardware", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.Simulate(tr, psm.DefaultConfig(32))
+		}
+		b.ReportMetric(r.WMChangesPerSec, "wme-changes/s")
+	})
+	b.Run("software", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			cfg := psm.DefaultConfig(32)
+			cfg.Scheduler = psm.SoftwareScheduler
+			r = psm.Simulate(tr, cfg)
+		}
+		b.ReportMetric(r.WMChangesPerSec, "wme-changes/s")
+	})
+}
+
+// BenchmarkE8MatcherLadder measures the real Go matchers on this
+// machine (the §2.2 throughput ladder): naive, TREAT, serial Rete, and
+// the goroutine-parallel Rete.
+func BenchmarkE8MatcherLadder(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	params := matchtest.DefaultGenParams()
+	params.Productions = 40
+	prods := matchtest.RandomProgram(rng, params)
+	script := matchtest.RandomScript(rng, params, 60, 4)
+	var nChanges int
+	for _, batch := range script.Batches {
+		nChanges += len(batch)
+	}
+	kinds := []core.MatcherKind{core.Naive, core.TREAT, core.SerialRete, core.ParallelRete}
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := core.NewSystemFromProgram(&ops5.Program{Productions: prods},
+					core.Options{Matcher: kind, Workers: runtime.GOMAXPROCS(0)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range script.Batches {
+					sys.Matcher.Apply(cloneBatch(batch))
+				}
+			}
+			b.ReportMetric(float64(nChanges*b.N)/b.Elapsed().Seconds(), "wme-changes/s")
+		})
+	}
+}
+
+// BenchmarkE9AffectedProductions reproduces the §4 measurement that
+// drives everything else: productions affected per WM change.
+func BenchmarkE9AffectedProductions(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		wmes, err := workload.EightPuzzleWM([9]int{1, 2, 3, 4, 0, 5, 6, 7, 8}, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, _, err := workload.Capture("ep", workload.EightPuzzle, wmes,
+			workload.RunConfig{MaxCycles: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = rec.Net.Stats.AvgAffected()
+	}
+	b.ReportMetric(avg, "affected-prods/change")
+}
+
+// BenchmarkE10Sensitivity reproduces §8: concurrency sensitivity to WM
+// changes per firing (the dominant factor).
+func BenchmarkE10Sensitivity(b *testing.B) {
+	base, _ := workload.SystemByName("r1-soar")
+	for _, c := range []float64{1, 2, 4, 8} {
+		p := base
+		p.ChangesPerFiring = c
+		p.Cycles = 60
+		tr := workload.Generate(p)
+		b.Run(fmt.Sprintf("changes-per-firing-%.0f", c), func(b *testing.B) {
+			var r psm.Result
+			for i := 0; i < b.N; i++ {
+				r = psm.Simulate(tr, psm.DefaultConfig(32))
+			}
+			b.ReportMetric(r.Concurrency, "concurrency@32")
+		})
+	}
+}
+
+// BenchmarkSerialReteApply is a plain micro-benchmark of the serial
+// matcher's per-change cost (engineering baseline, not a paper figure).
+func BenchmarkSerialReteApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	params := matchtest.DefaultGenParams()
+	params.Productions = 40
+	prods := matchtest.RandomProgram(rng, params)
+	sys, err := core.NewSystemFromProgram(&ops5.Program{Productions: prods}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wmes := make([]*ops5.WME, 512)
+	for i := range wmes {
+		wmes[i] = matchtest.RandomWME(rng, params)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wmes[i%len(wmes)].Clone()
+		w.TimeTag = i*2 + 1
+		sys.Matcher.Apply([]ops5.Change{{Kind: ops5.Insert, WME: w}})
+		sys.Matcher.Apply([]ops5.Change{{Kind: ops5.Delete, WME: w}})
+	}
+}
+
+// BenchmarkDispatch measures §2.2's interpreted-vs-compiled node
+// dispatch step: the same Rete network with switch-interpreted tests
+// and with closure-compiled tests.
+func BenchmarkDispatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	params := matchtest.DefaultGenParams()
+	params.Productions = 80
+	prods := matchtest.RandomProgram(rng, params)
+	script := matchtest.RandomScript(rng, params, 80, 6)
+
+	run := func(b *testing.B, compiled bool) {
+		for i := 0; i < b.N; i++ {
+			net, err := rete.Compile(prods)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if compiled {
+				net.EnableCompiledDispatch()
+			}
+			for _, batch := range script.Batches {
+				net.Apply(cloneBatch(batch))
+			}
+		}
+	}
+	b.Run("interpreted", func(b *testing.B) { run(b, false) })
+	b.Run("compiled", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkE11Hierarchy reports the flat-vs-hierarchical throughput at
+// 256 processors (the §5 hierarchical-multiprocessor extension).
+func BenchmarkE11Hierarchy(b *testing.B) {
+	p, _ := workload.SystemByName("r1-soar")
+	p.FiringsPerCycle = 8
+	p.Cycles = 40
+	tr := workload.Generate(p)
+	b.Run("flat-256", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.Simulate(tr, psm.DefaultConfig(256))
+		}
+		b.ReportMetric(r.WMChangesPerSec, "wme-changes/s")
+	})
+	b.Run("clusters-8x32", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.SimulateHierarchical(tr, psm.DefaultHierConfig(8, 32))
+		}
+		b.ReportMetric(r.WMChangesPerSec, "wme-changes/s")
+	})
+}
+
+// BenchmarkE15Partitioning reports oracle-static vs dynamic speed-up
+// (§5's shared-memory argument).
+func BenchmarkE15Partitioning(b *testing.B) {
+	tr := systemTraces["r1-soar"]
+	costs := partition.NodeCosts(tr)
+	assign := partition.Refine(partition.LPT(costs, 32), costs, 32, 200)
+	b.Run("static-oracle", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			cfg := psm.DefaultConfig(32)
+			cfg.NodeAssignment = assign
+			r = psm.Simulate(tr, cfg)
+		}
+		b.ReportMetric(r.TrueSpeedup, "speedup")
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.Simulate(tr, psm.DefaultConfig(32))
+		}
+		b.ReportMetric(r.TrueSpeedup, "speedup")
+	})
+}
+
+// BenchmarkE16NodeExclusive ablates §4's same-node-parallelism
+// relaxation.
+func BenchmarkE16NodeExclusive(b *testing.B) {
+	tr := systemTraces["daa"]
+	b.Run("multiple-tokens-per-node", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			r = psm.Simulate(tr, psm.DefaultConfig(32))
+		}
+		b.ReportMetric(r.Concurrency, "concurrency")
+	})
+	b.Run("one-token-per-node", func(b *testing.B) {
+		var r psm.Result
+		for i := 0; i < b.N; i++ {
+			cfg := psm.DefaultConfig(32)
+			cfg.NodeExclusive = true
+			r = psm.Simulate(tr, cfg)
+		}
+		b.ReportMetric(r.Concurrency, "concurrency")
+	})
+}
+
+// BenchmarkMissManners runs the canonical join-heavy OPS5 benchmark
+// through the real serial matcher.
+func BenchmarkMissManners(b *testing.B) {
+	p := workload.DefaultMannersParams()
+	for i := 0; i < b.N; i++ {
+		wmes, err := workload.MannersWM(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, eng, err := workload.Capture("manners", workload.MissManners, wmes,
+			workload.RunConfig{MaxCycles: 5000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !eng.Halted {
+			b.Fatal("manners did not finish")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	experiments [-exp all|e1|e2|fig6-1|fig6-2|e5|...|e13] [-cycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, or one of the ids listed by -list)")
+	cycles := flag.Int("cycles", 120, "recognize-act cycles per synthetic workload")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range experiments.All() {
+		if *exp != "all" && *exp != e.ID {
+			continue
+		}
+		fmt.Printf("==== %s ====\n\n", e.Name)
+		if err := e.Run(os.Stdout, *cycles); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

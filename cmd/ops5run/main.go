@@ -1,0 +1,108 @@
+// Command ops5run executes an OPS5 program file through the
+// recognize-act engine with a selectable matcher and strategy.
+//
+// Usage:
+//
+//	ops5run [-matcher rete|parallel-rete|treat|full-state|naive] [-strategy lex|mea]
+//	        [-cycles N] [-firings N] [-workers N] [-stats] program.ops
+//
+// The program file contains (p ...) productions and optional top-level
+// (make ...) forms for the initial working memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+)
+
+func main() {
+	matcherName := flag.String("matcher", "rete", "match algorithm: rete, parallel-rete, treat, full-state, naive")
+	strategyName := flag.String("strategy", "lex", "conflict resolution: lex or mea")
+	cycles := flag.Int("cycles", 0, "maximum recognize-act cycles (0 = unbounded)")
+	firings := flag.Int("firings", 1, "parallel firings per cycle")
+	workers := flag.Int("workers", 0, "parallel matcher workers (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print run statistics")
+	network := flag.Bool("network", false, "dump the compiled Rete network and exit (serial matcher only)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ops5run [flags] program.ops")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := core.ParseMatcherKind(*matcherName)
+	if err != nil {
+		fatal(err)
+	}
+	var strategy conflict.Strategy
+	switch *strategyName {
+	case "lex":
+		strategy = conflict.LEX
+	case "mea":
+		strategy = conflict.MEA
+	default:
+		fatal(fmt.Errorf("unknown strategy %q (lex|mea)", *strategyName))
+	}
+
+	sys, err := core.NewSystem(string(src), core.Options{
+		Matcher:         kind,
+		Strategy:        strategy,
+		Workers:         *workers,
+		Output:          os.Stdout,
+		MaxCycles:       *cycles,
+		ParallelFirings: *firings,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *network {
+		net := sys.Network()
+		if net == nil {
+			fatal(fmt.Errorf("-network requires the serial rete matcher"))
+		}
+		net.Dump(os.Stdout)
+		return
+	}
+	start := time.Now()
+	ran, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "matcher:    %s\n", sys.MatcherKind())
+		fmt.Fprintf(os.Stderr, "cycles:     %d\n", ran)
+		fmt.Fprintf(os.Stderr, "firings:    %d\n", sys.Fired)
+		fmt.Fprintf(os.Stderr, "wm changes: %d\n", sys.TotalChanges)
+		fmt.Fprintf(os.Stderr, "wm size:    %d\n", sys.WM.Size())
+		fmt.Fprintf(os.Stderr, "halted:     %v\n", sys.Halted)
+		fmt.Fprintf(os.Stderr, "elapsed:    %s\n", elapsed)
+		if elapsed > 0 && sys.TotalChanges > 0 {
+			fmt.Fprintf(os.Stderr, "throughput: %.0f wme-changes/sec\n",
+				float64(sys.TotalChanges)/elapsed.Seconds())
+		}
+		if net := sys.Network(); net != nil {
+			fmt.Fprintf(os.Stderr, "affected productions/change: %.1f\n", net.Stats.AvgAffected())
+			fmt.Fprintf(os.Stderr, "node activations:            %d\n", net.Stats.TotalActivations())
+		}
+		if pm := sys.ParallelMatcher(); pm != nil {
+			st := pm.Stats()
+			fmt.Fprintf(os.Stderr, "parallel tasks:         %d\n", st.Tasks)
+			fmt.Fprintf(os.Stderr, "parallel cancellations: %d\n", st.Cancellations)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ops5run:", err)
+	os.Exit(1)
+}

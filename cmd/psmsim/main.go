@@ -1,0 +1,152 @@
+// Command psmsim runs an activation trace through the Production
+// System Machine simulator with the machine parameters as flags.
+//
+// Traces come from three sources:
+//
+//	-workload <name>   a synthetic paper workload (vt, ilog, mud, daa,
+//	                   ep-soar, r1-soar, and their parallel-firings
+//	                   variants; see -list)
+//	-program <file>    an OPS5 program executed with the instrumented
+//	                   matcher (a genuine trace)
+//	-trace <file>      a JSON trace captured earlier (see -dump)
+//
+// Usage examples:
+//
+//	psmsim -workload r1-soar -procs 32
+//	psmsim -workload "r1-soar (parallel firings)" -procs 64 -scheduler software
+//	psmsim -program examples/testdata/puzzle.ops -procs 32 -dump trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/psm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "synthetic workload name (see -list)")
+	program := flag.String("program", "", "OPS5 program file to trace")
+	traceFile := flag.String("trace", "", "JSON trace file to simulate")
+	dump := flag.String("dump", "", "write the trace as JSON to this file")
+	list := flag.Bool("list", false, "list synthetic workloads and exit")
+	analyze := flag.Bool("analyze", false, "print trace structure statistics before simulating")
+	procs := flag.Int("procs", 32, "number of processors")
+	mips := flag.Float64("mips", 2.0, "MIPS per processor")
+	scheduler := flag.String("scheduler", "hardware", "task scheduler: hardware or software")
+	cacheHit := flag.Float64("cache-hit", 0.90, "cache hit ratio for shared references")
+	busCycle := flag.Float64("bus-ns", 100, "bus cycle time in nanoseconds")
+	nodeExcl := flag.Bool("node-exclusive", false, "serialise activations of the same node (§4's simple implementation)")
+	prodLevel := flag.Bool("production-level", false, "restrict to production-level parallelism")
+	cycles := flag.Int("cycles", 120, "cycles for synthetic workloads")
+	maxCycles := flag.Int("max-cycles", 300, "cycle bound for -program runs")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Systems() {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+
+	tr, err := loadTrace(*wl, *program, *traceFile, *cycles, *maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *analyze {
+		fmt.Println("trace analysis:")
+		fmt.Print(trace.Analyze(tr).String())
+		fmt.Println()
+	}
+
+	cfg := psm.DefaultConfig(*procs)
+	cfg.MIPS = *mips * 1e6
+	cfg.CacheHitRatio = *cacheHit
+	cfg.BusCycle = *busCycle * 1e-9
+	cfg.NodeExclusive = *nodeExcl
+	cfg.ProductionLevel = *prodLevel
+	switch *scheduler {
+	case "hardware":
+		cfg.Scheduler = psm.HardwareScheduler
+	case "software":
+		cfg.Scheduler = psm.SoftwareScheduler
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q (hardware|software)", *scheduler))
+	}
+
+	r := psm.Simulate(tr, cfg)
+	fmt.Printf("trace:            %s (%d tasks, %d changes, %d cycles)\n",
+		tr.Name, len(tr.Tasks), tr.Changes, tr.Batches)
+	fmt.Printf("machine:          %d procs x %.1f MIPS, %s scheduler\n",
+		cfg.Processors, cfg.MIPS/1e6, cfg.Scheduler)
+	fmt.Printf("makespan:         %.3f ms\n", r.Makespan*1e3)
+	fmt.Printf("concurrency:      %.2f\n", r.Concurrency)
+	fmt.Printf("true speed-up:    %.2f\n", r.TrueSpeedup)
+	fmt.Printf("lost factor:      %.2f\n", r.LostFactor)
+	fmt.Printf("wme-changes/sec:  %.0f\n", r.WMChangesPerSec)
+	if r.FiringsPerSec > 0 {
+		fmt.Printf("firings/sec:      %.0f\n", r.FiringsPerSec)
+	}
+	fmt.Printf("bus wait:         %.3f ms\n", r.BusWaitSec*1e3)
+	fmt.Printf("scheduler wait:   %.3f ms\n", r.SchedWaitSec*1e3)
+}
+
+func loadTrace(wl, program, traceFile string, cycles, maxCycles int) (*trace.Trace, error) {
+	sources := 0
+	for _, s := range []string{wl, program, traceFile} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of -workload, -program, -trace is required")
+	}
+	switch {
+	case wl != "":
+		p, ok := workload.SystemByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (use -list)", wl)
+		}
+		p.Cycles = cycles
+		return workload.Generate(p), nil
+	case program != "":
+		src, err := os.ReadFile(program)
+		if err != nil {
+			return nil, err
+		}
+		rec, _, err := workload.Capture(program, string(src), nil,
+			workload.RunConfig{MaxCycles: maxCycles})
+		if err != nil {
+			return nil, err
+		}
+		return &rec.Trace, nil
+	default:
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psmsim:", err)
+	os.Exit(1)
+}

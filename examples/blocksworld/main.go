@@ -1,0 +1,46 @@
+// Blocks world: a classic production-system planning task. Rules
+// unstack whatever is in the way and stack blocks until every
+// (goal-on ^top ^below) goal holds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/conflict"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Initial towers (bottom to top) and the goal configuration.
+	stacks := [][]string{
+		{"a", "b", "c"},
+		{"d", "e"},
+		{"f"},
+	}
+	goals := [][2]string{
+		{"a", "d"}, // a on d
+		{"c", "e"}, // c on e
+	}
+
+	fmt.Println("initial stacks (bottom→top):", stacks)
+	fmt.Println("goals (top on below):      ", goals)
+	fmt.Println()
+
+	wmes := workload.BlocksWorldWM(stacks, goals)
+	_, eng, err := workload.Capture("blocks-world", workload.BlocksWorld, wmes,
+		workload.RunConfig{Strategy: conflict.LEX, MaxCycles: 200, Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfinished in %d cycles (%d firings), halted=%v\n",
+		eng.Cycles, eng.Fired, eng.Halted)
+	fmt.Println("final on-relations:")
+	for _, w := range eng.WM.Elements() {
+		if w.Class == "on" {
+			fmt.Printf("  %s on %s\n", w.Get("top"), w.Get("below"))
+		}
+	}
+}

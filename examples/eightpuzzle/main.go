@@ -1,0 +1,61 @@
+// Eight puzzle: the paper's Eight-Puzzle-Soar workload at laptop scale.
+// A rule program slides tiles on the 3x3 board; the run is then
+// re-executed under trace instrumentation and simulated on the
+// Production System Machine at several processor counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/psm"
+	"repro/internal/workload"
+)
+
+func main() {
+	moves := flag.Int("moves", 40, "number of tile moves to make")
+	show := flag.Bool("show", false, "print the board after the run")
+	flag.Parse()
+
+	layout := [9]int{1, 2, 3, 4, 0, 5, 6, 7, 8}
+	wmes, err := workload.EightPuzzleWM(layout, *moves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, eng, err := workload.Capture("eight-puzzle", workload.EightPuzzle, wmes,
+		workload.RunConfig{MaxCycles: 10 * *moves, Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("made %d moves in %d cycles (%d WM changes)\n",
+		*moves, eng.Cycles, eng.TotalChanges)
+
+	if *show {
+		board := map[int]string{}
+		for _, w := range eng.WM.Elements() {
+			switch w.Class {
+			case "tile":
+				board[int(w.Get("pos").Num)] = w.Get("val").String()
+			case "blank":
+				board[int(w.Get("pos").Num)] = "."
+			}
+		}
+		fmt.Println("final board:")
+		for r := 0; r < 3; r++ {
+			fmt.Printf("  %s %s %s\n", board[r*3+1], board[r*3+2], board[r*3+3])
+		}
+	}
+
+	fmt.Println("\nPSM simulation of the captured activation trace:")
+	fmt.Printf("%-6s %-12s %-10s %-14s\n", "procs", "concurrency", "speed-up", "wme-changes/s")
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		r := psm.Simulate(&rec.Trace, psm.DefaultConfig(p))
+		fmt.Printf("%-6d %-12.2f %-10.2f %-14.0f\n",
+			p, r.Concurrency, r.TrueSpeedup, r.WMChangesPerSec)
+	}
+	fmt.Println("\n(A single eight-puzzle run affects few productions per change, so its")
+	fmt.Println("curve flattens very early — exactly the paper's point about limited")
+	fmt.Println("intrinsic parallelism in production systems.)")
+}

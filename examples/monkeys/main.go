@@ -1,0 +1,35 @@
+// Monkey and bananas: the classic means-ends planning demo, run with
+// the MEA conflict-resolution strategy (the time tag of the goal
+// element matching the first condition element dominates selection).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys, err := core.NewSystem(workload.MonkeyBananas, core.Options{
+		Matcher:  core.SerialRete,
+		Strategy: conflict.MEA,
+		Output:   os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanned in %d cycles with %s conflict resolution\n",
+		cycles, sys.CS.Strategy())
+	fmt.Println("final world state:")
+	for _, w := range sys.WM.Elements() {
+		fmt.Println(" ", w)
+	}
+}

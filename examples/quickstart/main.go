@@ -1,0 +1,63 @@
+// Quickstart: define a small rule program, run the recognize-act
+// engine, and inspect the result — the paper's Figure 2-1 production
+// against a tiny working memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ops5"
+)
+
+const rules = `
+; The paper's Figure 2-1: find an unselected block of the goal colour.
+(p find-colored-blk
+    (goal ^type find-blk ^color <c>)
+    (block ^id <i> ^color <c> ^selected no)
+  -->
+    (modify 2 ^selected yes)
+    (write selected block <i>))
+
+; When a block is selected, the goal is done.
+(p goal-done
+    (goal ^type find-blk ^color <c>)
+    (block ^color <c> ^selected yes)
+  -->
+    (remove 1)
+    (write goal satisfied)
+    (halt))
+`
+
+func main() {
+	sys, err := core.NewSystem(rules, core.Options{
+		Matcher: core.SerialRete,
+		Output:  os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assert the initial working memory through the API (top-level
+	// (make ...) forms in the source work too).
+	sys.Assert(
+		ops5.NewWME("goal", "type", "find-blk", "color", "red"),
+		ops5.NewWME("block", "id", 1, "color", "blue", "selected", "no"),
+		ops5.NewWME("block", "id", 2, "color", "red", "selected", "no"),
+		ops5.NewWME("block", "id", 3, "color", "red", "selected", "no"),
+	)
+
+	cycles, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nran %d cycles, fired %d productions, halted=%v\n",
+		cycles, sys.Fired, sys.Halted)
+	fmt.Println("final working memory:")
+	for _, w := range sys.WM.Elements() {
+		fmt.Println(" ", w)
+	}
+}

@@ -1,0 +1,70 @@
+package archcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/archcmp"
+)
+
+func TestModelsMatchReportedNumbers(t *testing.T) {
+	// Each architecture's first-principles model must land within 30%
+	// of the throughput the paper reports for it.
+	for _, m := range archcmp.Machines() {
+		if m.ReportedWMEPerSec == 0 {
+			continue // PESA-1 had no published estimate
+		}
+		got := m.ModelWMEPerSec()
+		lo, hi := m.ReportedWMEPerSec*0.7, m.ReportedWMEPerSec*1.3
+		if got < lo || got > hi {
+			t.Errorf("%s: model %.0f wme/s, paper %.0f (want ±30%%)",
+				m.Name, got, m.ReportedWMEPerSec)
+		}
+	}
+}
+
+func TestPaperRankingPreserved(t *testing.T) {
+	rows := archcmp.Compare(9000, 32, 2.0)
+	speed := map[string]float64{}
+	for _, r := range rows {
+		speed[r.Machine] = r.ModelWMEPerSec
+	}
+	// §7: PSM > Oflazer > NON-VON > DADO(TREAT) > DADO(Rete).
+	order := []string{
+		"PSM (this paper)",
+		"Oflazer's machine",
+		"NON-VON",
+		"DADO (TREAT)",
+		"DADO (parallel Rete)",
+	}
+	for i := 1; i < len(order); i++ {
+		if speed[order[i-1]] <= speed[order[i]] {
+			t.Errorf("ranking violated: %s (%.0f) should beat %s (%.0f)",
+				order[i-1], speed[order[i-1]], order[i], speed[order[i]])
+		}
+	}
+}
+
+func TestCompareIncludesPSMFirst(t *testing.T) {
+	rows := archcmp.Compare(1234, 32, 2.0)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	if rows[0].Machine != "PSM (this paper)" || rows[0].ModelWMEPerSec != 1234 {
+		t.Errorf("PSM row = %+v", rows[0])
+	}
+	if rows[0].ReportedWMEPerSec != 9400 {
+		t.Errorf("PSM reported = %f, want the paper's 9400", rows[0].ReportedWMEPerSec)
+	}
+}
+
+func TestParallelismCappedByProcessors(t *testing.T) {
+	m := archcmp.Machine{
+		Name: "tiny", Processors: 1, MIPSPerProc: 1,
+		InstrPerChange: 1000, Efficiency: 1.0,
+	}
+	// With one processor the exploited parallelism caps at 1:
+	// 1 proc * 1 MIPS / 1000 instr = 1000 wme/s.
+	if got := m.ModelWMEPerSec(); got != 1000 {
+		t.Errorf("capped throughput = %f, want 1000", got)
+	}
+}

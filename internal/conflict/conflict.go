@@ -1,0 +1,178 @@
+// Package conflict implements the OPS5 conflict set and the LEX and MEA
+// conflict-resolution strategies described in Brownston et al. and used
+// by the paper's recognize-act cycle (§2.1).
+package conflict
+
+import (
+	"sort"
+
+	"repro/internal/ops5"
+)
+
+// Strategy selects which instantiation fires next.
+type Strategy uint8
+
+// The OPS5 conflict-resolution strategies.
+const (
+	// LEX orders by refraction, recency of all time tags, then
+	// specificity.
+	LEX Strategy = iota
+	// MEA is LEX with a dominant first comparison on the time tag of the
+	// WME matching the first condition element (the "means-ends" goal
+	// element).
+	MEA
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == MEA {
+		return "MEA"
+	}
+	return "LEX"
+}
+
+// Set is the conflict set: the instantiations of all currently satisfied
+// productions. It supports the deltas emitted by matchers and the
+// selection rules of LEX and MEA, including refraction (an instantiation
+// that has fired cannot fire again while it remains in the set).
+type Set struct {
+	strategy Strategy
+	items    map[string]*entry
+}
+
+type entry struct {
+	inst  *ops5.Instantiation
+	fired bool
+}
+
+// NewSet returns an empty conflict set using the given strategy.
+func NewSet(strategy Strategy) *Set {
+	return &Set{strategy: strategy, items: make(map[string]*entry)}
+}
+
+// Strategy returns the set's conflict-resolution strategy.
+func (s *Set) Strategy() Strategy { return s.strategy }
+
+// Len returns the number of instantiations currently in the set.
+func (s *Set) Len() int { return len(s.items) }
+
+// Insert adds an instantiation. Re-inserting an identical instantiation
+// (same production, same time tags) is a no-op that preserves its fired
+// flag, so matchers may be idempotent.
+func (s *Set) Insert(in *ops5.Instantiation) {
+	k := in.Key()
+	if _, ok := s.items[k]; ok {
+		return
+	}
+	s.items[k] = &entry{inst: in}
+}
+
+// Remove deletes an instantiation by identity. Removing an absent
+// instantiation is a no-op.
+func (s *Set) Remove(in *ops5.Instantiation) {
+	delete(s.items, in.Key())
+}
+
+// Contains reports whether an identical instantiation is in the set.
+func (s *Set) Contains(in *ops5.Instantiation) bool {
+	_, ok := s.items[in.Key()]
+	return ok
+}
+
+// Instantiations returns the current instantiations in a deterministic
+// order (the LEX order, best first).
+func (s *Set) Instantiations() []*ops5.Instantiation {
+	entries := s.sorted()
+	out := make([]*ops5.Instantiation, len(entries))
+	for i, e := range entries {
+		out[i] = e.inst
+	}
+	return out
+}
+
+// Select picks the instantiation to fire under the set's strategy, or
+// nil if every instantiation has already fired (or the set is empty) —
+// the halting condition of the recognize-act cycle. The chosen
+// instantiation is marked fired (refraction).
+func (s *Set) Select() *ops5.Instantiation {
+	entries := s.sorted()
+	for _, e := range entries {
+		if !e.fired {
+			e.fired = true
+			return e.inst
+		}
+	}
+	return nil
+}
+
+// sorted returns entries best-first under the strategy.
+func (s *Set) sorted() []*entry {
+	entries := make([]*entry, 0, len(s.items))
+	for _, e := range s.items {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return s.better(entries[i].inst, entries[j].inst)
+	})
+	return entries
+}
+
+// better reports whether a should fire before b.
+func (s *Set) better(a, b *ops5.Instantiation) bool {
+	if s.strategy == MEA {
+		am, bm := meaTag(a), meaTag(b)
+		if am != bm {
+			return am > bm
+		}
+	}
+	// Recency: compare sorted-descending time tags lexicographically.
+	at, bt := sortedTagsDesc(a), sortedTagsDesc(b)
+	for i := 0; i < len(at) && i < len(bt); i++ {
+		if at[i] != bt[i] {
+			return at[i] > bt[i]
+		}
+	}
+	if len(at) != len(bt) {
+		return len(at) > len(bt)
+	}
+	// Specificity: number of tests in the LHS.
+	as, bs := specificity(a.Production), specificity(b.Production)
+	if as != bs {
+		return as > bs
+	}
+	// Final deterministic tie-breaks: production order, then key.
+	if a.Production.Order != b.Production.Order {
+		return a.Production.Order < b.Production.Order
+	}
+	return a.Key() < b.Key()
+}
+
+// meaTag returns the time tag of the WME matching the first positive CE.
+func meaTag(in *ops5.Instantiation) int {
+	for _, w := range in.WMEs {
+		if w != nil {
+			return w.TimeTag
+		}
+	}
+	return 0
+}
+
+// sortedTagsDesc returns the instantiation's time tags sorted descending.
+func sortedTagsDesc(in *ops5.Instantiation) []int {
+	tags := in.TimeTags()
+	sort.Sort(sort.Reverse(sort.IntSlice(tags)))
+	return tags
+}
+
+// specificity counts the tests in a production's LHS: one per constant,
+// disjunction or predicate term, plus one per class test.
+func specificity(p *ops5.Production) int {
+	n := 0
+	for _, ce := range p.LHS {
+		n++ // class test
+		for _, at := range ce.Tests {
+			n += len(at.Terms)
+		}
+	}
+	return n
+}

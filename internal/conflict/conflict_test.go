@@ -1,0 +1,150 @@
+package conflict_test
+
+import (
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ops5"
+)
+
+func prod(name string, tests int) *ops5.Production {
+	ce := &ops5.CondElement{Class: "c"}
+	for i := 0; i < tests; i++ {
+		ce.Tests = append(ce.Tests, ops5.AttrTest{
+			Attr:  "a",
+			Terms: []ops5.Term{{Kind: ops5.TermConst, Val: ops5.Num(float64(i))}},
+		})
+	}
+	return &ops5.Production{Name: name, LHS: []*ops5.CondElement{ce}}
+}
+
+func inst(p *ops5.Production, tags ...int) *ops5.Instantiation {
+	wmes := make([]*ops5.WME, len(tags))
+	for i, tag := range tags {
+		wmes[i] = &ops5.WME{TimeTag: tag, Class: "c"}
+	}
+	// Pad WMEs to LHS length when the production has more CEs.
+	for len(wmes) < len(p.LHS) {
+		wmes = append(wmes, nil)
+	}
+	return &ops5.Instantiation{Production: p, WMEs: wmes}
+}
+
+func TestInsertRemoveContains(t *testing.T) {
+	s := conflict.NewSet(conflict.LEX)
+	p := prod("p1", 1)
+	in := inst(p, 5)
+	s.Insert(in)
+	if !s.Contains(in) || s.Len() != 1 {
+		t.Fatal("instantiation not inserted")
+	}
+	// Identical instantiation (same key) is a no-op.
+	s.Insert(inst(p, 5))
+	if s.Len() != 1 {
+		t.Fatalf("duplicate insert grew the set: %d", s.Len())
+	}
+	s.Remove(inst(p, 5))
+	if s.Contains(in) || s.Len() != 0 {
+		t.Fatal("instantiation not removed")
+	}
+	// Removing an absent instantiation is a no-op.
+	s.Remove(inst(p, 5))
+}
+
+func TestLEXRecency(t *testing.T) {
+	s := conflict.NewSet(conflict.LEX)
+	p := prod("p1", 1)
+	s.Insert(inst(p, 3))
+	s.Insert(inst(p, 9))
+	s.Insert(inst(p, 6))
+	sel := s.Select()
+	if got := sel.WMEs[0].TimeTag; got != 9 {
+		t.Errorf("LEX selected tag %d, want 9 (most recent)", got)
+	}
+}
+
+func TestLEXRecencyLexicographic(t *testing.T) {
+	// [9 2] beats [8 7]: compare sorted-descending tags pairwise.
+	p := &ops5.Production{Name: "p2", LHS: []*ops5.CondElement{
+		{Class: "c"}, {Class: "c"},
+	}}
+	s := conflict.NewSet(conflict.LEX)
+	s.Insert(inst(p, 8, 7))
+	s.Insert(inst(p, 9, 2))
+	sel := s.Select()
+	if got := sel.WMEs[0].TimeTag; got != 9 {
+		t.Errorf("selected leading tag %d, want 9", got)
+	}
+}
+
+func TestLEXSpecificityTieBreak(t *testing.T) {
+	// Same time tags: the production with more tests wins.
+	simple := prod("simple", 1)
+	specific := prod("specific", 4)
+	s := conflict.NewSet(conflict.LEX)
+	s.Insert(inst(simple, 5))
+	s.Insert(inst(specific, 5))
+	if sel := s.Select(); sel.Production.Name != "specific" {
+		t.Errorf("selected %s, want specific", sel.Production.Name)
+	}
+}
+
+func TestMEADominantFirstElement(t *testing.T) {
+	p := &ops5.Production{Name: "m", LHS: []*ops5.CondElement{
+		{Class: "goal"}, {Class: "c"},
+	}}
+	s := conflict.NewSet(conflict.MEA)
+	// First instantiation: older goal, much younger second element.
+	s.Insert(inst(p, 1, 100))
+	// Second: younger goal, older second element.
+	s.Insert(inst(p, 2, 3))
+	sel := s.Select()
+	if got := sel.WMEs[0].TimeTag; got != 2 {
+		t.Errorf("MEA selected goal tag %d, want 2", got)
+	}
+	// LEX would pick the other one.
+	s2 := conflict.NewSet(conflict.LEX)
+	s2.Insert(inst(p, 1, 100))
+	s2.Insert(inst(p, 2, 3))
+	if sel := s2.Select(); sel.WMEs[0].TimeTag != 1 {
+		t.Errorf("LEX selected goal tag %d, want 1 (tags [100 1] beat [3 2])", sel.WMEs[0].TimeTag)
+	}
+}
+
+func TestRefraction(t *testing.T) {
+	s := conflict.NewSet(conflict.LEX)
+	p := prod("p1", 1)
+	s.Insert(inst(p, 1))
+	if s.Select() == nil {
+		t.Fatal("first Select returned nil")
+	}
+	if s.Select() != nil {
+		t.Fatal("second Select should return nil (refraction)")
+	}
+	// Re-inserting the same instantiation keeps the fired flag.
+	s.Insert(inst(p, 1))
+	if s.Select() != nil {
+		t.Fatal("re-insert must not reset refraction")
+	}
+	// A fresh instantiation (new tags) is selectable.
+	s.Insert(inst(p, 2))
+	if s.Select() == nil {
+		t.Fatal("fresh instantiation not selected")
+	}
+}
+
+func TestInstantiationsOrdered(t *testing.T) {
+	s := conflict.NewSet(conflict.LEX)
+	p := prod("p1", 1)
+	s.Insert(inst(p, 2))
+	s.Insert(inst(p, 8))
+	s.Insert(inst(p, 5))
+	insts := s.Instantiations()
+	if len(insts) != 3 {
+		t.Fatalf("len = %d", len(insts))
+	}
+	tags := []int{insts[0].WMEs[0].TimeTag, insts[1].WMEs[0].TimeTag, insts[2].WMEs[0].TimeTag}
+	if tags[0] != 8 || tags[1] != 5 || tags[2] != 2 {
+		t.Errorf("order = %v, want [8 5 2]", tags)
+	}
+}

@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestParseMatcherKind(t *testing.T) {
+	cases := map[string]core.MatcherKind{
+		"rete":          core.SerialRete,
+		"serial":        core.SerialRete,
+		"parallel":      core.ParallelRete,
+		"parallel-rete": core.ParallelRete,
+		"prete":         core.ParallelRete,
+		"treat":         core.TREAT,
+		"full-state":    core.FullState,
+		"oflazer":       core.FullState,
+		"naive":         core.Naive,
+	}
+	for in, want := range cases {
+		got, err := core.ParseMatcherKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMatcherKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := core.ParseMatcherKind("quantum"); err == nil {
+		t.Error("expected error for unknown matcher name")
+	}
+}
+
+func TestMatcherKindStringRoundTrip(t *testing.T) {
+	for _, k := range []core.MatcherKind{core.SerialRete, core.ParallelRete, core.TREAT, core.FullState, core.Naive} {
+		got, err := core.ParseMatcherKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v -> %q -> %v, %v", k, k.String(), got, err)
+		}
+	}
+}
+
+func TestNewSystemParseError(t *testing.T) {
+	if _, err := core.NewSystem("(p broken", core.Options{}); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestNewSystemCompileError(t *testing.T) {
+	// Predicate on unbound variable is caught at network compile time.
+	src := `(p bad (a ^v > <z>) --> (halt))`
+	if _, err := core.NewSystem(src, core.Options{Matcher: core.SerialRete}); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestMonkeyBananasUnderEveryMatcher(t *testing.T) {
+	for _, kind := range []core.MatcherKind{core.SerialRete, core.ParallelRete, core.TREAT, core.FullState, core.Naive} {
+		var out strings.Builder
+		sys, err := core.NewSystem(workload.MonkeyBananas, core.Options{
+			Matcher:   kind,
+			Strategy:  conflict.MEA,
+			Output:    &out,
+			MaxCycles: 50,
+			Workers:   4,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !sys.Halted {
+			t.Errorf("%v: did not halt; output:\n%s", kind, out.String())
+		}
+		want := []string{
+			"monkey walks to the ladder",
+			"monkey pushes the ladder",
+			"monkey climbs the ladder",
+			"monkey grabs the bananas",
+			"problem solved",
+		}
+		got := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(got) != len(want) {
+			t.Fatalf("%v: output = %q", kind, out.String())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v: step %d = %q, want %q", kind, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopLevelMakeLoadsInitialWM(t *testing.T) {
+	src := `
+(make c ^n 1)
+(make c ^n 2)
+(p noop (missing) --> (halt))
+`
+	sys, err := core.NewSystem(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.WM.Size() != 2 {
+		t.Errorf("WM size = %d, want 2", sys.WM.Size())
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	src := `(p x (a ^v 1) --> (halt))`
+	serial, err := core.NewSystem(src, core.Options{Matcher: core.SerialRete})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Network() == nil || serial.ParallelMatcher() != nil {
+		t.Error("serial system accessors wrong")
+	}
+	par, err := core.NewSystem(src, core.Options{Matcher: core.ParallelRete})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Network() != nil || par.ParallelMatcher() == nil {
+		t.Error("parallel system accessors wrong")
+	}
+	if len(serial.Productions()) != 1 {
+		t.Errorf("productions = %d", len(serial.Productions()))
+	}
+}

@@ -1,0 +1,69 @@
+// Package cost defines the machine-instruction cost model used to turn
+// Rete node activations into simulated execution time on the PSM.
+//
+// The constants come from the paper and from Gupta's measurements cited
+// in §3.1: a working-memory change costs on the order of c1 ≈ 1800
+// machine instructions through a serial Rete matcher, the temporary
+// state of a non-state-saving matcher costs c3 ≈ 1100 instructions per
+// working-memory element, and individual node activations — the unit of
+// parallel work — run 50-100 instructions each (§4).
+package cost
+
+import "repro/internal/rete"
+
+// Model assigns instruction costs to node activations.
+type Model struct {
+	// PerConstTest is the cost of one constant test in the alpha
+	// network (a load, a compare, and a branch).
+	PerConstTest float64
+	// AlphaUpdate is the cost of inserting into or deleting from an
+	// alpha memory (hashing plus list update).
+	AlphaUpdate float64
+	// JoinBase is the fixed cost of a two-input node activation.
+	JoinBase float64
+	// PerTokenTest is the cost of testing one opposite-memory entry for
+	// consistent variable bindings.
+	PerTokenTest float64
+	// PerPairEmit is the cost of building and forwarding one token.
+	PerPairEmit float64
+	// TermOp is the cost of a conflict-set insertion or removal.
+	TermOp float64
+
+	// C1 is the paper's measured serial-Rete cost per WM change,
+	// used by the §3.1 analytic model.
+	C1 float64
+	// C3 is the paper's measured non-state-saving cost per WM element.
+	C3 float64
+}
+
+// Default returns the paper-calibrated model.
+func Default() Model {
+	return Model{
+		PerConstTest: 4,
+		AlphaUpdate:  30,
+		JoinBase:     45,
+		PerTokenTest: 14,
+		PerPairEmit:  35,
+		TermOp:       60,
+		C1:           1800,
+		C3:           1100,
+	}
+}
+
+// Cost returns the instruction cost of one activation event.
+func (m Model) Cost(ev rete.ActivationEvent) float64 {
+	switch ev.Kind {
+	case rete.KindRoot:
+		return float64(ev.TestsRun) * m.PerConstTest
+	case rete.KindAlpha:
+		return m.AlphaUpdate
+	case rete.KindJoinLeft, rete.KindJoinRight, rete.KindNegLeft, rete.KindNegRight:
+		return m.JoinBase +
+			float64(ev.TokensTested)*m.PerTokenTest +
+			float64(ev.PairsEmitted)*m.PerPairEmit
+	case rete.KindTerm:
+		return m.TermOp
+	default:
+		return m.JoinBase
+	}
+}

@@ -1,0 +1,57 @@
+package cost_test
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/rete"
+	"repro/internal/workload"
+)
+
+func TestTaskGranularity(t *testing.T) {
+	// The paper's fine-grain tasks run 50-100 instructions (§4); a
+	// typical two-input activation testing a handful of tokens must
+	// land in or near that band.
+	m := cost.Default()
+	ev := rete.ActivationEvent{Kind: rete.KindJoinRight, TokensTested: 2, PairsEmitted: 1}
+	c := m.Cost(ev)
+	if c < 50 || c > 150 {
+		t.Errorf("join activation cost = %.0f, want ~50-100 instructions", c)
+	}
+}
+
+func TestCostMonotoneInWork(t *testing.T) {
+	m := cost.Default()
+	small := m.Cost(rete.ActivationEvent{Kind: rete.KindJoinLeft, TokensTested: 1})
+	big := m.Cost(rete.ActivationEvent{Kind: rete.KindJoinLeft, TokensTested: 50, PairsEmitted: 10})
+	if big <= small {
+		t.Errorf("cost not monotone: %f <= %f", big, small)
+	}
+}
+
+func TestRootCostScalesWithTests(t *testing.T) {
+	m := cost.Default()
+	a := m.Cost(rete.ActivationEvent{Kind: rete.KindRoot, TestsRun: 10})
+	b := m.Cost(rete.ActivationEvent{Kind: rete.KindRoot, TestsRun: 20})
+	if b != 2*a {
+		t.Errorf("root cost not linear in tests: %f vs %f", a, b)
+	}
+}
+
+func TestCalibrationAgainstC1(t *testing.T) {
+	// A real program's measured serial cost per WM change should be
+	// the same order of magnitude as the paper's c1 = 1800.
+	wmes, err := workload.EightPuzzleWM([9]int{1, 2, 3, 4, 0, 5, 6, 7, 8}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := workload.Capture("ep", workload.EightPuzzle, wmes,
+		workload.RunConfig{MaxCycles: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChange := rec.Trace.CostPerChange()
+	if perChange < 400 || perChange > 8000 {
+		t.Errorf("cost per change = %.0f instructions, want same order as c1=1800", perChange)
+	}
+}

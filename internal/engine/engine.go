@@ -1,0 +1,327 @@
+// Package engine implements the OPS5 recognize-act cycle of §2.1:
+// match, conflict-resolution, act. It is parameterised over the matcher
+// (serial Rete, parallel Rete, TREAT, or naive), and supports the
+// parallel-firing mode used by the paper's "parallel firings" curves in
+// Figures 6-1 and 6-2.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/ops5"
+	"repro/internal/wm"
+)
+
+// Matcher is the interface every match algorithm implements. Conflict
+// set deltas are delivered through callbacks configured at construction
+// time, so Apply carries no return value.
+type Matcher interface {
+	// Apply processes a batch of working-memory changes. Insert WMEs
+	// already carry their assigned time tags.
+	Apply(changes []ops5.Change)
+}
+
+// Engine drives the recognize-act cycle.
+type Engine struct {
+	WM      *wm.Memory
+	CS      *conflict.Set
+	Matcher Matcher
+	// Out receives the output of write actions; nil discards it.
+	Out io.Writer
+	// MaxCycles bounds Run; zero means no bound.
+	MaxCycles int
+	// ParallelFirings, when > 1, fires up to that many non-conflicting
+	// instantiations per cycle and applies all their changes as one
+	// batch (application-level parallelism, §8).
+	ParallelFirings int
+
+	// Fired counts production firings.
+	Fired int
+	// Cycles counts recognize-act cycles executed.
+	Cycles int
+	// TotalChanges counts WM changes processed.
+	TotalChanges int
+	// Halted reports whether a halt action ran.
+	Halted bool
+	// OnFire, when set, observes each instantiation as it fires.
+	OnFire func(*ops5.Instantiation)
+
+	// funcs holds host functions invokable with (call name args...).
+	funcs map[string]CallFunc
+}
+
+// CallFunc is a host function invokable from a production's right-hand
+// side with (call name args...). It receives the resolved argument
+// values and returns WM changes to append to the firing's batch.
+type CallFunc func(e *Engine, args []ops5.Value) ([]ops5.Change, error)
+
+// RegisterFunc makes fn available to (call name ...) actions.
+func (e *Engine) RegisterFunc(name string, fn CallFunc) {
+	if e.funcs == nil {
+		e.funcs = make(map[string]CallFunc)
+	}
+	e.funcs[name] = fn
+}
+
+// New assembles an engine. The matcher must already have its conflict
+// callbacks wired to cs (see the matcher constructors' With* helpers or
+// Hook).
+func New(mem *wm.Memory, cs *conflict.Set, m Matcher) *Engine {
+	return &Engine{WM: mem, CS: cs, Matcher: m}
+}
+
+// Hook wires a matcher's conflict-set callbacks to a conflict set. It
+// works for any matcher exposing OnInsert/OnRemove fields via the
+// returned setter functions; callers that construct matchers directly
+// can assign cs.Insert / cs.Remove themselves.
+func Hook(cs *conflict.Set) (onInsert, onRemove func(*ops5.Instantiation)) {
+	return cs.Insert, cs.Remove
+}
+
+// Load applies a set of initial WMEs as one insert batch.
+func (e *Engine) Load(wmes []*ops5.WME) {
+	changes := make([]ops5.Change, len(wmes))
+	for i, w := range wmes {
+		changes[i] = ops5.Change{Kind: ops5.Insert, WME: w.Clone()}
+	}
+	e.applyBatch(changes)
+}
+
+// ApplyChanges commits a batch of WM changes (assigning time tags) and
+// runs the matcher — one synchronization step. Custom control loops
+// (e.g. the Soar layer's elaboration waves) drive the engine through
+// this and EvalRHS instead of Step.
+func (e *Engine) ApplyChanges(changes []ops5.Change) {
+	e.applyBatch(changes)
+}
+
+// applyBatch commits changes to working memory (assigning tags) and then
+// runs the matcher.
+func (e *Engine) applyBatch(changes []ops5.Change) {
+	if len(changes) == 0 {
+		return
+	}
+	if _, err := e.WM.Apply(changes); err != nil {
+		// Working-memory errors indicate an engine bug (removing a WME
+		// twice); they are surfaced loudly rather than silently skipped.
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	e.Matcher.Apply(changes)
+	e.TotalChanges += len(changes)
+}
+
+// Step runs one recognize-act cycle: select (up to ParallelFirings)
+// instantiations, evaluate their actions, and apply the changes as one
+// batch. It reports whether any production fired.
+func (e *Engine) Step() (bool, error) {
+	if e.Halted {
+		return false, nil
+	}
+	limit := e.ParallelFirings
+	if limit < 1 {
+		limit = 1
+	}
+	var batch []ops5.Change
+	consumed := make(map[int]bool) // time tags removed this cycle
+	fired := 0
+	for fired < limit {
+		inst := e.CS.Select()
+		if inst == nil {
+			break
+		}
+		if usesConsumed(inst, consumed) {
+			// Another firing this cycle removed one of its WMEs; in
+			// parallel-firing mode such instantiations are skipped.
+			continue
+		}
+		if e.OnFire != nil {
+			e.OnFire(inst)
+		}
+		changes, err := e.evalRHS(inst, consumed)
+		if err != nil {
+			return false, err
+		}
+		batch = append(batch, changes...)
+		fired++
+		e.Fired++
+		if e.Halted {
+			break
+		}
+	}
+	if fired == 0 {
+		return false, nil
+	}
+	e.Cycles++
+	e.applyBatch(batch)
+	return true, nil
+}
+
+// usesConsumed reports whether the instantiation references a WME
+// already removed by an earlier firing in the same cycle.
+func usesConsumed(inst *ops5.Instantiation, consumed map[int]bool) bool {
+	for _, w := range inst.WMEs {
+		if w != nil && consumed[w.TimeTag] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes cycles until no production can fire, halt is executed, or
+// MaxCycles is reached. It returns the number of cycles executed.
+func (e *Engine) Run() (int, error) {
+	start := e.Cycles
+	for {
+		if e.MaxCycles > 0 && e.Cycles-start >= e.MaxCycles {
+			return e.Cycles - start, nil
+		}
+		ok, err := e.Step()
+		if err != nil {
+			return e.Cycles - start, err
+		}
+		if !ok {
+			return e.Cycles - start, nil
+		}
+	}
+}
+
+// EvalRHS evaluates a production's actions against an instantiation and
+// returns the resulting WM changes without applying them. Remove/modify
+// targets are recorded in consumed (time tag -> removed), letting the
+// caller batch several firings while detecting conflicts. The engine's
+// Fired counter is incremented and OnFire invoked.
+func (e *Engine) EvalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops5.Change, error) {
+	if e.OnFire != nil {
+		e.OnFire(inst)
+	}
+	e.Fired++
+	return e.evalRHS(inst, consumed)
+}
+
+// evalRHS evaluates a production's actions against an instantiation and
+// returns the resulting WM changes. Remove/modify targets are recorded
+// in consumed.
+func (e *Engine) evalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops5.Change, error) {
+	var changes []ops5.Change
+	b := inst.Bindings.Clone()
+	var resolve func(t ops5.RHSTerm) (ops5.Value, error)
+	resolve = func(t ops5.RHSTerm) (ops5.Value, error) {
+		switch {
+		case t.IsVar:
+			v, ok := b[t.Var]
+			if !ok {
+				return ops5.Value{}, fmt.Errorf("engine: production %s: unbound variable <%s> at fire time",
+					inst.Production.Name, t.Var)
+			}
+			return v, nil
+		case t.Compute != nil:
+			return t.Compute.Eval(resolve)
+		case t.Crlf:
+			return ops5.Value{}, fmt.Errorf("engine: production %s: (crlf) is only valid in write",
+				inst.Production.Name)
+		default:
+			return t.Val, nil
+		}
+	}
+	ceWME := func(a *ops5.Action) (*ops5.WME, error) {
+		w := inst.WMEs[a.CE-1]
+		if w == nil {
+			return nil, fmt.Errorf("engine: production %s: action %s references negated CE",
+				inst.Production.Name, a)
+		}
+		if consumed[w.TimeTag] {
+			return nil, fmt.Errorf("engine: production %s: CE %d element %d already removed this cycle",
+				inst.Production.Name, a.CE, w.TimeTag)
+		}
+		return w, nil
+	}
+	for _, a := range inst.Production.RHS {
+		switch a.Kind {
+		case ops5.ActMake:
+			nw := &ops5.WME{Class: a.Class, Attrs: make(map[string]ops5.Value, len(a.Pairs))}
+			for _, p := range a.Pairs {
+				v, err := resolve(p.Term)
+				if err != nil {
+					return nil, err
+				}
+				nw.Attrs[p.Attr] = v
+			}
+			changes = append(changes, ops5.Change{Kind: ops5.Insert, WME: nw})
+		case ops5.ActModify:
+			old, err := ceWME(a)
+			if err != nil {
+				return nil, err
+			}
+			nw := old.Clone()
+			for _, p := range a.Pairs {
+				v, err := resolve(p.Term)
+				if err != nil {
+					return nil, err
+				}
+				nw.Attrs[p.Attr] = v
+			}
+			consumed[old.TimeTag] = true
+			changes = append(changes,
+				ops5.Change{Kind: ops5.Delete, WME: old},
+				ops5.Change{Kind: ops5.Insert, WME: nw})
+		case ops5.ActRemove:
+			old, err := ceWME(a)
+			if err != nil {
+				return nil, err
+			}
+			consumed[old.TimeTag] = true
+			changes = append(changes, ops5.Change{Kind: ops5.Delete, WME: old})
+		case ops5.ActWrite:
+			if e.Out != nil {
+				var line strings.Builder
+				for _, t := range a.Args {
+					if t.Crlf {
+						line.WriteString("\n")
+						continue
+					}
+					v, err := resolve(t)
+					if err != nil {
+						return nil, err
+					}
+					if n := line.Len(); n > 0 && line.String()[n-1] != '\n' {
+						line.WriteString(" ")
+					}
+					line.WriteString(v.String())
+				}
+				fmt.Fprintln(e.Out, line.String())
+			}
+		case ops5.ActHalt:
+			e.Halted = true
+		case ops5.ActBind:
+			v, err := resolve(a.Term)
+			if err != nil {
+				return nil, err
+			}
+			b[a.Var] = v
+		case ops5.ActCall:
+			fn, ok := e.funcs[a.Fn]
+			if !ok {
+				return nil, fmt.Errorf("engine: production %s calls unregistered function %q",
+					inst.Production.Name, a.Fn)
+			}
+			args := make([]ops5.Value, len(a.Args))
+			for i, t := range a.Args {
+				v, err := resolve(t)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			extra, err := fn(e, args)
+			if err != nil {
+				return nil, fmt.Errorf("engine: production %s: call %s: %w",
+					inst.Production.Name, a.Fn, err)
+			}
+			changes = append(changes, extra...)
+		}
+	}
+	return changes, nil
+}

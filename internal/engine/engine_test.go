@@ -1,0 +1,296 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+)
+
+// newSys builds a serial-Rete system for engine-semantics tests.
+func newSys(t *testing.T, src string, opts core.Options) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMakeModifyRemove(t *testing.T) {
+	src := `
+(p step1
+    (input ^v <x>)
+  -->
+    (make result ^from <x> ^stage one)
+    (modify 1 ^v done))
+
+(p step2
+    (input ^v done)
+    (result ^stage one)
+  -->
+    (modify 2 ^stage two)
+    (remove 1))
+`
+	sys := newSys(t, src, core.Options{MaxCycles: 10})
+	sys.Assert(ops5.NewWME("input", "v", 41))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	elems := sys.WM.Elements()
+	if len(elems) != 1 {
+		t.Fatalf("final WM = %v, want single result", elems)
+	}
+	r := elems[0]
+	if r.Class != "result" || r.Get("stage").Sym != "two" || r.Get("from").Num != 41 {
+		t.Errorf("result = %v", r)
+	}
+	if sys.Fired != 2 {
+		t.Errorf("fired = %d, want 2", sys.Fired)
+	}
+}
+
+func TestHaltStopsImmediately(t *testing.T) {
+	src := `
+(p loop
+    (c ^n <x>)
+  -->
+    (make c ^n <x>)
+    (halt))
+`
+	sys := newSys(t, src, core.Options{MaxCycles: 100})
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	cycles, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 || !sys.Halted {
+		t.Errorf("cycles = %d halted = %v, want 1/true", cycles, sys.Halted)
+	}
+}
+
+func TestWriteAndBind(t *testing.T) {
+	src := `
+(p report
+    (c ^n <x>)
+  -->
+    (bind <y> 99)
+    (write value <x> bound <y>)
+    (remove 1))
+`
+	var out strings.Builder
+	sys := newSys(t, src, core.Options{Output: &out, MaxCycles: 5})
+	sys.Assert(ops5.NewWME("c", "n", 7))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "value 7 bound 99" {
+		t.Errorf("write output = %q", got)
+	}
+}
+
+func TestRefraction(t *testing.T) {
+	// A production whose firing does not change the WMEs it matched
+	// must not fire again on the same instantiation (refraction), so
+	// the run terminates.
+	src := `
+(p observe
+    (c ^n <x>)
+  -->
+    (write saw <x>))
+`
+	var out strings.Builder
+	sys := newSys(t, src, core.Options{Output: &out, MaxCycles: 50})
+	sys.Assert(ops5.NewWME("c", "n", 1), ops5.NewWME("c", "n", 2))
+	cycles, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (one per instantiation, then quiescence)", cycles)
+	}
+	if sys.Fired != 2 {
+		t.Errorf("fired = %d, want 2", sys.Fired)
+	}
+}
+
+func TestParallelFirings(t *testing.T) {
+	// With ParallelFirings = 4, four independent instantiations fire in
+	// one cycle and their changes form a single batch.
+	src := `
+(p consume
+    (c ^n <x>)
+  -->
+    (remove 1))
+`
+	sys := newSys(t, src, core.Options{MaxCycles: 10, ParallelFirings: 4})
+	sys.Assert(
+		ops5.NewWME("c", "n", 1), ops5.NewWME("c", "n", 2),
+		ops5.NewWME("c", "n", 3), ops5.NewWME("c", "n", 4),
+	)
+	cycles, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 {
+		t.Errorf("cycles = %d, want 1 (all four fire together)", cycles)
+	}
+	if sys.WM.Size() != 0 {
+		t.Errorf("WM size = %d, want 0", sys.WM.Size())
+	}
+}
+
+func TestParallelFiringsSkipConsumed(t *testing.T) {
+	// Two instantiations share a WME; when the first firing removes it,
+	// the second must be skipped within the same cycle.
+	src := `
+(p a (c ^n <x>) (d ^m <y>) --> (remove 1))
+(p b (c ^n <x>) (e ^m <y>) --> (remove 1))
+`
+	sys := newSys(t, src, core.Options{MaxCycles: 10, ParallelFirings: 4})
+	sys.Assert(ops5.NewWME("c", "n", 1), ops5.NewWME("d", "m", 1), ops5.NewWME("e", "m", 1))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Fired != 1 {
+		t.Errorf("fired = %d, want 1 (second instantiation uses the consumed WME)", sys.Fired)
+	}
+}
+
+func TestOnFireObserves(t *testing.T) {
+	src := `(p once (c ^n 1) --> (remove 1))`
+	sys := newSys(t, src, core.Options{MaxCycles: 5})
+	var seen []string
+	sys.OnFire = func(in *ops5.Instantiation) { seen = append(seen, in.Production.Name) }
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "once" {
+		t.Errorf("OnFire saw %v", seen)
+	}
+}
+
+func TestMEAOrdersByGoalRecency(t *testing.T) {
+	// Under MEA the instantiation whose first CE matches the youngest
+	// goal element fires first, even when another instantiation has a
+	// younger non-goal element.
+	src := `
+(p old-goal (goal ^id g1) (data ^v <x>) --> (write old) (remove 2))
+(p new-goal (goal ^id g2) (other ^v <x>) --> (write new) (remove 2))
+`
+	var out strings.Builder
+	sys := newSys(t, src, core.Options{Strategy: conflict.MEA, Output: &out, MaxCycles: 3})
+	sys.Assert(ops5.NewWME("goal", "id", "g1"))
+	sys.Assert(ops5.NewWME("goal", "id", "g2"))
+	sys.Assert(ops5.NewWME("other", "v", 1))
+	sys.Assert(ops5.NewWME("data", "v", 2)) // youngest overall, but old goal
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != 2 || lines[0] != "new" {
+		t.Errorf("MEA firing order = %v, want [new old]", lines)
+	}
+}
+
+func TestAllMatchersAgreeOnRun(t *testing.T) {
+	// The same program must produce the same final WM and firing count
+	// under every matcher.
+	src := `
+(p promote
+    (item ^rank <r> ^state raw)
+    (threshold ^min <m>)
+   -(blocked ^rank <r>)
+  -->
+    (modify 1 ^state cooked))
+
+(p finish
+    (threshold ^min <m>)
+   -(item ^state raw)
+  -->
+    (remove 1)
+    (halt))
+`
+	assertWM := func(sys *core.System) {
+		sys.Assert(
+			ops5.NewWME("item", "rank", 1, "state", "raw"),
+			ops5.NewWME("item", "rank", 2, "state", "raw"),
+			ops5.NewWME("item", "rank", 3, "state", "raw"),
+			ops5.NewWME("blocked", "rank", 9),
+			ops5.NewWME("threshold", "min", 0),
+		)
+	}
+	type outcome struct {
+		fired int
+		wm    string
+	}
+	var ref *outcome
+	for _, kind := range []core.MatcherKind{core.SerialRete, core.ParallelRete, core.TREAT, core.FullState, core.Naive} {
+		sys := newSys(t, src, core.Options{Matcher: kind, MaxCycles: 50})
+		assertWM(sys)
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		var b strings.Builder
+		for _, w := range sys.WM.Elements() {
+			b.WriteString(w.String())
+			b.WriteString("\n")
+		}
+		got := &outcome{fired: sys.Fired, wm: b.String()}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if got.fired != ref.fired || got.wm != ref.wm {
+			t.Errorf("%v diverges: fired %d vs %d\nwm:\n%svs:\n%s",
+				kind, got.fired, ref.fired, got.wm, ref.wm)
+		}
+	}
+}
+
+func TestRemoveTwiceErrors(t *testing.T) {
+	src := `(p dup (c ^n <x>) --> (remove 1) (remove 1))`
+	sys := newSys(t, src, core.Options{MaxCycles: 5})
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("expected error removing the same CE twice")
+	}
+}
+
+func TestCallAction(t *testing.T) {
+	src := `
+(p c (a ^v <x>) --> (call record <x> 7) (remove 1))
+`
+	sys := newSys(t, src, core.Options{MaxCycles: 5})
+	var got []float64
+	sys.RegisterFunc("record", func(e *engine.Engine, args []ops5.Value) ([]ops5.Change, error) {
+		for _, a := range args {
+			got = append(got, a.Num)
+		}
+		return []ops5.Change{{Kind: ops5.Insert, WME: ops5.NewWME("result", "sum", args[0].Num+args[1].Num)}}, nil
+	})
+	sys.Assert(ops5.NewWME("a", "v", 35))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 35 || got[1] != 7 {
+		t.Errorf("call args = %v", got)
+	}
+	res := sys.WM.OfClass("result")
+	if len(res) != 1 || res[0].Get("sum").Num != 42 {
+		t.Errorf("call result = %v", res)
+	}
+}
+
+func TestCallUnregisteredErrors(t *testing.T) {
+	src := `(p c (a ^v 1) --> (call nosuch))`
+	sys := newSys(t, src, core.Options{MaxCycles: 5})
+	sys.Assert(ops5.NewWME("a", "v", 1))
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("expected error for unregistered call")
+	}
+}

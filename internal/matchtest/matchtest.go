@@ -1,0 +1,256 @@
+// Package matchtest provides randomized program generation and a
+// cross-checking harness used to verify that every matcher in this
+// repository (serial Rete, parallel Rete, TREAT, naive) computes
+// identical conflict sets. It is a test-support package.
+package matchtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ops5"
+)
+
+// GenParams controls random program generation.
+type GenParams struct {
+	Productions int
+	MaxCEs      int     // per production, >= 1
+	NegProb     float64 // probability a non-first CE is negated
+	Classes     int
+	Attrs       int
+	Values      int // numeric constants 0..Values-1
+	Vars        int // variable pool size
+	VarProb     float64
+	DisjProb    float64
+	PredProb    float64 // probability a bound-variable reuse is a predicate test
+}
+
+// DefaultGenParams returns parameters that exercise most language
+// features while keeping brute-force matching tractable.
+func DefaultGenParams() GenParams {
+	return GenParams{
+		Productions: 8,
+		MaxCEs:      3,
+		NegProb:     0.25,
+		Classes:     4,
+		Attrs:       3,
+		Values:      4,
+		Vars:        3,
+		VarProb:     0.4,
+		DisjProb:    0.1,
+		PredProb:    0.3,
+	}
+}
+
+func class(i int) string { return fmt.Sprintf("c%d", i) }
+func attr(i int) string  { return fmt.Sprintf("a%d", i) }
+func varName(i int) string {
+	return fmt.Sprintf("v%d", i)
+}
+
+// RandomProgram generates a valid random production set.
+func RandomProgram(rng *rand.Rand, p GenParams) []*ops5.Production {
+	prods := make([]*ops5.Production, 0, p.Productions)
+	for i := 0; i < p.Productions; i++ {
+		prod := randomProduction(rng, p, fmt.Sprintf("p%d", i))
+		prod.Order = i
+		prods = append(prods, prod)
+	}
+	return prods
+}
+
+func randomProduction(rng *rand.Rand, p GenParams, name string) *ops5.Production {
+	nCE := 1 + rng.Intn(p.MaxCEs)
+	prod := &ops5.Production{Name: name}
+	bound := map[string]bool{} // vars bound by earlier positive CEs
+	for ce := 0; ce < nCE; ce++ {
+		negated := ce > 0 && rng.Float64() < p.NegProb
+		el := &ops5.CondElement{Negated: negated, Class: class(rng.Intn(p.Classes))}
+		nTests := 1 + rng.Intn(p.Attrs)
+		usedAttr := map[int]bool{}
+		localBound := map[string]bool{}
+		for t := 0; t < nTests; t++ {
+			ai := rng.Intn(p.Attrs)
+			if usedAttr[ai] {
+				continue
+			}
+			usedAttr[ai] = true
+			at := ops5.AttrTest{Attr: attr(ai)}
+			switch {
+			case rng.Float64() < p.VarProb:
+				v := varName(rng.Intn(p.Vars))
+				if bound[v] || localBound[v] {
+					if rng.Float64() < p.PredProb {
+						preds := []ops5.Predicate{ops5.PredNe, ops5.PredLt, ops5.PredGt, ops5.PredLe, ops5.PredGe}
+						at.Terms = []ops5.Term{{Kind: ops5.TermVar, Pred: preds[rng.Intn(len(preds))], Var: v}}
+					} else {
+						at.Terms = []ops5.Term{{Kind: ops5.TermVar, Pred: ops5.PredEq, Var: v}}
+					}
+				} else {
+					at.Terms = []ops5.Term{{Kind: ops5.TermVar, Pred: ops5.PredEq, Var: v}}
+					localBound[v] = true
+				}
+			case rng.Float64() < p.DisjProb:
+				n := 2 + rng.Intn(2)
+				var vals []ops5.Value
+				for k := 0; k < n; k++ {
+					vals = append(vals, ops5.Num(float64(rng.Intn(p.Values))))
+				}
+				at.Terms = []ops5.Term{{Kind: ops5.TermDisj, Disj: vals}}
+			default:
+				pred := ops5.PredEq
+				if rng.Float64() < 0.3 {
+					preds := []ops5.Predicate{ops5.PredNe, ops5.PredLt, ops5.PredGt}
+					pred = preds[rng.Intn(len(preds))]
+				}
+				at.Terms = []ops5.Term{{Kind: ops5.TermConst, Pred: pred, Val: ops5.Num(float64(rng.Intn(p.Values)))}}
+			}
+			el.Tests = append(el.Tests, at)
+		}
+		if !negated {
+			for v := range localBound {
+				bound[v] = true
+			}
+		}
+		prod.LHS = append(prod.LHS, el)
+	}
+	prod.RHS = []*ops5.Action{{
+		Kind: ops5.ActMake, Class: "out",
+		Pairs: []ops5.RHSPair{{Attr: "r", Term: ops5.RHSTerm{Val: ops5.Num(1)}}},
+	}}
+	if err := prod.Validate(); err != nil {
+		panic(fmt.Sprintf("matchtest: generated invalid production: %v\n%s", err, prod))
+	}
+	return prod
+}
+
+// RandomWME generates a WME over the same vocabulary (no time tag).
+func RandomWME(rng *rand.Rand, p GenParams) *ops5.WME {
+	w := &ops5.WME{Class: class(rng.Intn(p.Classes)), Attrs: map[string]ops5.Value{}}
+	n := 1 + rng.Intn(p.Attrs)
+	for i := 0; i < n; i++ {
+		w.Attrs[attr(rng.Intn(p.Attrs))] = ops5.Num(float64(rng.Intn(p.Values)))
+	}
+	return w
+}
+
+// Tracker is a conflict-set recorder fed by matcher callbacks. It keeps
+// counted multiset semantics so out-of-order parallel deltas settle.
+type Tracker struct {
+	counts map[string]int
+	insts  map[string]*ops5.Instantiation
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{counts: map[string]int{}, insts: map[string]*ops5.Instantiation{}}
+}
+
+// Insert records a conflict-set insertion.
+func (t *Tracker) Insert(in *ops5.Instantiation) {
+	k := in.Key()
+	t.counts[k]++
+	t.insts[k] = in
+}
+
+// Remove records a conflict-set removal.
+func (t *Tracker) Remove(in *ops5.Instantiation) {
+	k := in.Key()
+	t.counts[k]--
+	if t.counts[k] == 0 {
+		delete(t.counts, k)
+	}
+}
+
+// Keys returns the sorted keys of present instantiations. It panics on
+// negative counts (more removals than insertions), which indicates a
+// matcher bug.
+func (t *Tracker) Keys() []string {
+	keys := make([]string, 0, len(t.counts))
+	for k, c := range t.counts {
+		if c < 0 {
+			panic(fmt.Sprintf("matchtest: negative count %d for %s", c, k))
+		}
+		if c > 1 {
+			panic(fmt.Sprintf("matchtest: duplicate instantiation %s (count %d)", k, c))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Script is a reproducible sequence of WM change batches.
+type Script struct {
+	Batches [][]ops5.Change
+}
+
+// RandomScript builds a change script: each batch contains 1..maxBatch
+// changes; deletions pick uniformly among live elements. Time tags are
+// assigned here so every matcher sees identical batches.
+func RandomScript(rng *rand.Rand, p GenParams, batches, maxBatch int) *Script {
+	s := &Script{}
+	nextTag := 1
+	live := map[int]*ops5.WME{}
+	for b := 0; b < batches; b++ {
+		n := 1 + rng.Intn(maxBatch)
+		var batch []ops5.Change
+		for i := 0; i < n; i++ {
+			if len(live) > 0 && rng.Float64() < 0.35 {
+				tags := make([]int, 0, len(live))
+				for tag := range live {
+					tags = append(tags, tag)
+				}
+				sort.Ints(tags)
+				tag := tags[rng.Intn(len(tags))]
+				batch = append(batch, ops5.Change{Kind: ops5.Delete, WME: live[tag]})
+				delete(live, tag)
+			} else {
+				w := RandomWME(rng, p)
+				w.TimeTag = nextTag
+				nextTag++
+				live[w.TimeTag] = w
+				batch = append(batch, ops5.Change{Kind: ops5.Insert, WME: w})
+			}
+		}
+		s.Batches = append(s.Batches, batch)
+	}
+	return s
+}
+
+// BruteForceKeys computes the reference conflict set for a WM snapshot.
+func BruteForceKeys(prods []*ops5.Production, wmes []*ops5.WME) []string {
+	var keys []string
+	for _, p := range prods {
+		for _, inst := range ops5.SatisfyBruteForce(p, wmes) {
+			keys = append(keys, inst.Key())
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Diff formats the difference between two sorted key sets, for test
+// failure messages.
+func Diff(want, got []string) string {
+	ws, gs := map[string]bool{}, map[string]bool{}
+	for _, k := range want {
+		ws[k] = true
+	}
+	for _, k := range got {
+		gs[k] = true
+	}
+	out := ""
+	for _, k := range want {
+		if !gs[k] {
+			out += fmt.Sprintf("  missing: %s\n", k)
+		}
+	}
+	for _, k := range got {
+		if !ws[k] {
+			out += fmt.Sprintf("  extra:   %s\n", k)
+		}
+	}
+	return out
+}

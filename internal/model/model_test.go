@@ -1,0 +1,122 @@
+package model_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestBreakEvenMatchesPaper(t *testing.T) {
+	m := model.PaperCosts()
+	got := m.BreakEvenRatio()
+	if got < 0.60 || got > 0.62 {
+		t.Errorf("break-even ratio = %.3f, paper says 0.61", got)
+	}
+}
+
+func TestCostsAtBreakEvenAreEqual(t *testing.T) {
+	m := model.PaperCosts()
+	s := 1000.0
+	id := m.BreakEvenRatio() * s
+	state := m.StateSavingCost(id/2, id/2)
+	non := m.NonStateSavingCost(s)
+	if diff := state - non; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("at break-even, costs differ: %f vs %f", state, non)
+	}
+}
+
+func TestAdvantageAtMeasuredTurnover(t *testing.T) {
+	m := model.PaperCosts()
+	// At 0.5% turnover the advantage is c3/(0.005*c1) ≈ 122; the paper
+	// conservatively quotes "about 20" against practical fixed costs.
+	got := m.Advantage(0.005)
+	if got < 100 || got > 140 {
+		t.Errorf("advantage = %.0f, want ≈122", got)
+	}
+	if m.Advantage(0) != 0 {
+		t.Error("advantage at 0 turnover should be 0 (guard)")
+	}
+}
+
+func TestQuickAdvantageMonotone(t *testing.T) {
+	m := model.PaperCosts()
+	f := func(a, b float64) bool {
+		ra, rb := abs(a)+1e-6, abs(b)+1e-6
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		// Lower turnover -> larger advantage for state saving.
+		return m.Advantage(ra) >= m.Advantage(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mod1000(x float64) float64 {
+	v := abs(x)
+	for v > 1000 {
+		v /= 1000
+	}
+	return v
+}
+
+func TestProductionParallelismSpeedup(t *testing.T) {
+	// Uniform costs: speedup equals the production count.
+	uniform := []float64{10, 10, 10, 10}
+	if got := model.ProductionParallelismSpeedup(uniform); got != 4 {
+		t.Errorf("uniform speedup = %f, want 4", got)
+	}
+	// One dominant production caps the speedup (the paper's point):
+	// 30 productions, one takes 20% of total work -> speedup ~5.
+	costs := make([]float64, 30)
+	var total float64
+	for i := range costs {
+		costs[i] = 10
+		total += 10
+	}
+	costs[0] = total / 4 // heaviest = 25% of the rest
+	got := model.ProductionParallelismSpeedup(costs)
+	if got < 4 || got > 6 {
+		t.Errorf("skewed speedup = %.2f, want ~5 despite 30 productions", got)
+	}
+	if model.ProductionParallelismSpeedup(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestNodeParallelismSpeedup(t *testing.T) {
+	if got := model.NodeParallelismSpeedup(1000, 100); got != 10 {
+		t.Errorf("speedup = %f, want 10", got)
+	}
+	if model.NodeParallelismSpeedup(1000, 0) != 0 {
+		t.Error("zero critical path should give 0 (guard)")
+	}
+}
+
+func TestQuickProductionBoundedByCount(t *testing.T) {
+	f := func(raw []float64) bool {
+		costs := make([]float64, 0, len(raw))
+		for _, c := range raw {
+			// Clamp into a sane cost range; enormous magnitudes are not
+			// meaningful instruction counts and overflow the sum.
+			costs = append(costs, mod1000(c)+1)
+		}
+		if len(costs) == 0 {
+			return true
+		}
+		s := model.ProductionParallelismSpeedup(costs)
+		return s >= 1 && s <= float64(len(costs))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package naive implements a non-state-saving matcher: on every cycle
+// the complete working memory is matched against all productions from
+// scratch. It exists to reproduce the §3.1 state-saving analysis — the
+// paper's model predicts a non-state-saving algorithm must recover an
+// inefficiency factor of ~20 before breaking even on OPS5-like programs.
+package naive
+
+import (
+	"repro/internal/ops5"
+)
+
+// Matcher rematches everything on each Apply and emits conflict-set
+// deltas relative to the previous cycle.
+type Matcher struct {
+	prods []*ops5.Production
+	wm    map[int]*ops5.WME // by time tag
+	insts map[string]*ops5.Instantiation
+
+	// OnInsert and OnRemove receive conflict-set deltas.
+	OnInsert func(*ops5.Instantiation)
+	OnRemove func(*ops5.Instantiation)
+
+	// Stats accumulates work counters.
+	Stats Stats
+}
+
+// Stats counts the work the naive matcher performs.
+type Stats struct {
+	Changes int
+	// Rematches counts full WM-vs-production rematch passes.
+	Rematches int64
+	// ElementsMatched is the total WM size summed over rematch passes:
+	// the "s" term of the §3.1 cost model (work proportional to stable
+	// WM size every cycle).
+	ElementsMatched int64
+}
+
+// New builds a naive matcher for the productions.
+func New(prods []*ops5.Production) (*Matcher, error) {
+	for _, p := range prods {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Matcher{
+		prods: prods,
+		wm:    make(map[int]*ops5.WME),
+		insts: make(map[string]*ops5.Instantiation),
+	}, nil
+}
+
+// Apply updates the matcher's WM copy and recomputes every instantiation.
+func (m *Matcher) Apply(changes []ops5.Change) {
+	for _, ch := range changes {
+		switch ch.Kind {
+		case ops5.Insert:
+			m.wm[ch.WME.TimeTag] = ch.WME
+		case ops5.Delete:
+			delete(m.wm, ch.WME.TimeTag)
+		}
+		m.Stats.Changes++
+	}
+	m.rematch()
+}
+
+// rematch recomputes the full conflict set and emits the delta.
+func (m *Matcher) rematch() {
+	m.Stats.Rematches++
+	m.Stats.ElementsMatched += int64(len(m.wm))
+	wmes := make([]*ops5.WME, 0, len(m.wm))
+	for _, w := range m.wm {
+		wmes = append(wmes, w)
+	}
+	fresh := make(map[string]*ops5.Instantiation)
+	for _, p := range m.prods {
+		for _, inst := range ops5.SatisfyBruteForce(p, wmes) {
+			fresh[inst.Key()] = inst
+		}
+	}
+	for key, inst := range m.insts {
+		if _, ok := fresh[key]; !ok {
+			delete(m.insts, key)
+			if m.OnRemove != nil {
+				m.OnRemove(inst)
+			}
+		}
+	}
+	for key, inst := range fresh {
+		if _, ok := m.insts[key]; !ok {
+			m.insts[key] = inst
+			if m.OnInsert != nil {
+				m.OnInsert(inst)
+			}
+		}
+	}
+}

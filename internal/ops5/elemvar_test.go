@@ -1,0 +1,56 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElementVariables(t *testing.T) {
+	src := `
+(p ev
+    { <g> (goal ^type find ^color <c>) }
+    { (block ^color <c> ^selected no) <b> }
+  -->
+    (modify <b> ^selected yes)
+    (remove <g>))
+`
+	p, err := ParseProduction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LHS[0].ElemVar != "g" || p.LHS[1].ElemVar != "b" {
+		t.Errorf("element vars = %q, %q", p.LHS[0].ElemVar, p.LHS[1].ElemVar)
+	}
+	if p.RHS[0].CE != 2 || p.RHS[0].CEVar != "b" {
+		t.Errorf("modify resolved to CE %d (var %q), want 2", p.RHS[0].CE, p.RHS[0].CEVar)
+	}
+	if p.RHS[1].CE != 1 {
+		t.Errorf("remove resolved to CE %d, want 1", p.RHS[1].CE)
+	}
+	// Round trip.
+	p2, err := ParseProduction(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if p.String() != p2.String() {
+		t.Errorf("round trip:\n%s\n%s", p, p2)
+	}
+}
+
+func TestElementVariableErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown", `(p x (a ^v 1) --> (remove <zz>))`, "unknown element variable"},
+		{"negated", `(p x (a ^v 1) -{ <g> (b ^v 2) } --> (remove 1))`, "negated condition element"},
+		{"dup", `(p x { <g> (a ^v 1) } { <g> (b ^v 2) } --> (remove 1))`, "bound twice"},
+		{"clash", `(p x (a ^v <g>) { <g> (b ^v 2) } --> (remove 1))`, "both an element variable"},
+		{"junk-brace", `(p x { foo (a ^v 1) } --> (remove 1))`, "expected <element-variable>"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseProduction(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts as a production round-trips through String and reparses to
+// the same rendering. Run with `go test -fuzz=FuzzParse ./internal/ops5`
+// for continuous fuzzing; the seed corpus runs as a normal test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`(p x (a ^v 1) --> (halt))`,
+		`(p find-colored-blk (goal ^type find-blk ^color <c>)
+		   (block ^id <i> ^color <c> ^selected no) --> (modify 2 ^selected yes))`,
+		`(p n (a ^v <x>) -(b ^v <x>) --> (remove 1))`,
+		`(p c (a ^v { > 1 <= 9 <> 5 }) --> (make b ^v << red green 3 >>))`,
+		`(p e { <g> (goal ^s active) } --> (modify <g> ^s done))`,
+		`(p m (a ^v <x>) --> (make b ^v (compute <x> * 2 + 1)))`,
+		`(literalize a v w) (make a ^v 1) (p q (a ^v 1) --> (write hi (crlf) there))`,
+		`(p bad (a ^v`,
+		`)))((`,
+		`(p x (a ^v |quoted atom|) --> (halt))`,
+		`; comment only`,
+		`(make c ^attr -3.25)`,
+		``,
+		`(p p1 (c1 ^a1 <x> ^a2 > 12) -(c2 ^a1 15 ^a2 <> <x>) (c3 ^a <x>) --> (remove 1))`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		for _, p := range prog.Productions {
+			rendered := p.String()
+			back, err := ParseProduction(rendered)
+			if err != nil {
+				t.Fatalf("accepted production does not reparse: %v\nsource: %q\nrendered:\n%s",
+					err, src, rendered)
+			}
+			if got := back.String(); got != rendered {
+				t.Fatalf("round trip unstable:\n%s\n----\n%s", rendered, got)
+			}
+		}
+		for _, w := range prog.InitialWM {
+			_ = w.String()
+		}
+	})
+}
+
+// FuzzMatchCE checks the matcher primitives never panic on arbitrary
+// CE/WME combinations built from fuzzed atoms.
+func FuzzMatchCE(f *testing.F) {
+	f.Add("goal", "type", "find", "goal", "type", "find")
+	f.Add("a", "v", "1", "a", "v", "2")
+	f.Fuzz(func(t *testing.T, ceClass, ceAttr, ceVal, wClass, wAttr, wVal string) {
+		if strings.ContainsAny(ceClass+ceAttr+ceVal+wClass+wAttr+wVal, "(){}^;|") {
+			return
+		}
+		ce := &CondElement{Class: ceClass, Tests: []AttrTest{{
+			Attr:  ceAttr,
+			Terms: []Term{{Kind: TermConst, Pred: PredEq, Val: parseAtom(ceVal)}},
+		}}}
+		w := &WME{Class: wClass, Attrs: map[string]Value{wAttr: parseAtom(wVal)}}
+		_, _ = MatchCE(ce, w, nil)
+		_ = AlphaPass(ce, w)
+		_, _ = MatchCEDeferred(ce, w, Bindings{})
+	})
+}

@@ -1,0 +1,259 @@
+package ops5
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind discriminates lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace // {
+	tokRBrace // }
+	tokLDisj  // <<
+	tokRDisj  // >>
+	tokArrow  // -->
+	tokMinus  // - immediately before ( : negation
+	tokCaret  // ^
+	tokAtom   // symbol or number or predicate or <var>
+)
+
+// token is one lexical unit with its source line for error reporting.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokLBrace:
+		return "{"
+	case tokRBrace:
+		return "}"
+	case tokLDisj:
+		return "<<"
+	case tokRDisj:
+		return ">>"
+	case tokArrow:
+		return "-->"
+	case tokMinus:
+		return "-"
+	case tokCaret:
+		return "^"
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes OPS5 source. Comments run from ';' to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// isAtomChar reports whether c can be part of a bare atom. The quote
+// character '|' is excluded so bare atoms can never contain it (quoted
+// atoms have no escape syntax, so a '|' inside an atom could not be
+// re-rendered).
+func isAtomChar(c byte) bool {
+	switch c {
+	case '(', ')', '{', '}', '^', ';', '|', ' ', '\t', '\n', '\r', 0:
+		return false
+	}
+	return true
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, line: line}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, line: line}, nil
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, line: line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, line: line}, nil
+	case '^':
+		l.pos++
+		return token{kind: tokCaret, line: line}, nil
+	case '|': // |quoted atom|
+		end := strings.IndexByte(l.src[l.pos+1:], '|')
+		if end < 0 {
+			return token{}, fmt.Errorf("ops5: line %d: unterminated |atom|", line)
+		}
+		text := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tokAtom, text: text, line: line}, nil
+	}
+	// Multi-character punctuation: <<, >>, -->, - before '('.
+	rest := l.src[l.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<<"):
+		l.pos += 2
+		return token{kind: tokLDisj, line: line}, nil
+	case strings.HasPrefix(rest, ">>"):
+		l.pos += 2
+		return token{kind: tokRDisj, line: line}, nil
+	case strings.HasPrefix(rest, "-->") && !isAtomChar(byteAt(rest, 3)):
+		l.pos += 3
+		return token{kind: tokArrow, line: line}, nil
+	case c == '-' && nextNonSpaceIsParen(rest[1:]):
+		l.pos++
+		return token{kind: tokMinus, line: line}, nil
+	}
+	// Bare atom: read until delimiter.
+	start := l.pos
+	for l.pos < len(l.src) && isAtomChar(l.src[l.pos]) {
+		// Stop before << or >> embedded after an atom boundary.
+		if l.pos > start && (strings.HasPrefix(l.src[l.pos:], "<<") || strings.HasPrefix(l.src[l.pos:], ">>")) {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, fmt.Errorf("ops5: line %d: unexpected character %q", line, c)
+	}
+	return token{kind: tokAtom, text: l.src[start:l.pos], line: line}, nil
+}
+
+func byteAt(s string, i int) byte {
+	if i >= len(s) {
+		return 0
+	}
+	return s[i]
+}
+
+// nextNonSpaceIsParen reports whether, skipping blanks, the next
+// character opens a condition element ('(' or an element-binding '{')
+// — distinguishing the CE-negation minus from a negative number or a
+// symbol containing '-'.
+func nextNonSpaceIsParen(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '(', '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// parseAtom classifies a bare atom as a number or a symbol.
+func parseAtom(text string) Value {
+	if n, err := strconv.ParseFloat(text, 64); err == nil && looksNumeric(text) {
+		return Num(n)
+	}
+	return Sym(text)
+}
+
+// looksNumeric guards against ParseFloat accepting atoms like "Inf".
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i++
+	}
+	if i >= len(s) {
+		return false
+	}
+	return unicode.IsDigit(rune(s[i])) || (s[i] == '.' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1])))
+}
+
+// isVarAtom reports whether the atom is a variable of the form <name>,
+// and returns the bare name.
+func isVarAtom(text string) (string, bool) {
+	if len(text) >= 3 && text[0] == '<' && text[len(text)-1] == '>' {
+		inner := text[1 : len(text)-1]
+		// Exclude the predicates <>, <=, <=> which also start with '<'.
+		if inner != "" && inner != "=" && inner != "=>" && !strings.ContainsAny(inner, "<>") {
+			return inner, true
+		}
+	}
+	return "", false
+}
+
+// predFromAtom maps a predicate atom to its Predicate, if it is one.
+func predFromAtom(text string) (Predicate, bool) {
+	switch text {
+	case "=":
+		return PredEq, true
+	case "<>":
+		return PredNe, true
+	case "<":
+		return PredLt, true
+	case ">":
+		return PredGt, true
+	case "<=":
+		return PredLe, true
+	case ">=":
+		return PredGe, true
+	case "<=>":
+		return PredSameType, true
+	default:
+		return PredEq, false
+	}
+}

@@ -1,0 +1,270 @@
+package ops5
+
+// Bindings maps variable names to their bound values during a match.
+type Bindings map[string]Value
+
+// Clone returns an independent copy of the bindings.
+func (b Bindings) Clone() Bindings {
+	c := make(Bindings, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// MatchTerm evaluates one term against an attribute value under the given
+// bindings. When the term is an equality variable that is not yet bound,
+// it returns the new binding to record (bind != "").
+func MatchTerm(t Term, v Value, b Bindings) (ok bool, bindVar string, bindVal Value) {
+	switch t.Kind {
+	case TermConst:
+		return t.Pred.Compare(v, t.Val), "", Value{}
+	case TermDisj:
+		for _, d := range t.Disj {
+			if v.Equal(d) {
+				return true, "", Value{}
+			}
+		}
+		return false, "", Value{}
+	case TermVar:
+		bound, have := b[t.Var]
+		if !have {
+			if t.Pred == PredEq {
+				// First occurrence binds.
+				return true, t.Var, v
+			}
+			// A predicate test against an unbound variable cannot be
+			// evaluated; OPS5 requires the binding occurrence to come
+			// first lexically. Treat as failure.
+			return false, "", Value{}
+		}
+		return t.Pred.Compare(v, bound), "", Value{}
+	default: // TermAny
+		return true, "", Value{}
+	}
+}
+
+// MatchCE matches a WME against a condition element under existing
+// bindings. On success it returns the extended bindings (a fresh map when
+// new variables were bound; the original map is never mutated).
+func MatchCE(ce *CondElement, w *WME, b Bindings) (Bindings, bool) {
+	if ce.Class != w.Class {
+		return nil, false
+	}
+	cur := b
+	owned := false // whether cur is a private copy we may mutate
+	for _, at := range ce.Tests {
+		v := w.Get(at.Attr)
+		for _, t := range at.Terms {
+			ok, bindVar, bindVal := MatchTerm(t, v, cur)
+			if !ok {
+				return nil, false
+			}
+			if bindVar != "" {
+				if !owned {
+					cur = cur.Clone()
+					owned = true
+				}
+				cur[bindVar] = bindVal
+			}
+		}
+	}
+	if !owned && cur == nil {
+		cur = Bindings{}
+	}
+	return cur, true
+}
+
+// MatchCEDeferred matches a WME against a condition element like
+// MatchCE, except that predicate tests on variables not bound in b (and
+// not bound earlier within this CE) are deferred — they pass without
+// binding. This is the consistency test for *partial* combinations of
+// condition elements (the full-state matcher's subset lattice): within
+// a subset, a test whose variable binder lies outside the subset cannot
+// be evaluated yet. For complete tuples every binder is present, so the
+// deferred and strict semantics coincide.
+func MatchCEDeferred(ce *CondElement, w *WME, b Bindings) (Bindings, bool) {
+	if ce.Class != w.Class {
+		return nil, false
+	}
+	cur := b
+	owned := false
+	for _, at := range ce.Tests {
+		v := w.Get(at.Attr)
+		for _, t := range at.Terms {
+			if t.Kind == TermVar {
+				if _, have := cur[t.Var]; !have && t.Pred != PredEq {
+					continue // deferred: binder outside this subset
+				}
+			}
+			ok, bindVar, bindVal := MatchTerm(t, v, cur)
+			if !ok {
+				return nil, false
+			}
+			if bindVar != "" {
+				if !owned {
+					cur = cur.Clone()
+					owned = true
+				}
+				cur[bindVar] = bindVal
+			}
+		}
+	}
+	if !owned && cur == nil {
+		cur = Bindings{}
+	}
+	return cur, true
+}
+
+// MatchesAlone reports whether the WME passes the CE's class and
+// single-WME tests treating every variable as unbound: constants,
+// disjunctions, and within-CE variable consistency. Predicate tests on
+// unbound variables fail (OPS5 requires the binding occurrence first).
+func MatchesAlone(ce *CondElement, w *WME) bool {
+	_, ok := MatchCE(ce, w, nil)
+	return ok
+}
+
+// AlphaPass reports whether the WME passes the CE's alpha-level tests:
+// constants, disjunctions, and within-CE variable consistency. Tests
+// involving variables bound in *other* condition elements are deferred
+// to join time, so a predicate term whose variable is not bound inside
+// this CE passes here. AlphaPass therefore accepts a superset of the
+// WMEs that can match the CE under some outer bindings; it is the
+// alpha-memory membership test used by Rete and TREAT.
+func AlphaPass(ce *CondElement, w *WME) bool {
+	if ce.Class != w.Class {
+		return false
+	}
+	local := Bindings{}
+	for _, at := range ce.Tests {
+		v := w.Get(at.Attr)
+		for _, t := range at.Terms {
+			switch t.Kind {
+			case TermVar:
+				bound, have := local[t.Var]
+				switch {
+				case !have && t.Pred == PredEq:
+					local[t.Var] = v
+				case !have:
+					// Bound in another CE (or an OPS5 ordering error
+					// caught at compile time); defer to join.
+				default:
+					if !t.Pred.Compare(v, bound) {
+						return false
+					}
+				}
+			default:
+				ok, _, _ := MatchTerm(t, v, nil)
+				if !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Instantiation is a satisfied production: the rule plus the WMEs matched
+// by its positive condition elements, in LHS order. Negated CEs
+// contribute no WME. It also carries the consistent variable bindings so
+// the RHS can be evaluated.
+type Instantiation struct {
+	Production *Production
+	// WMEs holds one element per LHS condition element; entries for
+	// negated CEs are nil.
+	WMEs     []*WME
+	Bindings Bindings
+}
+
+// TimeTags returns the time tags of the matched (positive) WMEs in LHS
+// order. Used by conflict resolution and for canonical identity.
+func (in *Instantiation) TimeTags() []int {
+	tags := make([]int, 0, len(in.WMEs))
+	for _, w := range in.WMEs {
+		if w != nil {
+			tags = append(tags, w.TimeTag)
+		}
+	}
+	return tags
+}
+
+// Key returns a canonical identity string: production name plus the
+// positive-CE time tags in order. Two instantiations with equal keys are
+// the same instantiation.
+func (in *Instantiation) Key() string {
+	key := in.Production.Name
+	for _, w := range in.WMEs {
+		if w != nil {
+			key += "|" + itoa(w.TimeTag)
+		} else {
+			key += "|-"
+		}
+	}
+	return key
+}
+
+// itoa is a tiny positive-int formatter avoiding strconv import churn.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// SatisfyBruteForce computes every instantiation of production p against
+// the given working-memory elements by exhaustive search. It is the
+// semantic reference implementation all matchers are tested against, and
+// the inner loop of the non-state-saving matcher.
+func SatisfyBruteForce(p *Production, wm []*WME) []*Instantiation {
+	var out []*Instantiation
+	wmes := make([]*WME, len(p.LHS))
+	var rec func(ceIdx int, b Bindings)
+	rec = func(ceIdx int, b Bindings) {
+		if ceIdx == len(p.LHS) {
+			inst := &Instantiation{
+				Production: p,
+				WMEs:       append([]*WME(nil), wmes...),
+				Bindings:   b.Clone(),
+			}
+			out = append(out, inst)
+			return
+		}
+		ce := p.LHS[ceIdx]
+		if ce.Negated {
+			// Negated CE: succeed only if no WME matches under b.
+			for _, w := range wm {
+				if _, ok := MatchCE(ce, w, b); ok {
+					return
+				}
+			}
+			wmes[ceIdx] = nil
+			rec(ceIdx+1, b)
+			return
+		}
+		for _, w := range wm {
+			if nb, ok := MatchCE(ce, w, b); ok {
+				wmes[ceIdx] = w
+				rec(ceIdx+1, nb)
+				wmes[ceIdx] = nil
+			}
+		}
+	}
+	rec(0, Bindings{})
+	return out
+}

@@ -1,0 +1,242 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewWMEAndToValue(t *testing.T) {
+	w := NewWME("c", "s", "sym", "i", 7, "i64", int64(8), "f", 2.5, "v", Num(3), "n", nil)
+	if w.Get("s").Sym != "sym" || w.Get("i").Num != 7 || w.Get("i64").Num != 8 ||
+		w.Get("f").Num != 2.5 || w.Get("v").Num != 3 || !w.Get("n").Nil() {
+		t.Errorf("wme = %v", w)
+	}
+	// Unset attributes are nil.
+	if !w.Get("missing").Nil() {
+		t.Error("missing attribute should be nil")
+	}
+}
+
+func TestNewWMEPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("odd args", func() { NewWME("c", "a") })
+	assertPanics("non-string attr", func() { NewWME("c", 1, 2) })
+	assertPanics("bad value type", func() { NewWME("c", "a", struct{}{}) })
+}
+
+func TestWMEStringAndEqual(t *testing.T) {
+	w := NewWME("block", "color", "red", "id", 2)
+	w.TimeTag = 9
+	if got := w.String(); got != "9: (block ^color red ^id 2)" {
+		t.Errorf("String = %q", got)
+	}
+	same := NewWME("block", "id", 2, "color", "red")
+	if !w.Equal(same) {
+		t.Error("attribute order should not affect equality")
+	}
+	if w.Equal(NewWME("block", "color", "red")) {
+		t.Error("different attribute counts should differ")
+	}
+	if w.Equal(NewWME("brick", "color", "red", "id", 2)) {
+		t.Error("different classes should differ")
+	}
+	if w.Equal(NewWME("block", "color", "red", "id", 3)) {
+		t.Error("different values should differ")
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	w := NewWME("c", "v", 1)
+	w.TimeTag = 4
+	ins := Change{Kind: Insert, WME: w}
+	del := Change{Kind: Delete, WME: w}
+	if !strings.HasPrefix(ins.String(), "insert 4:") {
+		t.Errorf("insert = %q", ins.String())
+	}
+	if !strings.HasPrefix(del.String(), "delete 4:") {
+		t.Errorf("delete = %q", del.String())
+	}
+}
+
+func TestMatchTermVariants(t *testing.T) {
+	b := Bindings{"x": Num(5)}
+	// Disjunction hit and miss.
+	disj := Term{Kind: TermDisj, Disj: []Value{Num(1), Sym("a")}}
+	if ok, _, _ := MatchTerm(disj, Sym("a"), nil); !ok {
+		t.Error("disjunction should match a")
+	}
+	if ok, _, _ := MatchTerm(disj, Num(9), nil); ok {
+		t.Error("disjunction should not match 9")
+	}
+	// Bound variable equality and predicate.
+	eq := Term{Kind: TermVar, Pred: PredEq, Var: "x"}
+	if ok, _, _ := MatchTerm(eq, Num(5), b); !ok {
+		t.Error("bound equality should match")
+	}
+	gt := Term{Kind: TermVar, Pred: PredGt, Var: "x"}
+	if ok, _, _ := MatchTerm(gt, Num(9), b); !ok {
+		t.Error("9 > bound 5 should match")
+	}
+	// Predicate on unbound variable fails (strict semantics).
+	if ok, _, _ := MatchTerm(gt, Num(9), nil); ok {
+		t.Error("predicate on unbound variable must fail in MatchTerm")
+	}
+	// First equality occurrence binds.
+	ok, bindVar, bindVal := MatchTerm(Term{Kind: TermVar, Pred: PredEq, Var: "z"}, Sym("q"), b)
+	if !ok || bindVar != "z" || bindVal.Sym != "q" {
+		t.Errorf("binding occurrence: ok=%v var=%q val=%v", ok, bindVar, bindVal)
+	}
+	// TermAny matches anything.
+	if ok, _, _ := MatchTerm(Term{Kind: TermAny}, Value{}, nil); !ok {
+		t.Error("any-term should match nil")
+	}
+}
+
+func TestMatchesAloneAndTimeTags(t *testing.T) {
+	ce := &CondElement{Class: "c", Tests: []AttrTest{
+		{Attr: "a", Terms: []Term{{Kind: TermVar, Pred: PredEq, Var: "x"}}},
+		{Attr: "b", Terms: []Term{{Kind: TermVar, Pred: PredEq, Var: "x"}}},
+	}}
+	same := NewWME("c", "a", 3, "b", 3)
+	diff := NewWME("c", "a", 3, "b", 4)
+	if !MatchesAlone(ce, same) {
+		t.Error("within-CE variable consistency should hold for equal values")
+	}
+	if MatchesAlone(ce, diff) {
+		t.Error("within-CE variable consistency should fail for unequal values")
+	}
+
+	p := &Production{Name: "p", LHS: []*CondElement{{Class: "c"}, {Class: "d", Negated: true}}}
+	w := NewWME("c")
+	w.TimeTag = 11
+	in := &Instantiation{Production: p, WMEs: []*WME{w, nil}}
+	tags := in.TimeTags()
+	if len(tags) != 1 || tags[0] != 11 {
+		t.Errorf("time tags = %v", tags)
+	}
+	if !strings.Contains(in.Key(), "|11") || !strings.Contains(in.Key(), "|-") {
+		t.Errorf("key = %q", in.Key())
+	}
+}
+
+func TestCondElementConstTests(t *testing.T) {
+	ce := &CondElement{Class: "c", Tests: []AttrTest{
+		{Attr: "a", Terms: []Term{{Kind: TermConst, Val: Num(1)}}},
+		{Attr: "b", Terms: []Term{{Kind: TermVar, Pred: PredEq, Var: "x"}}},
+		{Attr: "d", Terms: []Term{
+			{Kind: TermDisj, Disj: []Value{Num(1), Num(2)}},
+			{Kind: TermVar, Pred: PredEq, Var: "y"},
+		}},
+	}}
+	ct := ce.ConstTests()
+	if len(ct) != 2 {
+		t.Fatalf("const tests = %v", ct)
+	}
+	if ct[0].Attr != "a" || ct[1].Attr != "d" || len(ct[1].Terms) != 1 {
+		t.Errorf("const tests = %v", ct)
+	}
+}
+
+func TestPredicateStringAll(t *testing.T) {
+	want := map[Predicate]string{
+		PredEq: "=", PredNe: "<>", PredLt: "<", PredGt: ">",
+		PredLe: "<=", PredGe: ">=", PredSameType: "<=>",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if !strings.Contains(Predicate(99).String(), "pred(") {
+		t.Error("unknown predicate should render diagnostically")
+	}
+}
+
+func TestTermStringVariants(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{Term{Kind: TermConst, Pred: PredEq, Val: Num(3)}, "3"},
+		{Term{Kind: TermConst, Pred: PredGt, Val: Num(3)}, "> 3"},
+		{Term{Kind: TermVar, Pred: PredEq, Var: "x"}, "<x>"},
+		{Term{Kind: TermVar, Pred: PredNe, Var: "x"}, "<> <x>"},
+		{Term{Kind: TermAny}, "<any>"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("%v = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestComputeOpStrings(t *testing.T) {
+	ops := map[ComputeOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "//", OpMod: "\\\\"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d = %q, want %q", op, op.String(), want)
+		}
+	}
+	if ComputeOp(99).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+}
+
+func TestValueStringQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":  "plain",
+		"has sp": "|has sp|",
+		"42":     "|42|",
+		"<x>":    "|<x>|",
+		"<>":     "|<>|",
+		"a<<b":   "|a<<b|",
+		"-->":    "|-->|",
+		"":       "||",
+	}
+	for in, want := range cases {
+		if got := Sym(in).String(); got != want {
+			t.Errorf("Sym(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+	if Num(2.5).String() != "2.5" {
+		t.Errorf("Num(2.5) = %q", Num(2.5).String())
+	}
+	if (Value{}).String() != "nil" {
+		t.Errorf("nil value = %q", (Value{}).String())
+	}
+}
+
+func TestBruteForceNegationOrdering(t *testing.T) {
+	// A negated CE between positives uses only earlier bindings.
+	p, err := ParseProduction(`
+(p x
+    (a ^v <x>)
+   -(b ^v <x>)
+    (c ^v <x>)
+  -->
+    (remove 1))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewWME("a", "v", 1)
+	a.TimeTag = 1
+	c := NewWME("c", "v", 1)
+	c.TimeTag = 2
+	b := NewWME("b", "v", 1)
+	b.TimeTag = 3
+	if got := len(SatisfyBruteForce(p, []*WME{a, c})); got != 1 {
+		t.Errorf("without blocker: %d instantiations, want 1", got)
+	}
+	if got := len(SatisfyBruteForce(p, []*WME{a, c, b})); got != 0 {
+		t.Errorf("with blocker: %d instantiations, want 0", got)
+	}
+}

@@ -1,0 +1,185 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSampleProduction(t *testing.T) {
+	// The paper's Figure 2-1 production, in canonical OPS5 syntax.
+	src := `
+(p find-colored-blk
+    (goal ^type find-blk ^color <c>)
+    (block ^id <i> ^color <c> ^selected no)
+  -->
+    (modify 2 ^selected yes))
+`
+	p, err := ParseProduction(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Name != "find-colored-blk" {
+		t.Errorf("name = %q, want find-colored-blk", p.Name)
+	}
+	if len(p.LHS) != 2 {
+		t.Fatalf("len(LHS) = %d, want 2", len(p.LHS))
+	}
+	if p.LHS[0].Class != "goal" || p.LHS[1].Class != "block" {
+		t.Errorf("classes = %s, %s", p.LHS[0].Class, p.LHS[1].Class)
+	}
+	if len(p.LHS[1].Tests) != 3 {
+		t.Fatalf("block CE has %d tests, want 3", len(p.LHS[1].Tests))
+	}
+	sel := p.LHS[1].Tests[2]
+	if sel.Attr != "selected" || sel.Terms[0].Kind != TermConst || sel.Terms[0].Val.Sym != "no" {
+		t.Errorf("selected test = %+v", sel)
+	}
+	if len(p.RHS) != 1 || p.RHS[0].Kind != ActModify || p.RHS[0].CE != 2 {
+		t.Errorf("RHS = %v", p.RHS)
+	}
+}
+
+func TestParseNegatedAndPredicates(t *testing.T) {
+	src := `
+(p pp
+    (c1 ^attr1 <x> ^attr2 > 12)
+   -(c2 ^attr1 15 ^attr2 <> <x>)
+    (c3 ^attr <x> ^size { > 2 <= 10 } ^kind << red green blue >>)
+  -->
+    (remove 1))
+`
+	p, err := ParseProduction(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !p.LHS[1].Negated {
+		t.Error("CE 2 should be negated")
+	}
+	if p.LHS[0].Negated || p.LHS[2].Negated {
+		t.Error("CEs 1 and 3 should not be negated")
+	}
+	gt := p.LHS[0].Tests[1].Terms[0]
+	if gt.Kind != TermConst || gt.Pred != PredGt || gt.Val.Num != 12 {
+		t.Errorf("attr2 term = %+v", gt)
+	}
+	ne := p.LHS[1].Tests[1].Terms[0]
+	if ne.Kind != TermVar || ne.Pred != PredNe || ne.Var != "x" {
+		t.Errorf("negated CE attr2 term = %+v", ne)
+	}
+	conj := p.LHS[2].Tests[1]
+	if len(conj.Terms) != 2 || conj.Terms[0].Pred != PredGt || conj.Terms[1].Pred != PredLe {
+		t.Errorf("conjunction = %+v", conj)
+	}
+	disj := p.LHS[2].Tests[2].Terms[0]
+	if disj.Kind != TermDisj || len(disj.Disj) != 3 {
+		t.Errorf("disjunction = %+v", disj)
+	}
+}
+
+func TestParseTopLevelMake(t *testing.T) {
+	src := `
+(make goal ^type find-blk ^color red)
+(p noop (goal ^type find-blk) --> (halt))
+(make block ^id 1 ^color red ^selected no)
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Productions) != 1 || len(prog.InitialWM) != 2 {
+		t.Fatalf("got %d productions, %d initial WMEs", len(prog.Productions), len(prog.InitialWM))
+	}
+	if prog.InitialWM[1].Get("id").Num != 1 {
+		t.Errorf("block id = %v", prog.InitialWM[1].Get("id"))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+; a full-line comment
+(p c (a ^v 1) --> (halt)) ; trailing comment
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse with comments: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-positive-ce", `(p x -(a ^v 1) --> (halt))`, "no positive condition"},
+		{"empty-lhs", `(p x --> (halt))`, "empty left-hand side"},
+		{"bad-action", `(p x (a) --> (frobnicate))`, "unknown action"},
+		{"unbound-rhs-var", `(p x (a ^v 1) --> (make b ^v <z>))`, "unbound variable"},
+		{"modify-negated", `(p x (a ^v 1) -(b ^v 2) --> (modify 2 ^v 3))`, "negated CE"},
+		{"modify-out-of-range", `(p x (a ^v 1) --> (remove 4))`, "references CE 4"},
+		{"var-in-disj", `(p x (a ^v << <y> 2 >>) --> (halt))`, "not allowed inside"},
+		{"empty-disj", `(p x (a ^v << >>) --> (halt))`, "empty disjunction"},
+		{"empty-conj", `(p x (a ^v { }) --> (halt))`, "empty conjunction"},
+		{"unterminated", `(p x (a ^v 1) --> (halt)`, "expected"},
+		{"top-level-junk", `42`, "expected '('"},
+		{"make-var", `(make a ^v <x>)`, "may not contain variables"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestProductionRoundTrip(t *testing.T) {
+	src := `
+(p rt
+    (c1 ^a <x> ^b { > 3 <> 7 })
+   -(c2 ^a <x> ^k << p q >>)
+  -->
+    (make c3 ^a <x>)
+    (write done <x>)
+    (bind <y> 9)
+    (remove 1))
+`
+	p1, err := ParseProduction(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p2, err := ParseProduction(p1.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p1.String(), err)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip mismatch:\n%s\n---\n%s", p1, p2)
+	}
+}
+
+func TestLexQuotedAtom(t *testing.T) {
+	src := `(p q (a ^v |hello world|) --> (halt))`
+	p, err := ParseProduction(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := p.LHS[0].Tests[0].Terms[0].Val.Sym; got != "hello world" {
+		t.Errorf("quoted atom = %q", got)
+	}
+}
+
+func TestNumbersAndSymbols(t *testing.T) {
+	if v := parseAtom("-3.5"); v.Kind != NumValue || v.Num != -3.5 {
+		t.Errorf("-3.5 parsed as %v", v)
+	}
+	if v := parseAtom("+7"); v.Kind != NumValue || v.Num != 7 {
+		t.Errorf("+7 parsed as %v", v)
+	}
+	if v := parseAtom("Inf"); v.Kind != SymValue {
+		t.Errorf("Inf should be a symbol, got %v", v)
+	}
+	if v := parseAtom("a-b-17"); v.Kind != SymValue || v.Sym != "a-b-17" {
+		t.Errorf("a-b-17 parsed as %v", v)
+	}
+}

@@ -1,0 +1,212 @@
+// Package ops5 implements the OPS5 production-system language substrate:
+// values, working-memory elements, condition elements, productions, a
+// lexer/parser for the classic parenthesized syntax, and the basic
+// matching semantics shared by every matcher in this repository.
+//
+// The dialect implemented here follows Forgy's OPS5 as described in the
+// paper (Gupta, Forgy, Newell, Wedig, ISCA 1986) and in Brownston et al.,
+// "Programming Expert Systems in OPS5": productions are
+//
+//	(p name
+//	    (class ^attr value ^attr <var> ...)
+//	   -(class ^attr <> 7)            ; negated condition element
+//	  -->
+//	    (make class ^attr <var>)
+//	    (modify 2 ^attr value)
+//	    (remove 1))
+//
+// Attribute tests support constants, variables, the predicates
+// <>, <, >, <=, >=, =, disjunctions << a b c >> and conjunctions { ... }.
+package ops5
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates the kinds of atomic OPS5 values.
+type ValueKind uint8
+
+// The kinds of atomic values that may appear in working memory.
+const (
+	// NilValue is the value of an attribute that was never set.
+	NilValue ValueKind = iota
+	// SymValue is a symbolic atom such as yes, goal or block-17.
+	SymValue
+	// NumValue is a numeric atom. OPS5 numbers are represented as
+	// float64; integer literals round-trip exactly.
+	NumValue
+)
+
+// Value is an atomic OPS5 value: nil, a symbol, or a number.
+// The zero Value is the nil value.
+type Value struct {
+	Kind ValueKind
+	Sym  string
+	Num  float64
+}
+
+// Sym returns a symbolic value.
+func Sym(s string) Value { return Value{Kind: SymValue, Sym: s} }
+
+// Num returns a numeric value.
+func Num(n float64) Value { return Value{Kind: NumValue, Num: n} }
+
+// Nil reports whether v is the nil (unset) value.
+func (v Value) Nil() bool { return v.Kind == NilValue }
+
+// Equal reports whether two values are identical atoms.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case SymValue:
+		return v.Sym == o.Sym
+	case NumValue:
+		return v.Num == o.Num
+	default:
+		return true
+	}
+}
+
+// Less reports whether v orders before o. Numbers order numerically;
+// symbols order lexically; numbers order before symbols; nil orders first.
+// OPS5 predicates < > <= >= are only meaningful on numbers, but a total
+// order is useful for deterministic output.
+func (v Value) Less(o Value) bool {
+	if v.Kind != o.Kind {
+		return v.Kind < o.Kind
+	}
+	switch v.Kind {
+	case SymValue:
+		return v.Sym < o.Sym
+	case NumValue:
+		return v.Num < o.Num
+	default:
+		return false
+	}
+}
+
+// String renders the value in OPS5 surface syntax. Symbols that would
+// not survive re-lexing as a bare atom (spaces, delimiters, digits-only
+// spellings, variable or predicate look-alikes) are |quoted|.
+func (v Value) String() string {
+	switch v.Kind {
+	case SymValue:
+		if symNeedsQuote(v.Sym) {
+			return "|" + v.Sym + "|"
+		}
+		return v.Sym
+	case NumValue:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return "nil"
+	}
+}
+
+// atomString renders any identifier that lexes as an atom (class
+// names, attribute names, production names), quoting when necessary.
+func atomString(s string) string {
+	if symNeedsQuote(s) {
+		return "|" + s + "|"
+	}
+	return s
+}
+
+// symNeedsQuote reports whether a symbol must be |quoted| to round-trip
+// through the lexer as the same symbolic atom.
+func symNeedsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '(', ')', '{', '}', '^', ';', '|', ' ', '\t', '\n', '\r':
+			return true
+		}
+		if c < 0x20 || c == 0x7f {
+			return true // control characters only survive quoted
+		}
+	}
+	if looksNumeric(s) {
+		return true // would re-lex as a number
+	}
+	if _, isVar := isVarAtom(s); isVar {
+		return true // would re-lex as a variable
+	}
+	if _, isPred := predFromAtom(s); isPred {
+		return true // would re-lex as a predicate
+	}
+	if strings.Contains(s, "<<") || strings.Contains(s, ">>") || s == "-->" {
+		return true // the lexer splits bare atoms at << and >>
+	}
+	return false
+}
+
+// Predicate is a comparison operator usable in a condition-element test.
+type Predicate uint8
+
+// The OPS5 test predicates.
+const (
+	PredEq       Predicate = iota // equality (the default when no operator given)
+	PredNe                        // <>
+	PredLt                        // <
+	PredGt                        // >
+	PredLe                        // <=
+	PredGe                        // >=
+	PredSameType                  // <=> : same type (both numbers or both symbols)
+)
+
+// String renders the predicate in OPS5 surface syntax.
+func (p Predicate) String() string {
+	switch p {
+	case PredEq:
+		return "="
+	case PredNe:
+		return "<>"
+	case PredLt:
+		return "<"
+	case PredGt:
+		return ">"
+	case PredLe:
+		return "<="
+	case PredGe:
+		return ">="
+	case PredSameType:
+		return "<=>"
+	default:
+		return fmt.Sprintf("pred(%d)", uint8(p))
+	}
+}
+
+// Compare applies predicate p to (a, b), i.e. evaluates "a p b".
+// Ordering predicates on mixed or symbolic operands are false, matching
+// OPS5's behaviour of failing ordering tests on non-numbers.
+func (p Predicate) Compare(a, b Value) bool {
+	switch p {
+	case PredEq:
+		return a.Equal(b)
+	case PredNe:
+		return !a.Equal(b)
+	case PredSameType:
+		return a.Kind == b.Kind
+	}
+	if a.Kind != NumValue || b.Kind != NumValue {
+		return false
+	}
+	switch p {
+	case PredLt:
+		return a.Num < b.Num
+	case PredGt:
+		return a.Num > b.Num
+	case PredLe:
+		return a.Num <= b.Num
+	case PredGe:
+		return a.Num >= b.Num
+	default:
+		return false
+	}
+}

@@ -1,0 +1,126 @@
+package ops5
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WME is a working-memory element: a class name plus attribute-value
+// pairs, identified by a unique, monotonically increasing time tag.
+// WMEs are immutable once created; "modify" is remove-then-make.
+type WME struct {
+	// TimeTag is the element's unique recency stamp. Higher is younger.
+	TimeTag int
+	// Class is the element's class symbol (the first atom of the list).
+	Class string
+	// Attrs maps attribute names to values. Absent attributes are nil.
+	Attrs map[string]Value
+}
+
+// NewWME builds a WME from a class and attribute/value pairs. The time
+// tag is zero; working memory assigns the real tag on insertion.
+func NewWME(class string, pairs ...any) *WME {
+	if len(pairs)%2 != 0 {
+		panic("ops5.NewWME: odd number of attribute/value arguments")
+	}
+	w := &WME{Class: class, Attrs: make(map[string]Value, len(pairs)/2)}
+	for i := 0; i < len(pairs); i += 2 {
+		attr, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("ops5.NewWME: attribute %v is not a string", pairs[i]))
+		}
+		w.Attrs[attr] = toValue(pairs[i+1])
+	}
+	return w
+}
+
+// toValue converts a native Go value into an OPS5 Value.
+func toValue(x any) Value {
+	switch v := x.(type) {
+	case Value:
+		return v
+	case string:
+		return Sym(v)
+	case int:
+		return Num(float64(v))
+	case int64:
+		return Num(float64(v))
+	case float64:
+		return Num(v)
+	case nil:
+		return Value{}
+	default:
+		panic(fmt.Sprintf("ops5: cannot convert %T to Value", x))
+	}
+}
+
+// Get returns the value of attribute attr, or the nil value if unset.
+func (w *WME) Get(attr string) Value { return w.Attrs[attr] }
+
+// Clone returns a deep copy of the WME (sharing no attribute map).
+func (w *WME) Clone() *WME {
+	c := &WME{TimeTag: w.TimeTag, Class: w.Class, Attrs: make(map[string]Value, len(w.Attrs))}
+	for k, v := range w.Attrs {
+		c.Attrs[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two WMEs have the same class and attributes,
+// ignoring time tags.
+func (w *WME) Equal(o *WME) bool {
+	if w.Class != o.Class || len(w.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for k, v := range w.Attrs {
+		if !o.Attrs[k].Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the WME in OPS5 surface syntax with its time tag.
+func (w *WME) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d: (%s", w.TimeTag, w.Class)
+	attrs := make([]string, 0, len(w.Attrs))
+	for k := range w.Attrs {
+		attrs = append(attrs, k)
+	}
+	sort.Strings(attrs)
+	for _, k := range attrs {
+		fmt.Fprintf(&b, " ^%s %s", k, w.Attrs[k])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ChangeKind tags a working-memory change as an insertion or a deletion.
+type ChangeKind uint8
+
+// The two kinds of working-memory change.
+const (
+	Insert ChangeKind = iota
+	Delete
+)
+
+// String renders the change kind.
+func (k ChangeKind) String() string {
+	if k == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Change is one working-memory change: the unit processed by every
+// matcher. A "modify" action is decomposed into a Delete followed by an
+// Insert of a fresh element.
+type Change struct {
+	Kind ChangeKind
+	WME  *WME
+}
+
+// String renders the change.
+func (c Change) String() string { return c.Kind.String() + " " + c.WME.String() }

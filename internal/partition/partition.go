@@ -1,0 +1,150 @@
+// Package partition implements static Rete-node-to-processor
+// partitioning for non-shared-memory machines — the problem §5 of the
+// paper cites as NP-complete in general (Oflazer's thesis) and as the
+// reason to prefer a shared-memory architecture, where "all processors
+// are capable of processing all node activations, and it is possible
+// to assign processors to node activations at run-time".
+//
+// The partitioner here is the classic longest-processing-time (LPT)
+// greedy heuristic with a swap-based local-search refinement, fed by
+// per-node aggregate costs measured from an actual activation trace —
+// an *oracle* workload estimate a real compile-time partitioner could
+// never have. Even so, experiment E15 shows static partitioning loses
+// badly to dynamic scheduling, because aggregate balance is not
+// temporal balance: the nodes active within one recognize-act cycle
+// cluster on few processors.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// NodeCosts sums task costs per network node over a trace — the
+// per-node workload an oracle partitioner would balance.
+func NodeCosts(tr *trace.Trace) map[int]float64 {
+	costs := make(map[int]float64)
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		costs[t.NodeID] += t.Cost
+	}
+	return costs
+}
+
+// LPT assigns nodes to processors by the longest-processing-time
+// heuristic: nodes in decreasing cost order, each to the currently
+// least-loaded processor. Guarantees load within 4/3 of optimal for
+// the aggregate (but see the temporal-imbalance caveat above).
+func LPT(nodeCost map[int]float64, procs int) map[int]int {
+	if procs < 1 {
+		procs = 1
+	}
+	type node struct {
+		id   int
+		cost float64
+	}
+	nodes := make([]node, 0, len(nodeCost))
+	for id, c := range nodeCost {
+		nodes = append(nodes, node{id, c})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].cost != nodes[j].cost {
+			return nodes[i].cost > nodes[j].cost
+		}
+		return nodes[i].id < nodes[j].id
+	})
+	load := make([]float64, procs)
+	assign := make(map[int]int, len(nodes))
+	for _, n := range nodes {
+		best := 0
+		for p := 1; p < procs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		assign[n.id] = best
+		load[best] += n.cost
+	}
+	return assign
+}
+
+// Refine improves an assignment by hill-climbing single-node moves:
+// repeatedly move a node from the most-loaded processor to the
+// least-loaded one when that lowers the maximum load. rounds bounds
+// the number of moves.
+func Refine(assign map[int]int, nodeCost map[int]float64, procs, rounds int) map[int]int {
+	out := make(map[int]int, len(assign))
+	for k, v := range assign {
+		out[k] = v
+	}
+	for r := 0; r < rounds; r++ {
+		load := Loads(out, nodeCost, procs)
+		hi, lo := 0, 0
+		for p := 1; p < procs; p++ {
+			if load[p] > load[hi] {
+				hi = p
+			}
+			if load[p] < load[lo] {
+				lo = p
+			}
+		}
+		// Find the node on hi whose move best reduces the max load.
+		bestNode, bestGain := -1, 0.0
+		for id, p := range out {
+			if p != hi {
+				continue
+			}
+			c := nodeCost[id]
+			if c <= 0 {
+				continue
+			}
+			newHi := load[hi] - c
+			newLo := load[lo] + c
+			gain := load[hi] - max2(newHi, newLo)
+			if gain > bestGain {
+				bestGain = gain
+				bestNode = id
+			}
+		}
+		if bestNode < 0 {
+			return out
+		}
+		out[bestNode] = lo
+	}
+	return out
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Loads returns per-processor aggregate load under an assignment.
+func Loads(assign map[int]int, nodeCost map[int]float64, procs int) []float64 {
+	load := make([]float64, procs)
+	for id, p := range assign {
+		if p >= 0 && p < procs {
+			load[p] += nodeCost[id]
+		}
+	}
+	return load
+}
+
+// Imbalance returns max/mean processor load (1.0 = perfectly balanced).
+func Imbalance(assign map[int]int, nodeCost map[int]float64, procs int) float64 {
+	load := Loads(assign, nodeCost, procs)
+	var sum, maxL float64
+	for _, l := range load {
+		sum += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return maxL / (sum / float64(procs))
+}

@@ -1,0 +1,87 @@
+package partition_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+	"repro/internal/psm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestLPTBalances(t *testing.T) {
+	costs := map[int]float64{1: 10, 2: 10, 3: 10, 4: 10, 5: 20, 6: 20}
+	assign := partition.LPT(costs, 4)
+	if got := partition.Imbalance(assign, costs, 4); got > 1.1 {
+		t.Errorf("imbalance = %.2f, want near 1 for this easy instance", got)
+	}
+	// All nodes assigned to valid processors.
+	for id, p := range assign {
+		if p < 0 || p >= 4 {
+			t.Errorf("node %d on processor %d", id, p)
+		}
+	}
+}
+
+func TestRefineNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		costs := map[int]float64{}
+		s := seed
+		for i := 0; i < 20; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			c := float64((s>>33)%97) + 1
+			costs[i] = c
+		}
+		// A deliberately bad assignment: everything on processor 0.
+		bad := map[int]int{}
+		for id := range costs {
+			bad[id] = 0
+		}
+		before := partition.Imbalance(bad, costs, 4)
+		after := partition.Imbalance(partition.Refine(bad, costs, 4, 100), costs, 4)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeCosts(t *testing.T) {
+	tr := &trace.Trace{Tasks: []trace.Task{
+		{NodeID: 1, Cost: 10}, {NodeID: 1, Cost: 5}, {NodeID: 2, Cost: 7},
+	}}
+	costs := partition.NodeCosts(tr)
+	if costs[1] != 15 || costs[2] != 7 {
+		t.Errorf("costs = %v", costs)
+	}
+}
+
+func TestStaticPartitionLosesToDynamic(t *testing.T) {
+	// The §5 claim: even an oracle static partition (built from the
+	// very trace it will run) loses to dynamic shared-memory
+	// scheduling, because aggregate balance is not temporal balance.
+	p, _ := workload.SystemByName("r1-soar")
+	p.Cycles = 60
+	tr := workload.Generate(p)
+
+	costs := partition.NodeCosts(tr)
+	assign := partition.Refine(partition.LPT(costs, 32), costs, 32, 200)
+	if im := partition.Imbalance(assign, costs, 32); im > 1.3 {
+		t.Fatalf("oracle aggregate imbalance = %.2f; LPT should balance aggregates well", im)
+	}
+
+	dynamic := psm.Simulate(tr, psm.DefaultConfig(32))
+	static := psm.DefaultConfig(32)
+	static.NodeAssignment = assign
+	pinned := psm.Simulate(tr, static)
+
+	if pinned.TrueSpeedup >= dynamic.TrueSpeedup {
+		t.Errorf("static (%.2f) should lose to dynamic (%.2f)",
+			pinned.TrueSpeedup, dynamic.TrueSpeedup)
+	}
+	if pinned.TrueSpeedup > dynamic.TrueSpeedup*0.8 {
+		t.Errorf("static (%.2f) should lose clearly, dynamic %.2f",
+			pinned.TrueSpeedup, dynamic.TrueSpeedup)
+	}
+}

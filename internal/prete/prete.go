@@ -1,0 +1,520 @@
+// Package prete implements the paper's core contribution: the parallel
+// Rete algorithm of §4-5, exploiting parallelism at the granularity of
+// individual node activations.
+//
+// Design (following Gupta's parallel Rete):
+//
+//   - The unit of work is one node activation: a (two-input node, token
+//     or WME, side, direction) tuple, typically 50-100 machine
+//     instructions of work (§4).
+//   - Memory nodes are merged into the two-input nodes: each node owns
+//     its own left (token) and right (WME) memory, so one lock per node
+//     makes the update-memory-and-scan-opposite-memory step atomic.
+//     This is exactly the structure the paper's hardware task scheduler
+//     assumes ("multiple node activations assigned to be processed in
+//     parallel cannot interfere with each other", §5). The cost is some
+//     duplication of memory between nodes — part of the paper's "loss
+//     of sharing" factor.
+//   - Multiple activations of different nodes, multiple activations of
+//     the same memory contents via distinct nodes, and multiple working
+//     memory changes are all processed in parallel (§4, the two
+//     relaxations over naive node parallelism).
+//   - Within one Apply batch, activations may arrive at a node out of
+//     order (a token's deletion may be processed before its insertion
+//     reaches a downstream node). Memories therefore use counted
+//     multiset semantics: an early delete records a pending cancel that
+//     annihilates the late insert, and neither is propagated. The
+//     conflict set is likewise updated with counted deltas and flushed
+//     at the end of the batch — the batch boundary is the paper's
+//     synchronization step between recognize-act phases.
+package prete
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ops5"
+	"repro/internal/rete"
+)
+
+// side distinguishes the two inputs of a two-input node.
+type side uint8
+
+const (
+	leftSide side = iota
+	rightSide
+)
+
+// task is one node activation.
+type task struct {
+	node *pnode
+	side side
+	dir  ops5.ChangeKind
+	tok  *rete.Token // left activations
+	wme  *ops5.WME   // right activations
+}
+
+// tokenEntry is a counted multiset entry for a token. For not-nodes,
+// matches tracks the number of matching right WMEs.
+type tokenEntry struct {
+	tok     *rete.Token
+	count   int
+	matches int
+}
+
+// tokenSet is a counted token multiset keyed by the WME time-tag list.
+type tokenSet map[string]*tokenEntry
+
+// wmeEntry is a counted multiset entry for a right-memory WME.
+type wmeEntry struct {
+	wme   *ops5.WME
+	count int
+}
+
+// pnode mirrors one rete two-input node, owning private copies of its
+// left and right memories guarded by a single mutex.
+type pnode struct {
+	id    int
+	kind  rete.JoinKind
+	tests func(*rete.Token, *ops5.WME) bool
+
+	mu    sync.Mutex
+	left  tokenSet
+	right map[int]*wmeEntry // by time tag
+
+	// downstream nodes receive this node's output tokens on their left
+	// input; terminals announce conflict-set deltas.
+	downstream []*pnode
+	terminals  []*rete.Terminal
+}
+
+func tokenKey(t *rete.Token) string {
+	parts := make([]string, len(t.WMEs))
+	for i, w := range t.WMEs {
+		parts[i] = fmt.Sprint(w.TimeTag)
+	}
+	return strings.Join(parts, ",")
+}
+
+// match applies the node's compiled join tests.
+func (n *pnode) match(tok *rete.Token, w *ops5.WME) bool {
+	return n.tests(tok, w)
+}
+
+// Stats reports work done by the parallel matcher.
+type Stats struct {
+	// Tasks counts node activations executed.
+	Tasks int64
+	// Cancellations counts out-of-order insert/delete annihilations.
+	Cancellations int64
+	// Batches counts Apply calls.
+	Batches int
+}
+
+// Matcher is the parallel Rete matcher. It satisfies engine.Matcher.
+type Matcher struct {
+	net     *rete.Network
+	nodes   map[*rete.JoinNode]*pnode
+	roots   map[*rete.AlphaMem][]*pnode // alpha memory -> right-input nodes
+	workers int
+
+	// OnInsert and OnRemove receive conflict-set deltas at the end of
+	// each Apply batch, on the calling goroutine.
+	OnInsert func(*ops5.Instantiation)
+	OnRemove func(*ops5.Instantiation)
+
+	mu sync.Mutex // guards the delta buffer
+	// tasks and cancellations are atomic counters (hot path).
+	tasks         atomic.Int64
+	cancellations atomic.Int64
+	batches       int
+	// deltas accumulates net conflict-set changes within a batch.
+	deltas map[string]*delta
+}
+
+type delta struct {
+	inst *ops5.Instantiation
+	n    int
+}
+
+// New compiles the productions and builds the parallel node graph.
+// workers <= 0 selects GOMAXPROCS workers.
+func New(prods []*ops5.Production, workers int) (*Matcher, error) {
+	net, err := rete.Compile(prods)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &Matcher{
+		net:     net,
+		nodes:   make(map[*rete.JoinNode]*pnode),
+		roots:   make(map[*rete.AlphaMem][]*pnode),
+		workers: workers,
+		deltas:  make(map[string]*delta),
+	}
+	for _, j := range net.Joins() {
+		m.nodes[j] = &pnode{
+			id:    j.ID,
+			kind:  j.Kind,
+			tests: rete.CompileJoinTests(j.Tests),
+			left:  tokenSet{},
+			right: map[int]*wmeEntry{},
+		}
+	}
+	for _, j := range net.Joins() {
+		pn := m.nodes[j]
+		for _, dj := range j.Out.Joins {
+			pn.downstream = append(pn.downstream, m.nodes[dj])
+		}
+		pn.terminals = j.Out.Terminals
+	}
+	// Prime nodes fed by the dummy top with the empty token.
+	for _, j := range net.DummyTop().Joins {
+		pn := m.nodes[j]
+		empty := &rete.Token{}
+		pn.left[tokenKey(empty)] = &tokenEntry{tok: empty, count: 1}
+		if j.Kind == rete.JoinNegative {
+			// matches is computed lazily against an initially empty
+			// right memory: zero.
+		}
+	}
+	for _, am := range net.Alphas() {
+		for _, j := range am.Succs {
+			m.roots[am] = append(m.roots[am], m.nodes[j])
+		}
+	}
+	return m, nil
+}
+
+// Network exposes the underlying compiled network (for statistics).
+func (m *Matcher) Network() *rete.Network { return m.net }
+
+// Stats returns a snapshot of the work counters.
+func (m *Matcher) Stats() Stats {
+	return Stats{
+		Tasks:         m.tasks.Load(),
+		Cancellations: m.cancellations.Load(),
+		Batches:       m.batches,
+	}
+}
+
+// queue is an unbounded work queue with completion tracking.
+type queue struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	items       []task
+	outstanding int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(t task) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.outstanding++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a task is available or all work is finished.
+func (q *queue) pop() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && q.outstanding > 0 {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return task{}, false
+	}
+	t := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return t, true
+}
+
+// done marks one popped task complete.
+func (q *queue) done() {
+	q.mu.Lock()
+	q.outstanding--
+	finished := q.outstanding == 0
+	q.mu.Unlock()
+	if finished {
+		q.cond.Broadcast()
+	}
+}
+
+// Apply processes a batch of WM changes in parallel and flushes the net
+// conflict-set deltas through OnInsert/OnRemove before returning.
+func (m *Matcher) Apply(changes []ops5.Change) {
+	q := newQueue()
+	// Dispatch every change through the (read-only) constant-test
+	// network; each alpha hit becomes one right activation per
+	// successor node. All changes are injected up front: the paper's
+	// "multiple changes to working memory are processed in parallel".
+	for _, ch := range changes {
+		mems, _ := m.net.MatchAlphas(ch.WME)
+		for _, am := range mems {
+			for _, pn := range m.roots[am] {
+				q.push(task{node: pn, side: rightSide, dir: ch.Kind, wme: ch.WME})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < m.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := q.pop()
+				if !ok {
+					return
+				}
+				m.run(t, q)
+				q.done()
+			}
+		}()
+	}
+	wg.Wait()
+	m.flush()
+	m.batches++
+}
+
+// run executes one node activation, pushing downstream activations.
+func (m *Matcher) run(t task, q *queue) {
+	m.tasks.Add(1)
+
+	type emit struct {
+		tok *rete.Token
+		dir ops5.ChangeKind
+	}
+	var emits []emit
+
+	n := t.node
+	n.mu.Lock()
+	switch {
+	case t.side == rightSide && n.kind == rete.JoinPositive:
+		if cancelled := n.updateRight(t); cancelled {
+			m.cancelled()
+			break
+		}
+		for _, e := range n.left {
+			if e.count <= 0 {
+				continue
+			}
+			if n.match(e.tok, t.wme) {
+				emits = append(emits, emit{tok: e.tok.Extend(t.wme), dir: t.dir})
+			}
+		}
+	case t.side == rightSide && n.kind == rete.JoinNegative:
+		if cancelled := n.updateRight(t); cancelled {
+			m.cancelled()
+			break
+		}
+		for _, e := range n.left {
+			if e.count <= 0 || !n.match(e.tok, t.wme) {
+				continue
+			}
+			switch t.dir {
+			case ops5.Insert:
+				e.matches++
+				if e.matches == 1 {
+					emits = append(emits, emit{tok: e.tok, dir: ops5.Delete})
+				}
+			case ops5.Delete:
+				e.matches--
+				if e.matches == 0 {
+					emits = append(emits, emit{tok: e.tok, dir: ops5.Insert})
+				}
+			}
+		}
+	case t.side == leftSide && n.kind == rete.JoinPositive:
+		if cancelled := n.updateLeft(t); cancelled {
+			m.cancelled()
+			break
+		}
+		for _, e := range n.right {
+			if e.count <= 0 {
+				continue
+			}
+			if n.match(t.tok, e.wme) {
+				emits = append(emits, emit{tok: t.tok.Extend(e.wme), dir: t.dir})
+			}
+		}
+	case t.side == leftSide && n.kind == rete.JoinNegative:
+		switch t.dir {
+		case ops5.Insert:
+			key := tokenKey(t.tok)
+			e := n.left[key]
+			if e == nil {
+				e = &tokenEntry{tok: t.tok}
+				n.left[key] = e
+			}
+			e.count++
+			if e.count == 0 {
+				delete(n.left, key)
+			}
+			if e.count <= 0 {
+				m.cancelled()
+				break // annihilated by an earlier delete
+			}
+			matches := 0
+			for _, re := range n.right {
+				if re.count > 0 && n.match(t.tok, re.wme) {
+					matches += re.count
+				}
+			}
+			e.matches = matches
+			if matches == 0 {
+				emits = append(emits, emit{tok: t.tok, dir: ops5.Insert})
+			}
+		case ops5.Delete:
+			key := tokenKey(t.tok)
+			e := n.left[key]
+			if e == nil {
+				e = &tokenEntry{tok: t.tok}
+				n.left[key] = e
+			}
+			hadMatches := e.matches
+			present := e.count > 0
+			e.count--
+			if e.count == 0 {
+				delete(n.left, key)
+			}
+			if !present {
+				m.cancelled()
+				break // delete arrived before insert; both annihilate
+			}
+			if hadMatches == 0 {
+				emits = append(emits, emit{tok: t.tok, dir: ops5.Delete})
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	for _, e := range emits {
+		for _, dn := range n.downstream {
+			q.push(task{node: dn, side: leftSide, dir: e.dir, tok: e.tok})
+		}
+		for _, term := range n.terminals {
+			m.conflictDelta(term, e.tok, e.dir)
+		}
+	}
+}
+
+// updateRight applies a counted right-memory update, reporting whether
+// the operation was annihilated by an earlier opposite operation.
+func (n *pnode) updateRight(t task) (cancelled bool) {
+	e := n.right[t.wme.TimeTag]
+	if e == nil {
+		e = &wmeEntry{wme: t.wme}
+		n.right[t.wme.TimeTag] = e
+	}
+	switch t.dir {
+	case ops5.Insert:
+		e.count++
+		if e.count == 0 {
+			delete(n.right, t.wme.TimeTag)
+		}
+		if e.count <= 0 {
+			return true
+		}
+	case ops5.Delete:
+		present := e.count > 0
+		e.count--
+		if e.count == 0 {
+			delete(n.right, t.wme.TimeTag)
+		}
+		if !present {
+			return true
+		}
+	}
+	return false
+}
+
+// updateLeft applies a counted left-memory update for positive nodes.
+func (n *pnode) updateLeft(t task) (cancelled bool) {
+	key := tokenKey(t.tok)
+	e := n.left[key]
+	if e == nil {
+		e = &tokenEntry{tok: t.tok}
+		n.left[key] = e
+	}
+	switch t.dir {
+	case ops5.Insert:
+		e.count++
+		if e.count == 0 {
+			delete(n.left, key)
+		}
+		if e.count <= 0 {
+			return true
+		}
+	case ops5.Delete:
+		present := e.count > 0
+		e.count--
+		if e.count == 0 {
+			delete(n.left, key)
+		}
+		if !present {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Matcher) cancelled() {
+	m.cancellations.Add(1)
+}
+
+// conflictDelta accumulates a counted conflict-set change.
+func (m *Matcher) conflictDelta(term *rete.Terminal, tok *rete.Token, dir ops5.ChangeKind) {
+	inst := term.Instantiate(tok)
+	key := inst.Key()
+	m.mu.Lock()
+	d := m.deltas[key]
+	if d == nil {
+		d = &delta{inst: inst}
+		m.deltas[key] = d
+	}
+	if dir == ops5.Insert {
+		d.n++
+	} else {
+		d.n--
+	}
+	m.mu.Unlock()
+}
+
+// flush applies the net conflict deltas in a deterministic order.
+func (m *Matcher) flush() {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.deltas))
+	for k, d := range m.deltas {
+		if d.n != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	pending := make([]*delta, len(keys))
+	for i, k := range keys {
+		pending[i] = m.deltas[k]
+	}
+	m.deltas = make(map[string]*delta)
+	m.mu.Unlock()
+
+	for _, d := range pending {
+		switch {
+		case d.n > 0 && m.OnInsert != nil:
+			m.OnInsert(d.inst)
+		case d.n < 0 && m.OnRemove != nil:
+			m.OnRemove(d.inst)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package psm_test
+
+import (
+	"testing"
+
+	"repro/internal/psm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// wideTrace builds a high-parallelism workload (many parallel firings).
+func wideTrace() *trace.Trace {
+	p, _ := workload.SystemByName("r1-soar")
+	p.FiringsPerCycle = 8
+	p.Cycles = 40
+	p.Name = "r1-soar (8 firings)"
+	return workload.Generate(p)
+}
+
+func TestHierarchicalMatchesFlatAtOneCluster(t *testing.T) {
+	// One cluster with no global traffic must behave like the flat
+	// machine.
+	tr := wideTrace()
+	flat := psm.Simulate(tr, psm.DefaultConfig(32))
+	h := psm.DefaultHierConfig(1, 32)
+	h.GlobalTransferPerChange = 0
+	h.GlobalTransferPerTerminal = 0
+	hier := psm.SimulateHierarchical(tr, h)
+	ratio := hier.Makespan / flat.Makespan
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("single-cluster hierarchy makespan %.4fms vs flat %.4fms (ratio %.3f)",
+			hier.Makespan*1e3, flat.Makespan*1e3, ratio)
+	}
+}
+
+func TestHierarchyScalesPastBusSaturation(t *testing.T) {
+	// With a high-parallelism workload, a flat 256-processor machine is
+	// limited by its single bus; 8 clusters of 32 with local buses must
+	// be faster.
+	tr := wideTrace()
+	flat := psm.Simulate(tr, psm.DefaultConfig(256))
+	hier := psm.SimulateHierarchical(tr, psm.DefaultHierConfig(8, 32))
+	if hier.WMChangesPerSec <= flat.WMChangesPerSec {
+		t.Errorf("hierarchical 8x32 (%.0f wme/s) should beat flat 256 on one bus (%.0f wme/s)",
+			hier.WMChangesPerSec, flat.WMChangesPerSec)
+	}
+}
+
+func TestHierarchyMoreClustersMoreThroughput(t *testing.T) {
+	tr := wideTrace()
+	h2 := psm.SimulateHierarchical(tr, psm.DefaultHierConfig(2, 32))
+	h8 := psm.SimulateHierarchical(tr, psm.DefaultHierConfig(8, 32))
+	if h8.WMChangesPerSec <= h2.WMChangesPerSec {
+		t.Errorf("8 clusters (%.0f wme/s) should beat 2 clusters (%.0f wme/s)",
+			h8.WMChangesPerSec, h2.WMChangesPerSec)
+	}
+}
+
+func TestHierarchyGlobalBusVisible(t *testing.T) {
+	tr := wideTrace()
+	cheap := psm.DefaultHierConfig(4, 16)
+	expensive := cheap
+	expensive.GlobalBusCycle = 5e-6 // pathologically slow global bus
+	rc := psm.SimulateHierarchical(tr, cheap)
+	re := psm.SimulateHierarchical(tr, expensive)
+	if re.Makespan <= rc.Makespan {
+		t.Errorf("slow global bus (%.3fms) should hurt vs fast (%.3fms)",
+			re.Makespan*1e3, rc.Makespan*1e3)
+	}
+}

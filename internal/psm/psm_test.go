@@ -1,0 +1,190 @@
+package psm_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/psm"
+	"repro/internal/trace"
+)
+
+// flatTrace builds one batch of n independent equal-cost tasks.
+func flatTrace(n int, cost float64) *trace.Trace {
+	tr := &trace.Trace{Name: "flat", Batches: 1, Changes: n, Firings: 1}
+	for i := 0; i < n; i++ {
+		tr.Tasks = append(tr.Tasks, trace.Task{
+			ID: int64(i + 1), Parent: 0, Batch: 0, Change: i, Prod: -1, Cost: cost,
+		})
+	}
+	return tr
+}
+
+// chainTrace builds one batch that is a single dependency chain.
+func chainTrace(n int, cost float64) *trace.Trace {
+	tr := &trace.Trace{Name: "chain", Batches: 1, Changes: 1, Firings: 1}
+	for i := 0; i < n; i++ {
+		tr.Tasks = append(tr.Tasks, trace.Task{
+			ID: int64(i + 1), Parent: int64(i), Batch: 0, Change: 0, Prod: -1, Cost: cost,
+		})
+	}
+	return tr
+}
+
+// idealConfig removes every overhead so results are exactly computable.
+func idealConfig(p int) psm.Config {
+	return psm.Config{
+		Processors:        p,
+		MIPS:              1e6,
+		Scheduler:         psm.HardwareScheduler,
+		BusCycle:          0,
+		MemRefFraction:    0,
+		CacheHitRatio:     1,
+		TaskOverheadInstr: 0,
+		SharingLossFactor: 1,
+	}
+}
+
+func TestFlatTraceScalesLinearly(t *testing.T) {
+	tr := flatTrace(64, 1000)
+	r1 := psm.Simulate(tr, idealConfig(1))
+	r16 := psm.Simulate(tr, idealConfig(16))
+	if math.Abs(r1.Makespan-64e-3) > 1e-9 {
+		t.Errorf("serial makespan = %v, want 0.064", r1.Makespan)
+	}
+	if math.Abs(r16.Makespan-4e-3) > 1e-9 {
+		t.Errorf("16-proc makespan = %v, want 0.004", r16.Makespan)
+	}
+	if math.Abs(r16.TrueSpeedup-16) > 1e-6 {
+		t.Errorf("speedup = %v, want 16", r16.TrueSpeedup)
+	}
+	if math.Abs(r16.Concurrency-16) > 1e-6 {
+		t.Errorf("concurrency = %v, want 16", r16.Concurrency)
+	}
+}
+
+func TestChainTraceDoesNotScale(t *testing.T) {
+	tr := chainTrace(50, 1000)
+	r := psm.Simulate(tr, idealConfig(32))
+	if math.Abs(r.TrueSpeedup-1) > 1e-6 {
+		t.Errorf("chain speedup = %v, want 1 (no parallelism in a chain)", r.TrueSpeedup)
+	}
+	if math.Abs(r.Makespan-50e-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.05", r.Makespan)
+	}
+}
+
+func TestBatchBarrier(t *testing.T) {
+	// Two batches of 8 parallel tasks: with 8 processors the makespan
+	// must be 2 task-times, not 1 (barrier between cycles).
+	tr := &trace.Trace{Name: "b", Batches: 2, Changes: 16, Firings: 2}
+	id := int64(1)
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 8; i++ {
+			tr.Tasks = append(tr.Tasks, trace.Task{ID: id, Batch: b, Change: i, Prod: -1, Cost: 1000})
+			id++
+		}
+	}
+	r := psm.Simulate(tr, idealConfig(16))
+	if math.Abs(r.Makespan-2e-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.002 (two barrier-separated batches)", r.Makespan)
+	}
+}
+
+func TestNodeExclusivitySerialises(t *testing.T) {
+	tr := flatTrace(8, 1000)
+	for i := range tr.Tasks {
+		tr.Tasks[i].NodeID = 7 // all on one node
+	}
+	cfg := idealConfig(8)
+	cfg.NodeExclusive = true
+	r := psm.Simulate(tr, cfg)
+	if math.Abs(r.Makespan-8e-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.008 (same-node tasks serialise)", r.Makespan)
+	}
+	cfg.NodeExclusive = false
+	r = psm.Simulate(tr, cfg)
+	if math.Abs(r.Makespan-1e-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.001 without exclusivity", r.Makespan)
+	}
+}
+
+func TestProductionLevelSerialises(t *testing.T) {
+	tr := flatTrace(12, 1000)
+	for i := range tr.Tasks {
+		tr.Tasks[i].Prod = i % 2 // two productions, 6 tasks each
+	}
+	cfg := idealConfig(12)
+	cfg.ProductionLevel = true
+	r := psm.Simulate(tr, cfg)
+	if math.Abs(r.Makespan-6e-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 0.006 (two serial production chains)", r.Makespan)
+	}
+	if math.Abs(r.TrueSpeedup-2) > 1e-6 {
+		t.Errorf("speedup = %v, want 2 (production parallelism caps at 2)", r.TrueSpeedup)
+	}
+}
+
+func TestSoftwareSchedulerSlower(t *testing.T) {
+	tr := flatTrace(200, 100)
+	hw := psm.DefaultConfig(32)
+	sw := hw
+	sw.Scheduler = psm.SoftwareScheduler
+	rh := psm.Simulate(tr, hw)
+	rs := psm.Simulate(tr, sw)
+	if rs.Makespan <= rh.Makespan {
+		t.Errorf("software scheduler (%v) should be slower than hardware (%v)",
+			rs.Makespan, rh.Makespan)
+	}
+}
+
+func TestBusContentionSlowsDown(t *testing.T) {
+	tr := flatTrace(320, 500)
+	free := psm.DefaultConfig(32)
+	free.CacheHitRatio = 1.0 // no bus traffic
+	congested := psm.DefaultConfig(32)
+	congested.CacheHitRatio = 0.0 // every shared reference goes to the bus
+	rf := psm.Simulate(tr, free)
+	rc := psm.Simulate(tr, congested)
+	if rc.Makespan <= rf.Makespan {
+		t.Errorf("bus-bound run (%v) should be slower than cache-perfect run (%v)",
+			rc.Makespan, rf.Makespan)
+	}
+	if rc.BusWaitSec == 0 {
+		t.Error("expected nonzero bus wait with 0%% cache hits")
+	}
+}
+
+func TestSweepMonotoneUpTo(t *testing.T) {
+	tr := flatTrace(256, 800)
+	results := psm.Sweep(tr, psm.DefaultConfig(0), []int{1, 2, 4, 8, 16, 32})
+	for i := 1; i < len(results); i++ {
+		if results[i].Makespan > results[i-1].Makespan*1.0001 {
+			t.Errorf("makespan increased adding processors: %v -> %v",
+				results[i-1].Makespan, results[i].Makespan)
+		}
+	}
+}
+
+func TestMemoryModulesContention(t *testing.T) {
+	// Few memory modules serialise shared references; more modules
+	// relieve the contention.
+	tr := flatTrace(256, 500)
+	for i := range tr.Tasks {
+		tr.Tasks[i].NodeID = i // spread across modules
+	}
+	one := psm.DefaultConfig(32)
+	one.MemoryModules = 1
+	many := psm.DefaultConfig(32)
+	many.MemoryModules = 16
+	r1 := psm.Simulate(tr, one)
+	r16 := psm.Simulate(tr, many)
+	if r1.Makespan <= r16.Makespan {
+		t.Errorf("1 module (%v) should be slower than 16 modules (%v)",
+			r1.Makespan, r16.Makespan)
+	}
+	off := psm.Simulate(tr, psm.DefaultConfig(32))
+	if r16.Makespan < off.Makespan {
+		t.Errorf("module modelling should only add delay: %v < %v",
+			r16.Makespan, off.Makespan)
+	}
+}

@@ -1,0 +1,405 @@
+package rete
+
+import (
+	"fmt"
+
+	"repro/internal/ops5"
+)
+
+// NodeKind classifies activations for tracing and cost modelling.
+type NodeKind uint8
+
+// The activation kinds recorded in traces.
+const (
+	// KindRoot is the constant-test chain evaluation for one WM change.
+	KindRoot NodeKind = iota
+	// KindAlpha is an alpha-memory update.
+	KindAlpha
+	// KindJoinRight is a right (alpha-side) activation of an and-node.
+	KindJoinRight
+	// KindJoinLeft is a left (beta-side) activation of an and-node.
+	KindJoinLeft
+	// KindNegRight is a right activation of a not-node.
+	KindNegRight
+	// KindNegLeft is a left activation of a not-node.
+	KindNegLeft
+	// KindTerm is a conflict-set insertion or removal.
+	KindTerm
+)
+
+// String names the activation kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindAlpha:
+		return "alpha"
+	case KindJoinRight:
+		return "join-right"
+	case KindJoinLeft:
+		return "join-left"
+	case KindNegRight:
+		return "not-right"
+	case KindNegLeft:
+		return "not-left"
+	case KindTerm:
+		return "terminal"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ActivationEvent describes one node activation. The Seq/Parent pair
+// forms the dependency DAG consumed by the PSM simulator: an activation
+// cannot begin before its parent completes.
+type ActivationEvent struct {
+	// Seq is the unique activation id (> 0).
+	Seq int64
+	// Parent is the activation that scheduled this one; 0 for the root
+	// activation of a WM change.
+	Parent int64
+	// Change is the index of the WM change within the Apply batch.
+	Change int
+	// Kind is the node type activated.
+	Kind NodeKind
+	// NodeID identifies the network node (for exclusive-node modelling).
+	NodeID int
+	// Dir is Insert or Delete.
+	Dir ops5.ChangeKind
+	// TestsRun counts constant tests evaluated (root events).
+	TestsRun int
+	// TokensTested counts opposite-memory entries scanned (join events).
+	TokensTested int
+	// PairsEmitted counts tokens sent downstream.
+	PairsEmitted int
+	// SharedBy is the number of productions/CEs sharing the node; the
+	// simulator uses it to model the sharing that production-level
+	// parallelism loses (§4).
+	SharedBy int
+}
+
+// TraceFunc receives activation events during Apply.
+type TraceFunc func(ev ActivationEvent)
+
+// Stats accumulates match statistics over all Apply calls.
+type Stats struct {
+	// Changes is the number of WM changes processed.
+	Changes int
+	// Activations counts node activations by kind.
+	Activations [KindTerm + 1]int64
+	// ConstTests is the total number of constant tests evaluated.
+	ConstTests int64
+	// TokenComparisons is the total number of (token, wme) pairs tested
+	// at two-input nodes.
+	TokenComparisons int64
+	// ConflictInserts and ConflictRemoves count conflict-set deltas.
+	ConflictInserts int64
+	// ConflictRemoves counts conflict-set removals.
+	ConflictRemoves int64
+	// AffectedProductions is the total over changes of the number of
+	// productions with at least one alpha memory touched by the change
+	// (the paper's "affected productions", ~30 per change).
+	AffectedProductions int64
+	// TwoInputPerProduction histograms two-input activations per
+	// affected production per change (index clamped at 15).
+	TwoInputPerProduction [16]int64
+	// Anomalies counts removal requests for absent tokens (should be 0).
+	Anomalies int64
+}
+
+// TotalActivations returns the number of node activations of all kinds.
+func (s *Stats) TotalActivations() int64 {
+	var t int64
+	for _, v := range s.Activations {
+		t += v
+	}
+	return t
+}
+
+// AvgAffected returns the mean number of affected productions per change.
+func (s *Stats) AvgAffected() float64 {
+	if s.Changes == 0 {
+		return 0
+	}
+	return float64(s.AffectedProductions) / float64(s.Changes)
+}
+
+// applyCtx threads per-change bookkeeping through the propagation.
+type applyCtx struct {
+	change   int
+	dir      ops5.ChangeKind
+	affected map[*ops5.Production]int // production -> two-input activations
+}
+
+// Apply processes a batch of working-memory changes through the network
+// serially, in order. Insert WMEs must already carry their time tags
+// (working memory assigns them).
+func (n *Network) Apply(changes []ops5.Change) {
+	n.started = true
+	for i, ch := range changes {
+		ctx := &applyCtx{change: i, dir: ch.Kind, affected: make(map[*ops5.Production]int)}
+		root := n.roots[ch.WME.Class]
+		tests := 0
+		rootSeq := n.nextSeq()
+		if root != nil {
+			n.visitConst(root, ch.WME, ctx, rootSeq, &tests)
+		}
+		n.Stats.ConstTests += int64(tests)
+		n.Stats.Changes++
+		n.Stats.Activations[KindRoot]++
+		n.Stats.AffectedProductions += int64(len(ctx.affected))
+		for _, cnt := range ctx.affected {
+			idx := cnt
+			if idx > 15 {
+				idx = 15
+			}
+			n.Stats.TwoInputPerProduction[idx]++
+		}
+		n.emit(ActivationEvent{
+			Seq: rootSeq, Parent: 0, Change: i, Kind: KindRoot, NodeID: 0,
+			Dir: ch.Kind, TestsRun: tests,
+		})
+	}
+}
+
+func (n *Network) nextSeq() int64 {
+	n.seq++
+	return n.seq
+}
+
+func (n *Network) emit(ev ActivationEvent) {
+	if n.Tracer != nil {
+		n.Tracer(ev)
+	}
+}
+
+// visitConst walks the constant-test chain below node for the WME.
+func (n *Network) visitConst(node *ConstNode, w *ops5.WME, ctx *applyCtx, parent int64, tests *int) {
+	*tests++
+	if !node.evalConst(w) {
+		return
+	}
+	if node.Mem != nil {
+		n.alphaActivate(node.Mem, w, ctx, parent)
+	}
+	for _, c := range node.Children {
+		n.visitConst(c, w, ctx, parent, tests)
+	}
+}
+
+// alphaActivate updates an alpha memory and right-activates successors.
+func (n *Network) alphaActivate(am *AlphaMem, w *ops5.WME, ctx *applyCtx, parent int64) {
+	seq := n.nextSeq()
+	n.Stats.Activations[KindAlpha]++
+	for _, ref := range am.ProdRefs {
+		if _, ok := ctx.affected[ref.Production]; !ok {
+			ctx.affected[ref.Production] = 0
+		}
+	}
+	switch ctx.dir {
+	case ops5.Insert:
+		am.Items = append(am.Items, w)
+	case ops5.Delete:
+		if !am.remove(w) {
+			n.Stats.Anomalies++
+			return
+		}
+	}
+	n.emit(ActivationEvent{
+		Seq: seq, Parent: parent, Change: ctx.change, Kind: KindAlpha,
+		NodeID: am.ID, Dir: ctx.dir, SharedBy: len(am.ProdRefs),
+	})
+	for _, j := range am.Succs {
+		n.rightActivate(j, w, ctx, seq)
+	}
+}
+
+// creditAffected attributes a two-input activation to the productions
+// sharing the node, for the per-production variance histogram.
+func (n *Network) creditAffected(ctx *applyCtx, am *AlphaMem) {
+	for _, ref := range am.ProdRefs {
+		ctx.affected[ref.Production]++
+	}
+}
+
+// rightActivate processes a WME arriving on the right input of a
+// two-input node.
+func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent int64) {
+	seq := n.nextSeq()
+	n.creditAffected(ctx, j.Right)
+	switch j.Kind {
+	case JoinPositive:
+		n.Stats.Activations[KindJoinRight]++
+		tested, emitted := 0, 0
+		for _, tok := range j.Left.Tokens {
+			tested++
+			if j.evalJoin(tok, w) {
+				emitted++
+				n.betaActivate(j.Out, tok.Extend(w), ctx, seq)
+			}
+		}
+		n.Stats.TokenComparisons += int64(tested)
+		n.emit(ActivationEvent{
+			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinRight,
+			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
+			SharedBy: j.SharedBy,
+		})
+	case JoinNegative:
+		n.Stats.Activations[KindNegRight]++
+		tested, emitted := 0, 0
+		for idx := range j.negRecords {
+			rec := &j.negRecords[idx]
+			tested++
+			if !j.evalJoin(rec.tok, w) {
+				continue
+			}
+			switch ctx.dir {
+			case ops5.Insert:
+				rec.count++
+				if rec.count == 1 {
+					emitted++
+					n.betaDelete(j.Out, rec.tok, ctx, seq)
+				}
+			case ops5.Delete:
+				rec.count--
+				if rec.count == 0 {
+					emitted++
+					n.betaInsert(j.Out, rec.tok, ctx, seq)
+				}
+			}
+		}
+		n.Stats.TokenComparisons += int64(tested)
+		n.emit(ActivationEvent{
+			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegRight,
+			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
+			SharedBy: j.SharedBy,
+		})
+	}
+}
+
+// leftActivate processes a token arriving on the left input of a
+// two-input node. dir gives whether the token is being added or removed.
+func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx *applyCtx, parent int64) {
+	seq := n.nextSeq()
+	n.creditAffected(ctx, j.Right)
+	switch j.Kind {
+	case JoinPositive:
+		n.Stats.Activations[KindJoinLeft]++
+		tested, emitted := 0, 0
+		for _, w := range j.Right.Items {
+			tested++
+			if j.evalJoin(tok, w) {
+				emitted++
+				if dir == ops5.Insert {
+					n.betaInsert(j.Out, tok.Extend(w), ctx, seq)
+				} else {
+					n.betaDelete(j.Out, tok.Extend(w), ctx, seq)
+				}
+			}
+		}
+		n.Stats.TokenComparisons += int64(tested)
+		n.emit(ActivationEvent{
+			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinLeft,
+			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,
+			SharedBy: j.SharedBy,
+		})
+	case JoinNegative:
+		n.Stats.Activations[KindNegLeft]++
+		tested, emitted := 0, 0
+		switch dir {
+		case ops5.Insert:
+			count := 0
+			for _, w := range j.Right.Items {
+				tested++
+				if j.evalJoin(tok, w) {
+					count++
+				}
+			}
+			j.negRecords = append(j.negRecords, negRecord{tok: tok, count: count})
+			if count == 0 {
+				emitted++
+				n.betaInsert(j.Out, tok, ctx, seq)
+			}
+		case ops5.Delete:
+			found := false
+			for idx := range j.negRecords {
+				tested++
+				if j.negRecords[idx].tok.EqualTo(tok) {
+					count := j.negRecords[idx].count
+					j.negRecords = append(j.negRecords[:idx], j.negRecords[idx+1:]...)
+					if count == 0 {
+						emitted++
+						n.betaDelete(j.Out, tok, ctx, seq)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				n.Stats.Anomalies++
+			}
+		}
+		n.Stats.TokenComparisons += int64(tested)
+		n.emit(ActivationEvent{
+			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegLeft,
+			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,
+			SharedBy: j.SharedBy,
+		})
+	}
+}
+
+// betaInsert stores a token and propagates to joins and terminals.
+func (n *Network) betaInsert(bm *BetaMem, tok *Token, ctx *applyCtx, parent int64) {
+	bm.Tokens = append(bm.Tokens, tok)
+	for _, j := range bm.Joins {
+		n.leftActivate(j, tok, ops5.Insert, ctx, parent)
+	}
+	for _, t := range bm.Terminals {
+		n.terminalActivate(t, tok, ops5.Insert, ctx, parent)
+	}
+}
+
+// betaDelete removes a token and propagates the removal.
+func (n *Network) betaDelete(bm *BetaMem, tok *Token, ctx *applyCtx, parent int64) {
+	if !bm.remove(tok) {
+		n.Stats.Anomalies++
+		return
+	}
+	for _, j := range bm.Joins {
+		n.leftActivate(j, tok, ops5.Delete, ctx, parent)
+	}
+	for _, t := range bm.Terminals {
+		n.terminalActivate(t, tok, ops5.Delete, ctx, parent)
+	}
+}
+
+// betaActivate dispatches on direction.
+func (n *Network) betaActivate(bm *BetaMem, tok *Token, ctx *applyCtx, parent int64) {
+	if ctx.dir == ops5.Insert {
+		n.betaInsert(bm, tok, ctx, parent)
+	} else {
+		n.betaDelete(bm, tok, ctx, parent)
+	}
+}
+
+// terminalActivate emits a conflict-set delta.
+func (n *Network) terminalActivate(t *Terminal, tok *Token, dir ops5.ChangeKind, ctx *applyCtx, parent int64) {
+	seq := n.nextSeq()
+	n.Stats.Activations[KindTerm]++
+	inst := t.Instantiate(tok)
+	if dir == ops5.Insert {
+		n.Stats.ConflictInserts++
+		if n.OnInsert != nil {
+			n.OnInsert(inst)
+		}
+	} else {
+		n.Stats.ConflictRemoves++
+		if n.OnRemove != nil {
+			n.OnRemove(inst)
+		}
+	}
+	n.emit(ActivationEvent{
+		Seq: seq, Parent: parent, Change: ctx.change, Kind: KindTerm,
+		NodeID: t.ID, Dir: dir, PairsEmitted: 1,
+	})
+}

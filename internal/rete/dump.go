@@ -1,0 +1,76 @@
+package rete
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dump writes a human-readable description of the compiled network:
+// the constant-test chains per class, each alpha memory with its
+// successors, the two-input nodes with their join tests, and the
+// terminals — the topology Figure 2-2 of the paper draws.
+func (n *Network) Dump(w io.Writer) {
+	classes := make([]string, 0, len(n.roots))
+	for c := range n.roots {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "rete network: %d const nodes, %d alpha memories, %d two-input nodes, %d beta memories, %d terminals\n",
+		n.Counts().ConstNodes, len(n.alphas), len(n.joins), len(n.betas), len(n.terms))
+
+	for _, class := range classes {
+		fmt.Fprintf(w, "class %s:\n", class)
+		var visit func(c *ConstNode, depth int)
+		visit = func(c *ConstNode, depth int) {
+			indent := strings.Repeat("  ", depth+1)
+			label := c.Test.String()
+			if c.Test.Kind == ctAlways {
+				label = "(root)"
+			}
+			fmt.Fprintf(w, "%s#%d %s", indent, c.ID, label)
+			if c.SharedBy > 1 {
+				fmt.Fprintf(w, " [shared x%d]", c.SharedBy)
+			}
+			if c.Mem != nil {
+				fmt.Fprintf(w, " -> alpha#%d", c.Mem.ID)
+			}
+			fmt.Fprintln(w)
+			for _, ch := range c.Children {
+				visit(ch, depth+1)
+			}
+		}
+		visit(n.roots[class], 0)
+	}
+
+	fmt.Fprintln(w, "two-input nodes:")
+	for _, j := range n.joins {
+		kind := "and"
+		if j.Kind == JoinNegative {
+			kind = "not"
+		}
+		var tests []string
+		for i := range j.Tests {
+			tests = append(tests, j.Tests[i].key())
+		}
+		testStr := "(no tests)"
+		if len(tests) > 0 {
+			testStr = strings.Join(tests, " & ")
+		}
+		left := "dummy-top"
+		if j.Left != n.dummyTop {
+			left = fmt.Sprintf("beta#%d", j.Left.ID)
+		}
+		fmt.Fprintf(w, "  %s#%d: %s + alpha#%d %s -> beta#%d", kind, j.ID, left, j.Right.ID, testStr, j.Out.ID)
+		if j.SharedBy > 1 {
+			fmt.Fprintf(w, " [shared x%d]", j.SharedBy)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "terminals:")
+	for _, t := range n.terms {
+		fmt.Fprintf(w, "  term#%d: %s\n", t.ID, t.Production.Name)
+	}
+}

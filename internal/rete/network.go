@@ -1,0 +1,570 @@
+// Package rete implements the Rete match algorithm of Forgy (1982) as
+// described in §2.2 of the paper: a dataflow network compiled from
+// production left-hand sides, with constant-test nodes, alpha (wme)
+// memories, two-input and-nodes and not-nodes, beta (token) memories and
+// terminal nodes. Node sharing between productions, incremental
+// add/remove processing, and per-activation tracing hooks are all
+// implemented; the trace is the input to the PSM multiprocessor
+// simulator (internal/psm), exactly as in §6 of the paper.
+//
+// The exported node structures carry the mutexes used by the parallel
+// runtime in internal/prete; the serial entry points in this package
+// never take them.
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ops5"
+)
+
+// constKind discriminates single-WME test forms in the alpha network.
+type constKind uint8
+
+const (
+	ctAlways  constKind = iota // class root: class test already applied
+	ctConst                    // attr pred constant
+	ctDisj                     // attr in {constants}
+	ctAttrRel                  // attr pred attr2 (intra-element variable test)
+)
+
+// ConstTest is one single-WME test performed in the alpha network.
+type ConstTest struct {
+	Kind  constKind
+	Attr  string
+	Pred  ops5.Predicate
+	Val   ops5.Value
+	Disj  []ops5.Value
+	Attr2 string
+}
+
+// Eval applies the test to a WME (class already checked by the root).
+func (t *ConstTest) Eval(w *ops5.WME) bool {
+	switch t.Kind {
+	case ctAlways:
+		return true
+	case ctConst:
+		return t.Pred.Compare(w.Get(t.Attr), t.Val)
+	case ctDisj:
+		v := w.Get(t.Attr)
+		for _, d := range t.Disj {
+			if v.Equal(d) {
+				return true
+			}
+		}
+		return false
+	case ctAttrRel:
+		return t.Pred.Compare(w.Get(t.Attr), w.Get(t.Attr2))
+	default:
+		return false
+	}
+}
+
+// key returns a canonical identity used for node sharing.
+func (t *ConstTest) key() string {
+	switch t.Kind {
+	case ctAlways:
+		return "T"
+	case ctConst:
+		return "c|" + t.Attr + "|" + t.Pred.String() + "|" + t.Val.String()
+	case ctDisj:
+		parts := make([]string, len(t.Disj))
+		for i, v := range t.Disj {
+			parts[i] = v.String()
+		}
+		sort.Strings(parts)
+		return "d|" + t.Attr + "|" + strings.Join(parts, ",")
+	case ctAttrRel:
+		return "r|" + t.Attr + "|" + t.Pred.String() + "|" + t.Attr2
+	default:
+		return "?"
+	}
+}
+
+// String renders the test for diagnostics.
+func (t *ConstTest) String() string { return t.key() }
+
+// ConstNode is a node in the alpha test chain. Passing WMEs flow to the
+// children and, if present, into the output alpha memory.
+type ConstNode struct {
+	ID       int
+	Test     ConstTest
+	Children []*ConstNode
+	Mem      *AlphaMem
+	// compiled, when non-nil, is the closure-specialised test (see
+	// EnableCompiledDispatch).
+	compiled func(*ops5.WME) bool
+	// SharedBy counts the condition elements compiled onto this node;
+	// >1 means the node is shared between CEs (possibly across
+	// productions), the sharing the paper says is lost under production
+	// parallelism (§4).
+	SharedBy int
+}
+
+// AlphaMem stores the WMEs passing one condition element's constant
+// tests, and feeds the two-input nodes attached to its output.
+type AlphaMem struct {
+	ID    int
+	Items []*ops5.WME
+	// Succs are the two-input nodes whose right input is this memory.
+	Succs []*JoinNode
+	// ProdRefs lists the (production, LHS index) pairs reading this
+	// memory; used for affected-production statistics (§4, E9).
+	ProdRefs []ProdRef
+	// Mu guards Items in the parallel runtime only.
+	Mu sync.Mutex
+}
+
+// ProdRef identifies one condition element of one production.
+type ProdRef struct {
+	Production *ops5.Production
+	CE         int
+}
+
+// remove deletes one occurrence of w, reporting whether it was present.
+func (am *AlphaMem) remove(w *ops5.WME) bool {
+	for i, x := range am.Items {
+		if x == w {
+			am.Items = append(am.Items[:i], am.Items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Token is a sequence of WMEs matching the positive condition elements
+// processed so far, in LHS order. Tokens are immutable; extension copies.
+type Token struct {
+	WMEs []*ops5.WME
+}
+
+// Extend returns a new token with w appended.
+func (t *Token) Extend(w *ops5.WME) *Token {
+	n := make([]*ops5.WME, len(t.WMEs)+1)
+	copy(n, t.WMEs)
+	n[len(t.WMEs)] = w
+	return &Token{WMEs: n}
+}
+
+// EqualTo reports structural equality (same WME pointers in order).
+func (t *Token) EqualTo(o *Token) bool {
+	if len(t.WMEs) != len(o.WMEs) {
+		return false
+	}
+	for i := range t.WMEs {
+		if t.WMEs[i] != o.WMEs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the token's time tags.
+func (t *Token) String() string {
+	parts := make([]string, len(t.WMEs))
+	for i, w := range t.WMEs {
+		parts[i] = fmt.Sprint(w.TimeTag)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// BetaMem stores the tokens matching a prefix of a production's positive
+// condition elements and feeds the two-input nodes using it as left
+// input, plus any terminals.
+type BetaMem struct {
+	ID     int
+	Tokens []*Token
+	// Joins are the two-input nodes whose left input is this memory.
+	Joins []*JoinNode
+	// Terminals fire when tokens reach this memory.
+	Terminals []*Terminal
+	// Mu guards Tokens in the parallel runtime only.
+	Mu sync.Mutex
+}
+
+// remove deletes one token structurally equal to tok, reporting presence.
+func (bm *BetaMem) remove(tok *Token) bool {
+	for i, t := range bm.Tokens {
+		if t.EqualTo(tok) {
+			bm.Tokens = append(bm.Tokens[:i], bm.Tokens[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// JoinTest is one inter-element variable consistency test evaluated at a
+// two-input node: rightWME.Get(RightAttr) Pred token[LeftIdx].Get(LeftAttr).
+type JoinTest struct {
+	Pred      ops5.Predicate
+	RightAttr string
+	LeftIdx   int
+	LeftAttr  string
+}
+
+// Eval applies the test.
+func (jt *JoinTest) Eval(tok *Token, w *ops5.WME) bool {
+	return jt.Pred.Compare(w.Get(jt.RightAttr), tok.WMEs[jt.LeftIdx].Get(jt.LeftAttr))
+}
+
+// key returns a canonical identity used for node sharing.
+func (jt *JoinTest) key() string {
+	return fmt.Sprintf("%s|%s|%d|%s", jt.Pred, jt.RightAttr, jt.LeftIdx, jt.LeftAttr)
+}
+
+// JoinKind discriminates and-nodes from not-nodes.
+type JoinKind uint8
+
+// The two-input node kinds.
+const (
+	JoinPositive JoinKind = iota
+	JoinNegative
+)
+
+// negRecord is a left token stored in a not-node with its count of
+// matching right WMEs.
+type negRecord struct {
+	tok   *Token
+	count int
+}
+
+// JoinNode is a two-input node: left input a beta memory (or the dummy
+// top), right input an alpha memory. A positive node emits extended
+// tokens into Out; a negative node passes its left token through to Out
+// when no right WME matches.
+type JoinNode struct {
+	ID    int
+	Kind  JoinKind
+	Left  *BetaMem
+	Right *AlphaMem
+	Tests []JoinTest
+	Out   *BetaMem
+	// negRecords holds the left tokens with match counts (not-nodes).
+	negRecords []negRecord
+	// compiled, when non-nil, is the closure-specialised test chain.
+	compiled func(*Token, *ops5.WME) bool
+	// SharedBy counts the productions compiled onto this node.
+	SharedBy int
+	// Mu guards negRecords in the parallel runtime only.
+	Mu sync.Mutex
+}
+
+// match reports whether every test passes for (tok, w).
+func (j *JoinNode) match(tok *Token, w *ops5.WME) bool {
+	for i := range j.Tests {
+		if !j.Tests[i].Eval(tok, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Terminal announces conflict-set changes for one production.
+type Terminal struct {
+	ID         int
+	Production *ops5.Production
+	// posIndex maps token position -> LHS condition-element index.
+	posIndex []int
+}
+
+// Instantiate builds the instantiation for a complete token, recomputing
+// variable bindings by walking the LHS.
+func (t *Terminal) Instantiate(tok *Token) *ops5.Instantiation {
+	wmes := make([]*ops5.WME, len(t.Production.LHS))
+	for pos, lhsIdx := range t.posIndex {
+		wmes[lhsIdx] = tok.WMEs[pos]
+	}
+	b := ops5.Bindings{}
+	for i, ce := range t.Production.LHS {
+		if ce.Negated || wmes[i] == nil {
+			continue
+		}
+		if nb, ok := ops5.MatchCE(ce, wmes[i], b); ok {
+			b = nb
+		}
+	}
+	return &ops5.Instantiation{Production: t.Production, WMEs: wmes, Bindings: b}
+}
+
+// Network is a compiled Rete network over a fixed set of productions.
+type Network struct {
+	roots    map[string]*ConstNode
+	alphas   []*AlphaMem
+	betas    []*BetaMem
+	joins    []*JoinNode
+	terms    []*Terminal
+	prods    []*ops5.Production
+	dummyTop *BetaMem
+
+	alphaByKey map[string]*AlphaMem
+	joinByKey  map[string]*JoinNode
+
+	nextID int
+
+	// OnInsert and OnRemove receive conflict-set deltas. They must be
+	// set before Apply. In the parallel runtime they may be called
+	// concurrently.
+	OnInsert func(*ops5.Instantiation)
+	OnRemove func(*ops5.Instantiation)
+
+	// Tracer, when non-nil, receives one event per node activation.
+	Tracer TraceFunc
+
+	// Stats accumulates match statistics across Apply calls.
+	Stats Stats
+
+	started bool
+	seq     int64
+}
+
+// New returns an empty network with no productions.
+func New() *Network {
+	n := &Network{
+		roots:      make(map[string]*ConstNode),
+		alphaByKey: make(map[string]*AlphaMem),
+		joinByKey:  make(map[string]*JoinNode),
+	}
+	n.dummyTop = n.newBetaMem()
+	n.dummyTop.Tokens = []*Token{{}}
+	return n
+}
+
+// Compile builds a network for the given productions.
+func Compile(prods []*ops5.Production) (*Network, error) {
+	n := New()
+	for _, p := range prods {
+		if err := n.AddProduction(p); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Productions returns the productions compiled into the network.
+func (n *Network) Productions() []*ops5.Production { return n.prods }
+
+// DummyTop returns the top beta memory holding the single empty token.
+func (n *Network) DummyTop() *BetaMem { return n.dummyTop }
+
+// Alphas returns the alpha memories (for inspection and statistics).
+func (n *Network) Alphas() []*AlphaMem { return n.alphas }
+
+// Joins returns the two-input nodes.
+func (n *Network) Joins() []*JoinNode { return n.joins }
+
+// Betas returns the beta memories.
+func (n *Network) Betas() []*BetaMem { return n.betas }
+
+// Terminals returns the terminal nodes.
+func (n *Network) Terminals() []*Terminal { return n.terms }
+
+func (n *Network) id() int {
+	n.nextID++
+	return n.nextID
+}
+
+func (n *Network) newBetaMem() *BetaMem {
+	bm := &BetaMem{ID: n.id()}
+	n.betas = append(n.betas, bm)
+	return bm
+}
+
+// binder records where a variable was first bound.
+type binder struct {
+	tokenIdx int
+	attr     string
+}
+
+// AddProduction compiles a production into the network, sharing nodes
+// with previously added productions where possible. It must be called
+// before the first Apply.
+func (n *Network) AddProduction(p *ops5.Production) error {
+	if n.started {
+		return fmt.Errorf("rete: cannot add production %s after matching has started", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	binders := make(map[string]binder)
+	curBeta := n.dummyTop
+	tokenLen := 0
+	term := &Terminal{ID: n.id(), Production: p}
+
+	for ceIdx, ce := range p.LHS {
+		am, localBinders, err := n.buildAlpha(p, ceIdx, ce, binders)
+		if err != nil {
+			return err
+		}
+		tests, err := n.buildJoinTests(p, ce, binders, localBinders)
+		if err != nil {
+			return err
+		}
+		kind := JoinPositive
+		if ce.Negated {
+			kind = JoinNegative
+		}
+		j := n.findOrAddJoin(kind, curBeta, am, tests)
+		curBeta = j.Out
+		if !ce.Negated {
+			// Register binders established by this CE.
+			for v, b := range localBinders {
+				if _, exists := binders[v]; !exists {
+					binders[v] = binder{tokenIdx: tokenLen, attr: b}
+				}
+			}
+			term.posIndex = append(term.posIndex, ceIdx)
+			tokenLen++
+		}
+	}
+	curBeta.Terminals = append(curBeta.Terminals, term)
+	n.terms = append(n.terms, term)
+	n.prods = append(n.prods, p)
+	return nil
+}
+
+// buildAlpha compiles the single-WME tests of a CE into the shared alpha
+// network and returns the alpha memory plus the CE-local equality
+// binders (var -> attr of first equality occurrence inside this CE).
+func (n *Network) buildAlpha(p *ops5.Production, ceIdx int, ce *ops5.CondElement, outer map[string]binder) (*AlphaMem, map[string]string, error) {
+	local := make(map[string]string)
+	var tests []ConstTest
+	for _, at := range ce.Tests {
+		for _, t := range at.Terms {
+			switch t.Kind {
+			case ops5.TermConst:
+				tests = append(tests, ConstTest{Kind: ctConst, Attr: at.Attr, Pred: t.Pred, Val: t.Val})
+			case ops5.TermDisj:
+				tests = append(tests, ConstTest{Kind: ctDisj, Attr: at.Attr, Disj: t.Disj})
+			case ops5.TermVar:
+				if a, boundHere := local[t.Var]; boundHere {
+					// Intra-element test against the local binding.
+					if !(t.Pred == ops5.PredEq && a == at.Attr) {
+						tests = append(tests, ConstTest{Kind: ctAttrRel, Attr: at.Attr, Pred: t.Pred, Attr2: a})
+					}
+					continue
+				}
+				if _, boundEarlier := outer[t.Var]; boundEarlier {
+					continue // becomes a join test
+				}
+				if t.Pred == ops5.PredEq {
+					local[t.Var] = at.Attr
+					continue
+				}
+				return nil, nil, fmt.Errorf(
+					"rete: production %s: variable <%s> used with predicate %s before being bound",
+					p.Name, t.Var, t.Pred)
+			}
+		}
+	}
+	// Canonical order maximises sharing across CEs.
+	sort.Slice(tests, func(i, j int) bool { return tests[i].key() < tests[j].key() })
+
+	root := n.roots[ce.Class]
+	if root == nil {
+		root = &ConstNode{ID: n.id(), Test: ConstTest{Kind: ctAlways}}
+		n.roots[ce.Class] = root
+	}
+	root.SharedBy++
+	cur := root
+	key := "class:" + ce.Class
+	for i := range tests {
+		key += "/" + tests[i].key()
+		var child *ConstNode
+		for _, c := range cur.Children {
+			if c.Test.key() == tests[i].key() {
+				child = c
+				break
+			}
+		}
+		if child == nil {
+			child = &ConstNode{ID: n.id(), Test: tests[i]}
+			cur.Children = append(cur.Children, child)
+		}
+		child.SharedBy++
+		cur = child
+	}
+	am := n.alphaByKey[key]
+	if am == nil {
+		am = &AlphaMem{ID: n.id()}
+		n.alphaByKey[key] = am
+		n.alphas = append(n.alphas, am)
+		cur.Mem = am
+	}
+	am.ProdRefs = append(am.ProdRefs, ProdRef{Production: p, CE: ceIdx})
+	return am, local, nil
+}
+
+// buildJoinTests compiles the inter-element variable tests of a CE.
+func (n *Network) buildJoinTests(p *ops5.Production, ce *ops5.CondElement, outer map[string]binder, local map[string]string) ([]JoinTest, error) {
+	var tests []JoinTest
+	seenEq := make(map[string]bool) // vars whose equality-vs-outer test is already emitted
+	for _, at := range ce.Tests {
+		for _, t := range at.Terms {
+			if t.Kind != ops5.TermVar {
+				continue
+			}
+			b, boundEarlier := outer[t.Var]
+			if !boundEarlier {
+				continue // local to this CE; handled in alpha
+			}
+			if t.Pred == ops5.PredEq {
+				// The first equality occurrence tests against the outer
+				// binding; repeats within the CE were already chained to
+				// the local attr by buildAlpha only when the var was
+				// local, so emit every equality occurrence here unless
+				// it is a same-attr duplicate.
+				tk := t.Var + "@" + at.Attr
+				if seenEq[tk] {
+					continue
+				}
+				seenEq[tk] = true
+			}
+			tests = append(tests, JoinTest{
+				Pred:      t.Pred,
+				RightAttr: at.Attr,
+				LeftIdx:   b.tokenIdx,
+				LeftAttr:  b.attr,
+			})
+		}
+	}
+	return tests, nil
+}
+
+// findOrAddJoin returns a shared or fresh two-input node.
+func (n *Network) findOrAddJoin(kind JoinKind, left *BetaMem, right *AlphaMem, tests []JoinTest) *JoinNode {
+	key := fmt.Sprintf("%d|%d|%d", kind, left.ID, right.ID)
+	tkeys := make([]string, len(tests))
+	for i := range tests {
+		tkeys[i] = tests[i].key()
+	}
+	sort.Strings(tkeys)
+	key += "|" + strings.Join(tkeys, ";")
+	if j := n.joinByKey[key]; j != nil {
+		j.SharedBy++
+		return j
+	}
+	j := &JoinNode{
+		ID:       n.id(),
+		Kind:     kind,
+		Left:     left,
+		Right:    right,
+		Tests:    tests,
+		Out:      n.newBetaMem(),
+		SharedBy: 1,
+	}
+	left.Joins = append(left.Joins, j)
+	// Prepend so that descendant joins are right-activated before their
+	// ancestors: when one WME reaches both inputs of a join (a CE chain
+	// where two CEs share an alpha memory), the pair must be emitted
+	// exactly once — by the ancestor's token flowing down, not by the
+	// descendant's right activation seeing a token that does not exist
+	// yet. Activating descendants first guarantees this (Forgy's OPS5
+	// ordering; see also Doorenbos 1995 §2.4.1).
+	right.Succs = append([]*JoinNode{j}, right.Succs...)
+	n.joins = append(n.joins, j)
+	n.joinByKey[key] = j
+	return j
+}

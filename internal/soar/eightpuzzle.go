@@ -1,0 +1,146 @@
+package soar
+
+import (
+	"fmt"
+
+	"repro/internal/ops5"
+)
+
+// EightPuzzleSoar is the eight puzzle as a Soar task — the laptop-scale
+// counterpart of the paper's Eight-Puzzle-Soar workload. Move operators
+// are proposed for every tile adjacent to the blank; precomputed
+// (gooddir ^tile ^from ^to) facts mark moves that reduce a tile's
+// Manhattan distance to its home square, and such moves receive best
+// preferences. The previously moved tile is not re-proposed (no
+// immediate undo), and remaining ties are resolved in a subgoal that
+// prefers the smallest tile value.
+const EightPuzzleSoar = `
+(literalize goal id status type for task)
+(literalize preference goal op arg arg2 value)
+(literalize operator goal op arg arg2)
+(literalize tile val pos)
+(literalize blank pos)
+(literalize adjacent from to)
+(literalize gooddir tile from to)
+(literalize last-moved tile)
+
+; --- proposals --------------------------------------------------------
+
+(p propose*move
+    (goal ^id <g> ^task eight-puzzle ^status active)
+    (blank ^pos <b>)
+    (adjacent ^from <t> ^to <b>)
+    (tile ^val <v> ^pos <t>)
+   -(last-moved ^tile <v>)
+  -->
+    (make preference ^goal <g> ^op move ^arg <v> ^value acceptable))
+
+; --- strategy: prefer distance-reducing moves -------------------------
+
+(p elaborate*prefer-good-move
+    (goal ^id <g> ^task eight-puzzle ^status active)
+    (preference ^goal <g> ^op move ^arg <v> ^value acceptable)
+    (tile ^val <v> ^pos <t>)
+    (blank ^pos <b>)
+    (gooddir ^tile <v> ^from <t> ^to <b>)
+  -->
+    (make preference ^goal <g> ^op move ^arg <v> ^value best))
+
+; Tie impasse: prefer the smallest candidate tile.
+(p elaborate*tie-smallest
+    (goal ^id <sg> ^type tie ^for <g> ^status active)
+    (preference ^goal <g> ^op move ^arg <v> ^value acceptable)
+   -(preference ^goal <g> ^op move ^arg < <v> ^value acceptable)
+  -->
+    (make preference ^goal <g> ^op move ^arg <v> ^value best))
+
+; --- success test ------------------------------------------------------
+
+(p elaborate*success
+    (goal ^id <g> ^task eight-puzzle ^status active)
+    (tile ^val 1 ^pos 1) (tile ^val 2 ^pos 2) (tile ^val 3 ^pos 3)
+    (tile ^val 4 ^pos 4) (tile ^val 5 ^pos 5) (tile ^val 6 ^pos 6)
+    (tile ^val 7 ^pos 7) (tile ^val 8 ^pos 8)
+  -->
+    (write puzzle solved)
+    (halt))
+
+; --- operator application ---------------------------------------------
+
+(p apply*move
+    (operator ^goal <g> ^op move ^arg <v>)
+    (tile ^val <v> ^pos <t>)
+    (blank ^pos <b>)
+    (adjacent ^from <t> ^to <b>)
+  -->
+    (modify 2 ^pos <b>)
+    (modify 3 ^pos <t>)
+    (make last-moved ^tile <v>)
+    (remove 1))
+
+; Forget the no-undo marker one operator later.
+(p apply*forget-last
+    (operator ^goal <g> ^op move ^arg <v>)
+    (last-moved ^tile <> <v>)
+  -->
+    (remove 2))
+
+(make goal ^id g1 ^task eight-puzzle ^status active)
+`
+
+// EightPuzzleSoarWM builds the domain facts for EightPuzzleSoar: the
+// tile layout (0 = blank, row-major positions 1-9), the adjacency
+// graph, and the gooddir table marking distance-reducing moves toward
+// the standard goal (1 2 3 / 4 5 6 / 7 8 _).
+func EightPuzzleSoarWM(layout [9]int) ([]*ops5.WME, error) {
+	var wmes []*ops5.WME
+	row := func(p int) int { return (p - 1) / 3 }
+	col := func(p int) int { return (p - 1) % 3 }
+	dist := func(p, q int) int {
+		dr := row(p) - row(q)
+		if dr < 0 {
+			dr = -dr
+		}
+		dc := col(p) - col(q)
+		if dc < 0 {
+			dc = -dc
+		}
+		return dr + dc
+	}
+	adjacent := func(p, q int) bool { return dist(p, q) == 1 }
+
+	for p := 1; p <= 9; p++ {
+		for q := 1; q <= 9; q++ {
+			if adjacent(p, q) {
+				wmes = append(wmes, ops5.NewWME("adjacent", "from", p, "to", q))
+			}
+		}
+	}
+	// gooddir: tile v moving from p to adjacent q gets closer to its
+	// home square (tile v's home is position v).
+	for v := 1; v <= 8; v++ {
+		for p := 1; p <= 9; p++ {
+			for q := 1; q <= 9; q++ {
+				if adjacent(p, q) && dist(q, v) < dist(p, v) {
+					wmes = append(wmes, ops5.NewWME("gooddir", "tile", v, "from", p, "to", q))
+				}
+			}
+		}
+	}
+	blanks := 0
+	for i, v := range layout {
+		switch {
+		case v == 0:
+			wmes = append(wmes, ops5.NewWME("blank", "pos", i+1))
+			blanks++
+		case v >= 1 && v <= 8:
+			wmes = append(wmes, ops5.NewWME("tile", "val", v, "pos", i+1))
+		default:
+			return nil, fmt.Errorf("soar: invalid tile value %d", v)
+		}
+	}
+	if blanks != 1 {
+		return nil, fmt.Errorf("soar: layout needs exactly one blank, found %d", blanks)
+	}
+	return wmes, nil
+}

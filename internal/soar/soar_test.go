@@ -1,0 +1,215 @@
+package soar_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/soar"
+)
+
+func TestWaterJugSolves(t *testing.T) {
+	var out strings.Builder
+	a, err := soar.NewAgent(soar.WaterJug, soar.Options{Out: &out, MaxDecisions: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Halted {
+		t.Fatalf("agent did not reach the goal; decisions=%d impasses=%d output:\n%s\nWM:\n%s",
+			decisions, a.Impasses, out.String(), dumpWM(a))
+	}
+	if !strings.Contains(out.String(), "solved") {
+		t.Errorf("missing success message:\n%s", out.String())
+	}
+	// The pour-first strategy solves 5/3 -> 4 in 6 operators, with tie
+	// impasses whenever only fills are available.
+	if decisions < 6 || decisions > 12 {
+		t.Errorf("decisions = %d, want 6-12", decisions)
+	}
+	if a.Impasses < 1 {
+		t.Errorf("impasses = %d, want >= 1 (initial fill tie)", a.Impasses)
+	}
+	// Final state: the large jug holds 4.
+	for _, w := range a.Engine().WM.OfClass("jug") {
+		if w.Get("id").Sym == "a" && w.Get("amount").Num != 4 {
+			t.Errorf("jug a = %v, want 4", w.Get("amount"))
+		}
+	}
+	// Subgoals popped after their ties resolved.
+	if got := len(a.GoalStack()); got != 1 {
+		t.Errorf("goal stack depth = %d, want 1 (subgoals popped)", got)
+	}
+}
+
+func dumpWM(a *soar.Agent) string {
+	var b strings.Builder
+	for _, w := range a.Engine().WM.Elements() {
+		b.WriteString(w.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestElaborationWavesAreParallel(t *testing.T) {
+	// With both jugs holding water, the three proposal rules produce
+	// several preferences in ONE wave: the trace must contain batches
+	// with multiple WM changes (the paper's parallel firings).
+	a, err := soar.NewAgent(soar.WaterJug, soar.Options{Trace: true, MaxDecisions: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := a.Recorder.Trace
+	// Count changes per batch; elaboration waves must produce batches
+	// with >= 3 changes (multiple preferences at once).
+	perBatch := map[int]int{}
+	for _, task := range tr.Tasks {
+		if task.Parent == 0 {
+			perBatch[task.Batch]++
+		}
+	}
+	maxBatch := 0
+	for _, n := range perBatch {
+		if n > maxBatch {
+			maxBatch = n
+		}
+	}
+	if maxBatch < 3 {
+		t.Errorf("largest batch = %d changes, want >= 3 (parallel elaboration wave)", maxBatch)
+	}
+}
+
+func TestAgentRequiresRootGoal(t *testing.T) {
+	src := `
+(p noop (x ^v 1) --> (halt))
+`
+	if _, err := soar.NewAgent(src, soar.Options{}); err == nil {
+		t.Error("expected error for missing root goal")
+	}
+	two := `
+(p noop (x ^v 1) --> (halt))
+(make goal ^id g1 ^status active)
+(make goal ^id g2 ^status active)
+`
+	if _, err := soar.NewAgent(two, soar.Options{}); err == nil {
+		t.Error("expected error for two root goals")
+	}
+}
+
+func TestNoCandidatesStops(t *testing.T) {
+	// A task whose rules never create preferences quiesces immediately.
+	src := `
+(p elaborate*nothing (goal ^id <g> ^status active) (never ^v 1) --> (make x ^v 1))
+(make goal ^id g1 ^status active)
+`
+	a, err := soar.NewAgent(src, soar.Options{MaxDecisions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisions != 0 || a.Halted {
+		t.Errorf("decisions=%d halted=%v, want 0/false (state no-change)", decisions, a.Halted)
+	}
+}
+
+func TestOperatorWMEInstalled(t *testing.T) {
+	// Drive one Step and check the operator WME appears and preferences
+	// are consumed.
+	a, err := soar.NewAgent(soar.WaterJug, soar.Options{MaxDecisions: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: initial fill tie -> impasse.
+	if ok, err := a.Step(); err != nil || !ok {
+		t.Fatalf("step 1: ok=%v err=%v", ok, err)
+	}
+	if a.Impasses != 1 || len(a.GoalStack()) != 2 {
+		t.Fatalf("expected a tie impasse, impasses=%d stack=%v", a.Impasses, a.GoalStack())
+	}
+	// Step 2: subgoal knowledge resolves the tie; fill a installs.
+	if ok, err := a.Step(); err != nil || !ok {
+		t.Fatalf("step 2: ok=%v err=%v", ok, err)
+	}
+	if len(a.GoalStack()) != 1 {
+		t.Errorf("subgoal not popped: %v", a.GoalStack())
+	}
+	var jugA *ops5.WME
+	for _, w := range a.Engine().WM.OfClass("jug") {
+		if w.Get("id").Sym == "a" {
+			jugA = w
+		}
+	}
+	if jugA == nil || jugA.Get("amount").Num != 5 {
+		t.Errorf("after fill a, jug a = %v", jugA)
+	}
+	if prefs := a.Engine().WM.OfClass("preference"); len(prefs) != 0 {
+		t.Errorf("preferences not consumed at decision: %d remain", len(prefs))
+	}
+}
+
+func TestEightPuzzleSoarSolvesShallowScramble(t *testing.T) {
+	// Two moves from the goal: greedy Manhattan descent with no-undo
+	// must solve it (see eightpuzzle.go for the strategy rules).
+	layout := [9]int{1, 2, 3, 4, 0, 6, 7, 5, 8}
+	wmes, err := soar.EightPuzzleSoarWM(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	a, err := soar.NewAgent(soar.EightPuzzleSoar, soar.Options{
+		Out: &out, MaxDecisions: 40, ExtraWM: wmes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Halted || !strings.Contains(out.String(), "puzzle solved") {
+		t.Fatalf("not solved after %d decisions; output=%q WM:\n%s",
+			decisions, out.String(), dumpWM(a))
+	}
+	if decisions > 8 {
+		t.Errorf("decisions = %d, want <= 8 for a 2-move scramble", decisions)
+	}
+}
+
+func TestEightPuzzleSoarFourMoveScramble(t *testing.T) {
+	// Four moves from the goal along distinct tiles.
+	layout := [9]int{1, 2, 3, 7, 4, 6, 0, 5, 8}
+	wmes, err := soar.EightPuzzleSoarWM(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	a, err := soar.NewAgent(soar.EightPuzzleSoar, soar.Options{
+		Out: &out, MaxDecisions: 60, ExtraWM: wmes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Halted {
+		t.Fatalf("not solved; WM:\n%s", dumpWM(a))
+	}
+}
+
+func TestEightPuzzleSoarWMErrors(t *testing.T) {
+	if _, err := soar.EightPuzzleSoarWM([9]int{1, 2, 3, 4, 5, 6, 7, 8, 9}); err == nil {
+		t.Error("expected error for invalid tile value")
+	}
+	if _, err := soar.EightPuzzleSoarWM([9]int{1, 2, 3, 4, 5, 6, 7, 8, 0}); err != nil {
+		t.Errorf("goal layout should be valid: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package soar
+
+// WaterJug is the classic Soar tutorial task: two jugs of capacity 5
+// and 3, and the goal of measuring exactly 4 units into the large jug.
+// It exercises every Soar-lite mechanism: parallel proposal
+// elaborations, best preferences encoding the pour-first strategy, a
+// tie impasse whenever only fills are available (resolved in a subgoal
+// that prefers filling the larger jug), and compute arithmetic in the
+// operator applications.
+const WaterJug = `
+(literalize jug id capacity amount free)
+(literalize goal id status type for task)
+(literalize preference goal op arg arg2 value)
+(literalize operator goal op arg arg2)
+
+; --- proposals (elaboration phase; all fire in parallel) ------------
+
+(p propose*fill
+    (goal ^id <g> ^task water-jug ^status active)
+    (jug ^id <j> ^free > 0)
+  -->
+    (make preference ^goal <g> ^op fill ^arg <j> ^value acceptable))
+
+(p propose*empty
+    (goal ^id <g> ^task water-jug ^status active)
+    (jug ^id <j> ^amount > 0)
+  -->
+    (make preference ^goal <g> ^op empty ^arg <j> ^value acceptable))
+
+(p propose*pour
+    (goal ^id <g> ^task water-jug ^status active)
+    (jug ^id <i> ^amount > 0)
+    (jug ^id { <j> <> <i> } ^free > 0)
+  -->
+    (make preference ^goal <g> ^op pour ^arg <i> ^arg2 <j> ^value acceptable))
+
+; --- strategy knowledge ---------------------------------------------
+
+; Pouring the large jug into the small one is always the best move.
+(p elaborate*prefer-pour
+    (goal ^id <g> ^task water-jug ^status active)
+    (preference ^goal <g> ^op pour ^arg a ^arg2 b ^value acceptable)
+  -->
+    (make preference ^goal <g> ^op pour ^arg a ^arg2 b ^value best))
+
+; When the small jug is full, emptying it is the best move.
+(p elaborate*empty-small-when-full
+    (goal ^id <g> ^task water-jug ^status active)
+    (preference ^goal <g> ^op empty ^arg b ^value acceptable)
+    (jug ^id b ^amount <m> ^capacity <m>)
+   -(preference ^goal <g> ^op pour ^arg a ^arg2 b ^value acceptable)
+  -->
+    (make preference ^goal <g> ^op empty ^arg b ^value best))
+
+; Tie impasse: in the subgoal, prefer filling the larger jug.
+(p elaborate*tie-fill-largest
+    (goal ^id <sg> ^type tie ^for <g> ^status active)
+    (preference ^goal <g> ^op fill ^arg <i> ^value acceptable)
+    (jug ^id <i> ^capacity <ci>)
+    (preference ^goal <g> ^op fill ^arg { <j> <> <i> } ^value acceptable)
+    (jug ^id <j> ^capacity < <ci>)
+  -->
+    (make preference ^goal <g> ^op fill ^arg <i> ^value best))
+
+; --- success test ----------------------------------------------------
+
+(p elaborate*success
+    (goal ^id <g> ^task water-jug ^status active)
+    (jug ^id a ^amount 4)
+  -->
+    (write solved: the large jug holds 4)
+    (halt))
+
+; --- operator applications ------------------------------------------
+
+(p apply*fill
+    (operator ^goal <g> ^op fill ^arg <j>)
+    (jug ^id <j> ^capacity <c>)
+  -->
+    (modify 2 ^amount <c> ^free 0)
+    (remove 1))
+
+(p apply*empty
+    (operator ^goal <g> ^op empty ^arg <j>)
+    (jug ^id <j> ^capacity <c>)
+  -->
+    (modify 2 ^amount 0 ^free <c>)
+    (remove 1))
+
+; Pour, case 1: everything fits in the target.
+(p apply*pour-all
+    (operator ^goal <g> ^op pour ^arg <i> ^arg2 <j>)
+    (jug ^id <i> ^amount { <m> > 0 } ^capacity <ci>)
+    (jug ^id <j> ^amount <n> ^free { <f> >= <m> })
+  -->
+    (modify 2 ^amount 0 ^free <ci>)
+    (modify 3 ^amount (compute <n> + <m>) ^free (compute <f> - <m>))
+    (remove 1))
+
+; Pour, case 2: the target fills and the source keeps the remainder.
+(p apply*pour-some
+    (operator ^goal <g> ^op pour ^arg <i> ^arg2 <j>)
+    (jug ^id <i> ^amount { <m> > 0 } ^free <fi>)
+    (jug ^id <j> ^capacity <c> ^amount <n> ^free { <f> > 0 < <m> })
+  -->
+    (modify 2 ^amount (compute <m> - <f>) ^free (compute <fi> + <f>))
+    (modify 3 ^amount <c> ^free 0)
+    (remove 1))
+
+; --- initial state ----------------------------------------------------
+
+(make goal ^id g1 ^task water-jug ^status active)
+(make jug ^id a ^capacity 5 ^amount 0 ^free 5)
+(make jug ^id b ^capacity 3 ^amount 0 ^free 3)
+`

@@ -1,0 +1,157 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/trace"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr := &trace.Trace{
+		Name:    "rt",
+		Batches: 2,
+		Changes: 3,
+		Firings: 2,
+		Tasks: []trace.Task{
+			{ID: 1, Parent: 0, Batch: 0, Change: 0, NodeID: 7, Prod: -1, Kind: rete.KindRoot, Cost: 80},
+			{ID: 2, Parent: 1, Batch: 0, Change: 0, NodeID: 9, Prod: 3, Kind: rete.KindJoinRight, Cost: 120, SharedBy: 2},
+			{ID: 3, Parent: 0, Batch: 1, Change: 0, NodeID: 7, Prod: -1, Kind: rete.KindRoot, Cost: 60},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", tr, got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestTotalsAndPerChange(t *testing.T) {
+	tr := &trace.Trace{Changes: 4, Tasks: []trace.Task{{Cost: 100}, {Cost: 300}}}
+	if tr.TotalCost() != 400 {
+		t.Errorf("total = %f", tr.TotalCost())
+	}
+	if tr.CostPerChange() != 100 {
+		t.Errorf("per change = %f", tr.CostPerChange())
+	}
+	empty := &trace.Trace{}
+	if empty.CostPerChange() != 0 {
+		t.Error("empty trace per-change should be 0")
+	}
+}
+
+func TestRecorderCapturesDependencies(t *testing.T) {
+	p, err := ops5.ParseProduction(`
+(p two
+    (a ^v <x>)
+    (b ^v <x>)
+  -->
+    (remove 1))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := rete.Compile([]*ops5.Production{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder("t", net, cost.Default())
+
+	w1 := ops5.NewWME("a", "v", 1)
+	w1.TimeTag = 1
+	w2 := ops5.NewWME("b", "v", 1)
+	w2.TimeTag = 2
+	rec.Apply([]ops5.Change{{Kind: ops5.Insert, WME: w1}})
+	rec.Apply([]ops5.Change{{Kind: ops5.Insert, WME: w2}})
+
+	if rec.Trace.Batches != 2 || rec.Trace.Changes != 2 {
+		t.Fatalf("batches=%d changes=%d", rec.Trace.Batches, rec.Trace.Changes)
+	}
+	// Every non-root task's parent must exist within the same batch
+	// (ordering within a batch is not significant; the simulator builds
+	// the dependency map per batch).
+	batchOf := map[int64]int{}
+	for _, task := range rec.Trace.Tasks {
+		batchOf[task.ID] = task.Batch
+	}
+	for _, task := range rec.Trace.Tasks {
+		if task.Parent != 0 {
+			pb, ok := batchOf[task.Parent]
+			if !ok {
+				t.Errorf("task %d: parent %d not in trace", task.ID, task.Parent)
+			} else if pb != task.Batch {
+				t.Errorf("task %d: parent in different batch", task.ID)
+			}
+		}
+		if task.Cost <= 0 {
+			t.Errorf("task %d has non-positive cost", task.ID)
+		}
+	}
+	// The second change joins against the first: there must be at
+	// least one terminal activation in batch 1.
+	foundTerm := false
+	for _, task := range rec.Trace.Tasks {
+		if task.Batch == 1 && task.Kind == rete.KindTerm {
+			foundTerm = true
+		}
+	}
+	if !foundTerm {
+		t.Error("no terminal activation recorded for the completed match")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &trace.Trace{Batches: 2, Changes: 3}
+	// Batch 0, change 0: root(1) -> a(2) -> b(3); root -> c(4).
+	tr.Tasks = []trace.Task{
+		{ID: 1, Parent: 0, Batch: 0, Change: 0, Kind: rete.KindRoot, Cost: 100},
+		{ID: 2, Parent: 1, Batch: 0, Change: 0, Kind: rete.KindJoinRight, Cost: 50},
+		{ID: 3, Parent: 2, Batch: 0, Change: 0, Kind: rete.KindJoinLeft, Cost: 50},
+		{ID: 4, Parent: 1, Batch: 0, Change: 0, Kind: rete.KindJoinRight, Cost: 30},
+		// Batch 1: two single-root changes.
+		{ID: 5, Parent: 0, Batch: 1, Change: 0, Kind: rete.KindRoot, Cost: 60},
+		{ID: 6, Parent: 0, Batch: 1, Change: 1, Kind: rete.KindRoot, Cost: 40},
+	}
+	a := trace.Analyze(tr)
+	if a.Tasks != 6 || a.Changes != 3 || a.Batches != 2 {
+		t.Errorf("totals: %+v", a)
+	}
+	if a.DepthMax != 3 {
+		t.Errorf("depth max = %d, want 3", a.DepthMax)
+	}
+	// Change 0 critical path: 100+50+50 = 200 of 230 total.
+	wantShare := (200.0/230.0 + 1 + 1) / 3
+	if diff := a.CriticalPathShare - wantShare; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("critical path share = %f, want %f", a.CriticalPathShare, wantShare)
+	}
+	if a.ByKind["root"] != 3 || a.ByKind["join-right"] != 2 {
+		t.Errorf("kinds: %v", a.ByKind)
+	}
+	if a.CostMax != 100 {
+		t.Errorf("cost max = %f", a.CostMax)
+	}
+	if s := a.String(); !strings.Contains(s, "critical-path share") {
+		t.Errorf("report: %s", s)
+	}
+	// Empty trace does not panic.
+	if e := trace.Analyze(&trace.Trace{}); e.Tasks != 0 {
+		t.Errorf("empty analysis: %+v", e)
+	}
+}

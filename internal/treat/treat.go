@@ -1,0 +1,279 @@
+// Package treat implements the TREAT match algorithm (Miranker 1984),
+// the low end of the state-saving spectrum discussed in §3.2 of the
+// paper: only matches between individual condition elements and working
+// memory elements (alpha memories) are stored; tuples matching
+// combinations of condition elements are recomputed on every cycle.
+// TREAT is the algorithm the DADO machine comparison in §7 uses.
+package treat
+
+import (
+	"repro/internal/ops5"
+)
+
+// ceMem is the alpha memory for one condition element of one production.
+type ceMem struct {
+	ce    *ops5.CondElement
+	items map[int]*ops5.WME // by time tag
+}
+
+// prodState is per-production match state.
+type prodState struct {
+	prod *ops5.Production
+	mems []*ceMem // one per LHS element, in order
+}
+
+// Matcher is a TREAT matcher over a fixed production set.
+//
+// Positive changes are processed with the seeded-join TREAT rule: the
+// changed WME is pinned at each condition element it matches and the
+// remaining condition elements are joined from their alpha memories.
+// Changes relevant to a negated condition element conservatively
+// recompute that production's instantiations (a correctness-preserving
+// simplification of Miranker's negated-CE bookkeeping).
+type Matcher struct {
+	prods []*prodState
+
+	// OnInsert and OnRemove receive conflict-set deltas.
+	OnInsert func(*ops5.Instantiation)
+	OnRemove func(*ops5.Instantiation)
+
+	// insts tracks current instantiations by key, per production, so
+	// deletions and negated-CE recomputations can emit exact deltas.
+	insts map[*ops5.Production]map[string]*ops5.Instantiation
+
+	// Stats accumulates work counters for the §3 cost comparisons.
+	Stats Stats
+}
+
+// Stats counts the work TREAT performs.
+type Stats struct {
+	Changes          int
+	AlphaInserts     int64
+	AlphaDeletes     int64
+	JoinTuplesTested int64
+	Recomputes       int64
+	ConflictInserts  int64
+	ConflictRemoves  int64
+}
+
+// New builds a TREAT matcher for the productions.
+func New(prods []*ops5.Production) (*Matcher, error) {
+	m := &Matcher{insts: make(map[*ops5.Production]map[string]*ops5.Instantiation)}
+	for _, p := range prods {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		ps := &prodState{prod: p}
+		for _, ce := range p.LHS {
+			ps.mems = append(ps.mems, &ceMem{ce: ce, items: make(map[int]*ops5.WME)})
+		}
+		m.prods = append(m.prods, ps)
+		m.insts[p] = make(map[string]*ops5.Instantiation)
+	}
+	return m, nil
+}
+
+// StateSize returns the amount of stored match state: alpha-memory
+// entries only — the low end of the §3.2 spectrum.
+func (m *Matcher) StateSize() int {
+	size := 0
+	for _, ps := range m.prods {
+		for _, mem := range ps.mems {
+			size += len(mem.items)
+		}
+	}
+	return size
+}
+
+// Apply processes a batch of WM changes in order.
+func (m *Matcher) Apply(changes []ops5.Change) {
+	for _, ch := range changes {
+		m.applyOne(ch)
+		m.Stats.Changes++
+	}
+}
+
+func (m *Matcher) applyOne(ch ops5.Change) {
+	for _, ps := range m.prods {
+		touchedNeg := false
+		var posHits []int
+		for i, mem := range ps.mems {
+			if !ops5.AlphaPass(mem.ce, ch.WME) {
+				continue
+			}
+			switch ch.Kind {
+			case ops5.Insert:
+				mem.items[ch.WME.TimeTag] = ch.WME
+				m.Stats.AlphaInserts++
+			case ops5.Delete:
+				delete(mem.items, ch.WME.TimeTag)
+				m.Stats.AlphaDeletes++
+			}
+			if mem.ce.Negated {
+				touchedNeg = true
+			} else {
+				posHits = append(posHits, i)
+			}
+		}
+		switch {
+		case touchedNeg:
+			// Conservative: recompute this production's instantiations.
+			m.recompute(ps)
+		case ch.Kind == ops5.Insert:
+			for _, i := range posHits {
+				m.seedJoin(ps, i, ch.WME)
+			}
+		case ch.Kind == ops5.Delete && len(posHits) > 0:
+			m.removeContaining(ps.prod, ch.WME)
+		}
+	}
+}
+
+// seedJoin computes the new instantiations that include w at positive CE
+// position seedIdx and inserts them into the conflict set.
+func (m *Matcher) seedJoin(ps *prodState, seedIdx int, w *ops5.WME) {
+	wmes := make([]*ops5.WME, len(ps.prod.LHS))
+	var rec func(ceIdx int, b ops5.Bindings)
+	rec = func(ceIdx int, b ops5.Bindings) {
+		if ceIdx == len(ps.prod.LHS) {
+			inst := &ops5.Instantiation{
+				Production: ps.prod,
+				WMEs:       append([]*ops5.WME(nil), wmes...),
+				Bindings:   b.Clone(),
+			}
+			m.insert(inst)
+			return
+		}
+		ce := ps.prod.LHS[ceIdx]
+		mem := ps.mems[ceIdx]
+		if ce.Negated {
+			for _, x := range mem.items {
+				m.Stats.JoinTuplesTested++
+				if _, ok := ops5.MatchCE(ce, x, b); ok {
+					return
+				}
+			}
+			wmes[ceIdx] = nil
+			rec(ceIdx+1, b)
+			return
+		}
+		if ceIdx == seedIdx {
+			m.Stats.JoinTuplesTested++
+			if nb, ok := ops5.MatchCE(ce, w, b); ok {
+				wmes[ceIdx] = w
+				rec(ceIdx+1, nb)
+				wmes[ceIdx] = nil
+			}
+			return
+		}
+		for _, x := range mem.items {
+			// The seed WME may legitimately fill several positive CEs
+			// of one instantiation. To emit each instantiation exactly
+			// once, the seed position must be the first position that
+			// uses w: positions before the seed may not use it,
+			// positions after it may.
+			if x == w && ceIdx < seedIdx {
+				continue
+			}
+			m.Stats.JoinTuplesTested++
+			if nb, ok := ops5.MatchCE(ce, x, b); ok {
+				wmes[ceIdx] = x
+				rec(ceIdx+1, nb)
+				wmes[ceIdx] = nil
+			}
+		}
+	}
+	rec(0, ops5.Bindings{})
+}
+
+// removeContaining drops every instantiation of p that uses w.
+func (m *Matcher) removeContaining(p *ops5.Production, w *ops5.WME) {
+	for key, inst := range m.insts[p] {
+		for _, x := range inst.WMEs {
+			if x == w {
+				delete(m.insts[p], key)
+				m.Stats.ConflictRemoves++
+				if m.OnRemove != nil {
+					m.OnRemove(inst)
+				}
+				break
+			}
+		}
+	}
+}
+
+// recompute rebuilds a production's instantiation set from its alpha
+// memories and emits the difference.
+func (m *Matcher) recompute(ps *prodState) {
+	m.Stats.Recomputes++
+	fresh := make(map[string]*ops5.Instantiation)
+	wmes := make([]*ops5.WME, len(ps.prod.LHS))
+	var rec func(ceIdx int, b ops5.Bindings)
+	rec = func(ceIdx int, b ops5.Bindings) {
+		if ceIdx == len(ps.prod.LHS) {
+			inst := &ops5.Instantiation{
+				Production: ps.prod,
+				WMEs:       append([]*ops5.WME(nil), wmes...),
+				Bindings:   b.Clone(),
+			}
+			fresh[inst.Key()] = inst
+			return
+		}
+		ce := ps.prod.LHS[ceIdx]
+		mem := ps.mems[ceIdx]
+		if ce.Negated {
+			for _, x := range mem.items {
+				m.Stats.JoinTuplesTested++
+				if _, ok := ops5.MatchCE(ce, x, b); ok {
+					return
+				}
+			}
+			wmes[ceIdx] = nil
+			rec(ceIdx+1, b)
+			return
+		}
+		for _, x := range mem.items {
+			m.Stats.JoinTuplesTested++
+			if nb, ok := ops5.MatchCE(ce, x, b); ok {
+				wmes[ceIdx] = x
+				rec(ceIdx+1, nb)
+				wmes[ceIdx] = nil
+			}
+		}
+	}
+	rec(0, ops5.Bindings{})
+
+	cur := m.insts[ps.prod]
+	for key, inst := range cur {
+		if _, ok := fresh[key]; !ok {
+			delete(cur, key)
+			m.Stats.ConflictRemoves++
+			if m.OnRemove != nil {
+				m.OnRemove(inst)
+			}
+		}
+	}
+	for key, inst := range fresh {
+		if _, ok := cur[key]; !ok {
+			cur[key] = inst
+			m.Stats.ConflictInserts++
+			if m.OnInsert != nil {
+				m.OnInsert(inst)
+			}
+		}
+	}
+}
+
+// insert adds an instantiation if it is not already present.
+func (m *Matcher) insert(inst *ops5.Instantiation) {
+	cur := m.insts[inst.Production]
+	key := inst.Key()
+	if _, ok := cur[key]; ok {
+		return
+	}
+	cur[key] = inst
+	m.Stats.ConflictInserts++
+	if m.OnInsert != nil {
+		m.OnInsert(inst)
+	}
+}

@@ -1,0 +1,107 @@
+// Package wm implements OPS5 working memory: the global database of
+// assertions, with time tags, a class index, and change-batch helpers.
+package wm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ops5"
+)
+
+// Memory is a working memory. It assigns time tags on insertion and
+// indexes elements by class. Memory is not safe for concurrent mutation;
+// the engine serializes act phases.
+type Memory struct {
+	nextTag int
+	byTag   map[int]*ops5.WME
+	byClass map[string]map[int]*ops5.WME
+}
+
+// New returns an empty working memory. Time tags start at 1.
+func New() *Memory {
+	return &Memory{
+		nextTag: 1,
+		byTag:   make(map[int]*ops5.WME),
+		byClass: make(map[string]map[int]*ops5.WME),
+	}
+}
+
+// Size returns the number of elements currently in working memory.
+func (m *Memory) Size() int { return len(m.byTag) }
+
+// NextTag returns the time tag the next insertion will receive.
+func (m *Memory) NextTag() int { return m.nextTag }
+
+// Insert adds the element, assigning it a fresh time tag (overwriting any
+// tag already on the struct), and returns the element.
+func (m *Memory) Insert(w *ops5.WME) *ops5.WME {
+	w.TimeTag = m.nextTag
+	m.nextTag++
+	m.byTag[w.TimeTag] = w
+	cls := m.byClass[w.Class]
+	if cls == nil {
+		cls = make(map[int]*ops5.WME)
+		m.byClass[w.Class] = cls
+	}
+	cls[w.TimeTag] = w
+	return w
+}
+
+// Delete removes the element with the given time tag and returns it.
+func (m *Memory) Delete(tag int) (*ops5.WME, error) {
+	w, ok := m.byTag[tag]
+	if !ok {
+		return nil, fmt.Errorf("wm: no element with time tag %d", tag)
+	}
+	delete(m.byTag, tag)
+	delete(m.byClass[w.Class], tag)
+	return w, nil
+}
+
+// Get returns the element with the given time tag, if present.
+func (m *Memory) Get(tag int) (*ops5.WME, bool) {
+	w, ok := m.byTag[tag]
+	return w, ok
+}
+
+// Elements returns all elements ordered by time tag (oldest first).
+func (m *Memory) Elements() []*ops5.WME {
+	out := make([]*ops5.WME, 0, len(m.byTag))
+	for _, w := range m.byTag {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeTag < out[j].TimeTag })
+	return out
+}
+
+// OfClass returns the elements of one class ordered by time tag.
+func (m *Memory) OfClass(class string) []*ops5.WME {
+	cls := m.byClass[class]
+	out := make([]*ops5.WME, 0, len(cls))
+	for _, w := range cls {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeTag < out[j].TimeTag })
+	return out
+}
+
+// Apply applies a batch of changes to the stored state: inserts assign
+// fresh tags; deletes remove by the WME's tag. It returns the changes
+// with insert WMEs carrying their assigned tags (the same slice,
+// modified in place).
+func (m *Memory) Apply(changes []ops5.Change) ([]ops5.Change, error) {
+	for i := range changes {
+		switch changes[i].Kind {
+		case ops5.Insert:
+			m.Insert(changes[i].WME)
+		case ops5.Delete:
+			if _, err := m.Delete(changes[i].WME.TimeTag); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wm: unknown change kind %d", changes[i].Kind)
+		}
+	}
+	return changes, nil
+}

@@ -1,0 +1,123 @@
+package wm_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ops5"
+	"repro/internal/wm"
+)
+
+func TestInsertAssignsIncreasingTags(t *testing.T) {
+	m := wm.New()
+	a := m.Insert(ops5.NewWME("c", "v", 1))
+	b := m.Insert(ops5.NewWME("c", "v", 2))
+	if a.TimeTag != 1 || b.TimeTag != 2 {
+		t.Errorf("tags = %d, %d, want 1, 2", a.TimeTag, b.TimeTag)
+	}
+	if m.NextTag() != 3 {
+		t.Errorf("next tag = %d, want 3", m.NextTag())
+	}
+}
+
+func TestDeleteAndErrors(t *testing.T) {
+	m := wm.New()
+	w := m.Insert(ops5.NewWME("c", "v", 1))
+	got, err := m.Delete(w.TimeTag)
+	if err != nil || got != w {
+		t.Fatalf("delete: %v, %v", got, err)
+	}
+	if _, err := m.Delete(w.TimeTag); err == nil {
+		t.Fatal("double delete should error")
+	}
+	if _, ok := m.Get(w.TimeTag); ok {
+		t.Fatal("deleted element still visible")
+	}
+}
+
+func TestOfClassAndElementsOrdered(t *testing.T) {
+	m := wm.New()
+	m.Insert(ops5.NewWME("b", "v", 1))
+	m.Insert(ops5.NewWME("a", "v", 2))
+	m.Insert(ops5.NewWME("a", "v", 3))
+	as := m.OfClass("a")
+	if len(as) != 2 || as[0].TimeTag > as[1].TimeTag {
+		t.Errorf("OfClass(a) = %v", as)
+	}
+	all := m.Elements()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].TimeTag >= all[i].TimeTag {
+			t.Errorf("Elements not ordered: %v", all)
+		}
+	}
+}
+
+func TestApplyBatch(t *testing.T) {
+	m := wm.New()
+	w1 := ops5.NewWME("c", "v", 1)
+	w2 := ops5.NewWME("c", "v", 2)
+	if _, err := m.Apply([]ops5.Change{
+		{Kind: ops5.Insert, WME: w1},
+		{Kind: ops5.Insert, WME: w2},
+		{Kind: ops5.Delete, WME: w1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Errorf("size = %d, want 1", m.Size())
+	}
+	if _, err := m.Apply([]ops5.Change{{Kind: ops5.Delete, WME: w1}}); err == nil {
+		t.Fatal("deleting an absent element should error")
+	}
+}
+
+// TestQuickSizeInvariant property-checks that size always equals
+// inserts minus deletes for random operation sequences.
+func TestQuickSizeInvariant(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := wm.New()
+		live := []int{}
+		inserts, deletes := 0, 0
+		for i := 0; i < int(nOps); i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				idx := rng.Intn(len(live))
+				if _, err := m.Delete(live[idx]); err != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				deletes++
+			} else {
+				w := m.Insert(ops5.NewWME("c", "v", rng.Intn(5)))
+				live = append(live, w.TimeTag)
+				inserts++
+			}
+		}
+		return m.Size() == inserts-deletes && len(m.Elements()) == m.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTagsUnique property-checks tag uniqueness and monotonicity.
+func TestQuickTagsUnique(t *testing.T) {
+	f := func(n uint8) bool {
+		m := wm.New()
+		seen := map[int]bool{}
+		last := 0
+		for i := 0; i < int(n); i++ {
+			w := m.Insert(ops5.NewWME("c"))
+			if seen[w.TimeTag] || w.TimeTag <= last {
+				return false
+			}
+			seen[w.TimeTag] = true
+			last = w.TimeTag
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

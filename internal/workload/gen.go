@@ -1,0 +1,201 @@
+// Package workload provides the production-system workloads used by the
+// paper's evaluation: synthetic node-activation traces statistically
+// matched to the six CMU systems of §6 (VT, ILOG, MUD, DAA, R1-Soar,
+// Eight-Puzzle-Soar), and real OPS5 programs (eight-puzzle, blocks
+// world, monkey-and-bananas) that can be run through the instrumented
+// matcher to capture genuine traces.
+//
+// The original CMU systems are proprietary and lost; the generator
+// reproduces the published measurements instead (DESIGN.md §4): ~30
+// productions affected per WM change, a long-tailed per-production
+// processing cost (a few productions account for the bulk of the match
+// time, §8), 2-6 WM changes per firing, and per-system concurrency
+// plateaus ordered as in Figure 6-1.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/rete"
+	"repro/internal/trace"
+)
+
+// Params parameterises the synthetic trace generator.
+type Params struct {
+	// Name labels the workload (matches the paper's system names).
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// Cycles is the number of recognize-act cycles to generate.
+	Cycles int
+	// ChangesPerFiring is the mean WM changes one production firing
+	// makes (the paper measures 2-6, < 0.5% of WM).
+	ChangesPerFiring float64
+	// FiringsPerCycle > 1 models application-level parallel firings
+	// (the "parallel firings" curves of Figures 6-1/6-2).
+	FiringsPerCycle int
+	// AffectedMean is the mean number of productions affected per WM
+	// change (the paper measures ~30).
+	AffectedMean float64
+	// AffectedSpread is the standard deviation of the affected count.
+	AffectedSpread float64
+	// HeavyProb is the probability that an affected production is
+	// "heavy" — the small set of productions that account for the bulk
+	// of match time (§8).
+	HeavyProb float64
+	// HeavyChainMean is the mean two-input activation chain depth of a
+	// heavy production (light productions mostly have one activation).
+	HeavyChainMean float64
+	// HeavyFanout is the mean number of additional independent
+	// activations hanging off each chain node of a heavy production:
+	// the within-production parallelism that node-level scheduling can
+	// exploit but production-level scheduling cannot (§4).
+	HeavyFanout float64
+	// HeavyPool is the number of distinct heavy productions; a small
+	// pool concentrates heavy work on few rules across the changes of a
+	// cycle, reproducing the variance that caps production-level
+	// parallelism at ~5-fold (§4).
+	HeavyPool int
+	// HeavyCostFactor multiplies per-activation cost for heavy chains.
+	HeavyCostFactor float64
+	// CostBase is the mean instruction cost of one node activation
+	// (the paper's 50-100 instruction task granularity).
+	CostBase float64
+	// CostSpread is the half-width of the uniform cost jitter.
+	CostSpread float64
+	// LightTwoProb is the probability a light production needs two
+	// activations instead of one (most need exactly one, §4).
+	LightTwoProb float64
+	// RootCost is the constant-test network cost per WM change.
+	RootCost float64
+	// Prods is the size of the production pool affected ids are drawn
+	// from (the total number of rules in the system).
+	Prods int
+}
+
+// Generate builds a synthetic activation trace with the configured
+// statistics. Generation is deterministic in Params.Seed.
+func Generate(p Params) *trace.Trace {
+	rng := rand.New(rand.NewSource(p.Seed))
+	tr := &trace.Trace{Name: p.Name}
+	id := int64(0)
+	next := func() int64 { id++; return id }
+
+	firings := p.FiringsPerCycle
+	if firings < 1 {
+		firings = 1
+	}
+	for cycle := 0; cycle < p.Cycles; cycle++ {
+		changeIdx := 0
+		for f := 0; f < firings; f++ {
+			// Changes made by one firing: mean ChangesPerFiring, >= 1.
+			n := int(math.Round(p.ChangesPerFiring + rng.NormFloat64()*0.8))
+			if n < 1 {
+				n = 1
+			}
+			for c := 0; c < n; c++ {
+				rootID := next()
+				tr.Tasks = append(tr.Tasks, trace.Task{
+					ID: rootID, Parent: 0, Batch: cycle, Change: changeIdx,
+					NodeID: 0, Prod: -1, Kind: rete.KindRoot,
+					Cost: jitter(rng, p.RootCost, p.RootCost*0.25),
+				})
+				affected := int(math.Round(p.AffectedMean + rng.NormFloat64()*p.AffectedSpread))
+				if affected < 1 {
+					affected = 1
+				}
+				heavyPool := p.HeavyPool
+				if heavyPool < 1 {
+					heavyPool = 12
+				}
+				for a := 0; a < affected; a++ {
+					heavy := rng.Float64() < p.HeavyProb
+					var prod, chain int
+					costMul := 1.0
+					if heavy {
+						prod = rng.Intn(heavyPool)
+						chain = 1 + poisson(rng, p.HeavyChainMean)
+						costMul = p.HeavyCostFactor
+					} else {
+						prod = heavyPool + rng.Intn(maxInt(p.Prods-heavyPool, affected))
+						chain = 1
+						if rng.Float64() < p.LightTwoProb {
+							chain = 2 // some light productions have two joins
+						}
+					}
+					parent := rootID
+					for d := 0; d < chain; d++ {
+						tid := next()
+						kind := rete.KindJoinRight
+						if d > 0 {
+							kind = rete.KindJoinLeft
+						}
+						nodeCost := jitter(rng, p.CostBase, p.CostSpread) * costMul
+						tr.Tasks = append(tr.Tasks, trace.Task{
+							ID: tid, Parent: parent, Batch: cycle, Change: changeIdx,
+							NodeID: prod*64 + d + 1, Prod: prod, Kind: kind,
+							Cost: nodeCost,
+						})
+						// Independent activations fanning out of this
+						// chain node (multiple tokens through one join):
+						// parallel at node granularity, serial at
+						// production granularity.
+						if heavy {
+							for f := poisson(rng, p.HeavyFanout); f > 0; f-- {
+								fid := next()
+								tr.Tasks = append(tr.Tasks, trace.Task{
+									ID: fid, Parent: tid, Batch: cycle, Change: changeIdx,
+									NodeID: prod*64 + d + 1, Prod: prod, Kind: rete.KindJoinLeft,
+									Cost: jitter(rng, p.CostBase, p.CostSpread) * costMul,
+								})
+							}
+						}
+						parent = tid
+					}
+				}
+				changeIdx++
+			}
+		}
+		tr.Changes += changeIdx
+		tr.Firings += firings
+	}
+	tr.Batches = p.Cycles
+	return tr
+}
+
+// jitter returns mean ± uniform(spread), floored at 10 instructions.
+func jitter(rng *rand.Rand, mean, spread float64) float64 {
+	v := mean + (rng.Float64()*2-1)*spread
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// poisson samples a Poisson variate by Knuth's method (small means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

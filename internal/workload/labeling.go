@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ops5"
+)
+
+// Labeling is a Waltz-style constraint-propagation program: junctions
+// hold candidate labelings drawn from a per-type legality catalog, and
+// a candidate dies when one of its edge labels has no surviving
+// counterpart at the junction across that edge. Run to quiescence the
+// rules compute arc consistency — the computational core of Waltz line
+// labeling, with the legality catalog supplied as data (here generated
+// around a hidden ground truth rather than derived from trihedral
+// geometry, so no physics is being faked).
+//
+// The program is negation-heavy: the pruning rule's support test is a
+// negated condition element joined across two junctions, the pattern
+// that stresses not-node maintenance in every matcher.
+const Labeling = `
+(literalize junction id type arity)
+(literalize jedge junction slot edge)
+(literalize cand id junction alive)
+(literalize cand-label cand junction slot label alive)
+
+; A candidate dies when one of its labels has no surviving counterpart
+; across the shared edge.
+(p label*prune
+    (cand ^id <c> ^junction <j> ^alive yes)
+    (cand-label ^cand <c> ^slot <s> ^label <l> ^alive yes)
+    (jedge ^junction <j> ^slot <s> ^edge <e>)
+    (jedge ^junction { <k> <> <j> } ^slot <s2> ^edge <e>)
+   -(cand-label ^junction <k> ^slot <s2> ^label <l> ^alive yes)
+  -->
+    (modify 1 ^alive no))
+
+; Death propagates from a candidate to its remaining labels...
+(p label*kill-labels
+    (cand ^id <c> ^alive no)
+    (cand-label ^cand <c> ^alive yes)
+  -->
+    (modify 2 ^alive no))
+
+; ...and from a dead label back to its candidate (the prune rule marks
+; the candidate; this closes the loop if a label dies first).
+(p label*kill-cand
+    (cand-label ^cand <c> ^alive no)
+    (cand ^id <c> ^alive yes)
+  -->
+    (modify 2 ^alive no))
+`
+
+// LabelingParams configures the scene generator.
+type LabelingParams struct {
+	// Junctions is the number of junctions in the scene.
+	Junctions int
+	// Types is the number of distinct junction types (each with its own
+	// legality catalog).
+	Types int
+	// Labels is the label vocabulary size.
+	Labels int
+	// Decoys is the number of extra (non-ground-truth) catalog rows per
+	// type.
+	Decoys int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultLabelingParams returns a moderate scene.
+func DefaultLabelingParams() LabelingParams {
+	return LabelingParams{Junctions: 12, Types: 3, Labels: 4, Decoys: 3, Seed: 23}
+}
+
+// LabelingScene is a generated scene plus the data needed to verify the
+// rule program's output.
+type LabelingScene struct {
+	// WM is the initial working memory (junctions, edges, candidates).
+	WM []*ops5.WME
+	// GroundTruth maps junction id -> the candidate id of its
+	// ground-truth labeling, which arc consistency must never kill.
+	GroundTruth map[int]int
+	// AliveAC maps candidate id -> alive after arc consistency,
+	// computed independently in Go for cross-checking.
+	AliveAC map[int]bool
+}
+
+// GenerateLabeling builds a ring-with-chords scene: junction i connects
+// to junction i+1 (ring), plus random chords; each junction's slots are
+// its incident edges (arity 2-3). A hidden ground-truth edge labeling
+// seeds each type's catalog; decoy rows are random.
+func GenerateLabeling(p LabelingParams) (*LabelingScene, error) {
+	if p.Junctions < 3 {
+		return nil, fmt.Errorf("workload: labeling needs >= 3 junctions")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	label := func(i int) string { return fmt.Sprintf("l%d", i+1) }
+
+	// Ring edges; each junction has slots [prev-edge, next-edge].
+	type slotRef struct{ junction, slot int }
+	edgeEnds := map[int][]slotRef{}
+	nextEdge := 0
+	slots := make([][]int, p.Junctions) // junction -> slot -> edge id
+	for j := 0; j < p.Junctions; j++ {
+		slots[j] = []int{-1, -1}
+	}
+	for j := 0; j < p.Junctions; j++ {
+		k := (j + 1) % p.Junctions
+		e := nextEdge
+		nextEdge++
+		slots[j][1] = e
+		slots[k][0] = e
+		edgeEnds[e] = []slotRef{{j, 1}, {k, 0}}
+	}
+	// Chords give some junctions a third slot.
+	for c := 0; c < p.Junctions/3; c++ {
+		a := rng.Intn(p.Junctions)
+		b := rng.Intn(p.Junctions)
+		if a == b || len(slots[a]) >= 3 || len(slots[b]) >= 3 {
+			continue
+		}
+		e := nextEdge
+		nextEdge++
+		slots[a] = append(slots[a], e)
+		slots[b] = append(slots[b], e)
+		edgeEnds[e] = []slotRef{{a, 2}, {b, 2}}
+	}
+
+	// Hidden ground truth: one label per edge.
+	truth := make([]string, nextEdge)
+	for e := range truth {
+		truth[e] = label(rng.Intn(p.Labels))
+	}
+
+	// Junction types and catalogs. A type's catalog rows are keyed by
+	// arity; the ground-truth row for each junction of that type is added,
+	// plus random decoys.
+	typeOf := make([]int, p.Junctions)
+	type row []string
+	catalog := map[[2]int][]row{} // (type, arity) -> rows
+	addRow := func(t, arity int, r row) {
+		key := [2]int{t, arity}
+		for _, existing := range catalog[key] {
+			same := true
+			for i := range existing {
+				if existing[i] != r[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return
+			}
+		}
+		catalog[key] = append(catalog[key], r)
+	}
+	for j := 0; j < p.Junctions; j++ {
+		typeOf[j] = rng.Intn(p.Types)
+		r := make(row, len(slots[j]))
+		for s, e := range slots[j] {
+			r[s] = truth[e]
+		}
+		addRow(typeOf[j], len(slots[j]), r)
+	}
+	for t := 0; t < p.Types; t++ {
+		for _, arity := range []int{2, 3} {
+			for d := 0; d < p.Decoys; d++ {
+				r := make(row, arity)
+				for s := range r {
+					r[s] = label(rng.Intn(p.Labels))
+				}
+				addRow(t, arity, r)
+			}
+		}
+	}
+
+	// Build WM: junctions, jedges, candidates with labels.
+	scene := &LabelingScene{GroundTruth: map[int]int{}, AliveAC: map[int]bool{}}
+	for j := 0; j < p.Junctions; j++ {
+		scene.WM = append(scene.WM, ops5.NewWME("junction",
+			"id", j, "type", typeOf[j], "arity", len(slots[j])))
+		for s, e := range slots[j] {
+			scene.WM = append(scene.WM, ops5.NewWME("jedge",
+				"junction", j, "slot", s+1, "edge", e))
+		}
+	}
+	candID := 0
+	type candInfo struct {
+		junction int
+		labels   row
+	}
+	cands := map[int]candInfo{}
+	for j := 0; j < p.Junctions; j++ {
+		key := [2]int{typeOf[j], len(slots[j])}
+		for _, r := range catalog[key] {
+			candID++
+			cands[candID] = candInfo{junction: j, labels: r}
+			scene.WM = append(scene.WM, ops5.NewWME("cand",
+				"id", candID, "junction", j, "alive", "yes"))
+			for s, l := range r {
+				scene.WM = append(scene.WM, ops5.NewWME("cand-label",
+					"cand", candID, "junction", j, "slot", s+1, "label", l, "alive", "yes"))
+			}
+			isTruth := true
+			for s, e := range slots[j] {
+				if r[s] != truth[e] {
+					isTruth = false
+					break
+				}
+			}
+			if isTruth {
+				scene.GroundTruth[j] = candID
+			}
+		}
+	}
+
+	// Reference arc consistency in plain Go.
+	alive := map[int]bool{}
+	for id := range cands {
+		alive[id] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, info := range cands {
+			if !alive[id] {
+				continue
+			}
+			for s, l := range info.labels {
+				e := slots[info.junction][s]
+				for _, end := range edgeEnds[e] {
+					if end.junction == info.junction {
+						continue
+					}
+					supported := false
+					for oid, oinfo := range cands {
+						if alive[oid] && oinfo.junction == end.junction &&
+							oinfo.labels[end.slot] == l {
+							supported = true
+							break
+						}
+					}
+					if !supported {
+						alive[id] = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	scene.AliveAC = alive
+	return scene, nil
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ops5"
+)
+
+// MissManners is the classic OPS5 benchmark (Brant et al.): seat
+// dinner guests around a table so neighbours alternate sex and share a
+// hobby. It is the heaviest-join program in this repository — the
+// find_seating rule joins guest hobbies against the growing seating
+// tree with path/chosen bookkeeping — and follows the canonical
+// eight-rule structure. Rule ordering relies on OPS5 LEX semantics
+// (make_path outranks path_done by specificity while it can fire).
+const MissManners = `
+(literalize context state)
+(literalize guest name sex hobby)
+(literalize count c)
+(literalize last-seat seat)
+(literalize seating id pid path-done seat1 name1 seat2 name2)
+(literalize path id seat name)
+(literalize chosen id name hobby)
+
+(p assign-first-seat
+    (context ^state start)
+    (guest ^name <n>)
+    (count ^c <c>)
+  -->
+    (make seating ^id <c> ^pid 0 ^path-done yes ^seat1 1 ^name1 <n> ^seat2 1 ^name2 <n>)
+    (make path ^id <c> ^seat 1 ^name <n>)
+    (modify 3 ^c (compute <c> + 1))
+    (modify 1 ^state assign-seats))
+
+(p find-seating
+    (context ^state assign-seats)
+    (seating ^id <id> ^seat2 <seat> ^name2 <n> ^path-done yes)
+    (guest ^name <n> ^sex <s> ^hobby <h>)
+    (guest ^name <g> ^sex <> <s> ^hobby <h>)
+    (count ^c <c>)
+   -(path ^id <id> ^name <g>)
+   -(chosen ^id <id> ^name <g> ^hobby <h>)
+  -->
+    (make seating ^id <c> ^pid <id> ^path-done no
+                  ^seat1 <seat> ^name1 <n>
+                  ^seat2 (compute <seat> + 1) ^name2 <g>)
+    (make path ^id <c> ^seat (compute <seat> + 1) ^name <g>)
+    (make chosen ^id <id> ^name <g> ^hobby <h>)
+    (modify 5 ^c (compute <c> + 1))
+    (modify 1 ^state make-path))
+
+(p make-path
+    (context ^state make-path)
+    (seating ^id <id> ^pid <pid> ^path-done no)
+    (path ^id <pid> ^seat <s> ^name <n>)
+   -(path ^id <id> ^name <n>)
+  -->
+    (make path ^id <id> ^seat <s> ^name <n>))
+
+(p path-done
+    (context ^state make-path)
+    (seating ^id <id> ^path-done no)
+  -->
+    (modify 2 ^path-done yes)
+    (modify 1 ^state check-done))
+
+(p are-we-done
+    (context ^state check-done)
+    (last-seat ^seat <l>)
+    (seating ^seat2 <l> ^path-done yes)
+  -->
+    (write all guests seated)
+    (modify 1 ^state done))
+
+(p continue-assigning
+    (context ^state check-done)
+  -->
+    (modify 1 ^state assign-seats))
+
+(p all-done
+    (context ^state done)
+  -->
+    (halt))
+`
+
+// MannersParams configures the Miss Manners data generator.
+type MannersParams struct {
+	// Guests is the number of guests (even; half of each sex).
+	Guests int
+	// Hobbies is the hobby vocabulary size.
+	Hobbies int
+	// HobbiesPerGuest is how many hobbies each guest has.
+	HobbiesPerGuest int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultMannersParams returns the benchmark's smallest configuration.
+func DefaultMannersParams() MannersParams {
+	return MannersParams{Guests: 8, Hobbies: 3, HobbiesPerGuest: 2, Seed: 17}
+}
+
+// MannersWM generates the guest list and bookkeeping elements. With
+// HobbiesPerGuest >= 2 drawn from a small vocabulary and equal sex
+// counts, an alternating seating almost always exists (the canonical
+// generator's approach).
+func MannersWM(p MannersParams) ([]*ops5.WME, error) {
+	if p.Guests < 2 || p.Guests%2 != 0 {
+		return nil, fmt.Errorf("workload: manners needs an even number of guests >= 2, got %d", p.Guests)
+	}
+	if p.HobbiesPerGuest < 1 || p.HobbiesPerGuest > p.Hobbies {
+		return nil, fmt.Errorf("workload: hobbies per guest %d out of range 1..%d",
+			p.HobbiesPerGuest, p.Hobbies)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var wmes []*ops5.WME
+	for i := 0; i < p.Guests; i++ {
+		name := fmt.Sprintf("guest%d", i+1)
+		sex := "m"
+		if i%2 == 1 {
+			sex = "f"
+		}
+		perm := rng.Perm(p.Hobbies)
+		for _, h := range perm[:p.HobbiesPerGuest] {
+			wmes = append(wmes, ops5.NewWME("guest",
+				"name", name, "sex", sex, "hobby", fmt.Sprintf("h%d", h+1)))
+		}
+	}
+	wmes = append(wmes,
+		ops5.NewWME("count", "c", 1),
+		ops5.NewWME("last-seat", "seat", p.Guests),
+		ops5.NewWME("context", "state", "start"),
+	)
+	return wmes, nil
+}

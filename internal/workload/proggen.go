@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ops5"
+)
+
+// ProgGenParams configures the synthetic *rule program* generator (as
+// opposed to the synthetic *trace* generator in gen.go): it emits a
+// real OPS5 program plus a driver working-memory script, so the actual
+// matchers — not just the simulator — can be measured on programs whose
+// affected-production counts approach the paper's ~30.
+//
+// The generated program models a task-dispatch system: items flow
+// through stations; many productions watch each station class with
+// slightly different constant tests, so one WM change touches many
+// productions' alpha memories but only a few produce instantiations —
+// exactly the structure §4 measures.
+type ProgGenParams struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Stations is the number of station classes (WM change fan-out is
+	// per station).
+	Stations int
+	// RulesPerStation is the number of productions watching each
+	// station; they all share the station's class test (the node
+	// sharing the paper's alpha network exploits).
+	RulesPerStation int
+	// Kinds is the number of distinct item kinds rules filter on.
+	Kinds int
+}
+
+// DefaultProgGenParams returns a program of about 300 productions.
+func DefaultProgGenParams() ProgGenParams {
+	return ProgGenParams{Seed: 1, Stations: 10, RulesPerStation: 30, Kinds: 6}
+}
+
+// GenerateProgram emits the OPS5 source of the synthetic program.
+// Rules come in three shapes per station, echoing the paper's
+// distribution: most need one join, some need two, a few are heavy
+// three-join rules.
+func GenerateProgram(p ProgGenParams) string {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var b strings.Builder
+	b.WriteString("; Synthetic task-dispatch program (generated; see workload.GenerateProgram)\n")
+	for s := 0; s < p.Stations; s++ {
+		station := fmt.Sprintf("station%d", s)
+		for r := 0; r < p.RulesPerStation; r++ {
+			kind := rng.Intn(p.Kinds)
+			name := fmt.Sprintf("%s-rule%d", station, r)
+			switch {
+			case r%10 == 0:
+				// Heavy rule: three joins with variable chaining.
+				fmt.Fprintf(&b, `
+(p %s
+    (%s ^item <i> ^kind %d ^stage <g>)
+    (order ^item <i> ^priority <p>)
+    (worker ^station %s ^load < 9)
+   -(blocked ^item <i>)
+  -->
+    (make log ^rule %s ^item <i>))
+`, name, station, kind, station, name)
+			case r%4 == 0:
+				// Two-join rule.
+				fmt.Fprintf(&b, `
+(p %s
+    (%s ^item <i> ^kind %d)
+    (order ^item <i> ^priority > %d)
+  -->
+    (make log ^rule %s ^item <i>))
+`, name, station, kind, rng.Intn(5), name)
+			default:
+				// Single-CE rule with distinguishing constant tests.
+				fmt.Fprintf(&b, `
+(p %s
+    (%s ^item <i> ^kind %d ^stage %d)
+  -->
+    (make log ^rule %s ^item <i>))
+`, name, station, kind, rng.Intn(4), name)
+			}
+		}
+	}
+	return b.String()
+}
+
+// GenerateDriver builds a WM change script for the generated program:
+// each batch asserts one item arriving at a station (plus its order and
+// worker context) and retracts an old one. Returns batches of changes
+// with pre-assigned time tags, ready for Matcher.Apply.
+func GenerateDriver(p ProgGenParams, batches int) [][]ops5.Change {
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	var out [][]ops5.Change
+	tag := 0
+	newWME := func(class string, pairs ...any) *ops5.WME {
+		tag++
+		w := ops5.NewWME(class, pairs...)
+		w.TimeTag = tag
+		return w
+	}
+	type arrival struct{ item, order, station *ops5.WME }
+	var live []arrival
+	for i := 0; i < batches; i++ {
+		station := fmt.Sprintf("station%d", rng.Intn(p.Stations))
+		item := rng.Intn(1_000_000)
+		var batch []ops5.Change
+		a := arrival{
+			station: newWME(station,
+				"item", item, "kind", rng.Intn(p.Kinds), "stage", rng.Intn(4)),
+			order: newWME("order", "item", item, "priority", rng.Intn(10)),
+			item:  newWME("worker", "station", station, "load", rng.Intn(12)),
+		}
+		batch = append(batch,
+			ops5.Change{Kind: ops5.Insert, WME: a.station},
+			ops5.Change{Kind: ops5.Insert, WME: a.order},
+			ops5.Change{Kind: ops5.Insert, WME: a.item},
+		)
+		live = append(live, a)
+		// Retire an old arrival to keep WM near its stable size.
+		if len(live) > 12 {
+			old := live[0]
+			live = live[1:]
+			batch = append(batch,
+				ops5.Change{Kind: ops5.Delete, WME: old.station},
+				ops5.Change{Kind: ops5.Delete, WME: old.order},
+				ops5.Change{Kind: ops5.Delete, WME: old.item},
+			)
+		}
+		out = append(out, batch)
+	}
+	return out
+}

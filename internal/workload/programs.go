@@ -1,0 +1,160 @@
+package workload
+
+// Real OPS5 programs used as live workloads and in the examples. The
+// eight-puzzle program plays the role of the paper's Eight-Puzzle-Soar
+// at laptop scale; the others are the classic production-system demo
+// tasks contemporary with OPS5.
+
+// EightPuzzle is a rule program that slides tiles of the 3x3 eight
+// puzzle. Positions are numbered 1-9 row-major; (adjacent ^from ^to)
+// WMEs encode the legal moves. The move counter advances with the OPS5
+// (compute ...) arithmetic form, and every class is declared with
+// literalize as in full OPS5 programs. The program makes moves
+// (conflict resolution picks among legal moves by recency) and halts
+// after ^limit moves.
+const EightPuzzle = `
+(literalize counter moves limit)
+(literalize blank pos)
+(literalize tile val pos)
+(literalize adjacent from to)
+(literalize moved tile step)
+
+; Eight puzzle: slide tiles into the blank until the move limit.
+(p ep-halt
+    (counter ^moves <m> ^limit <m>)
+  -->
+    (halt))
+
+(p ep-move
+    (counter ^moves <m> ^limit <> <m>)
+    (blank ^pos <b>)
+    (adjacent ^from <b> ^to <t>)
+    (tile ^val <v> ^pos <t>)
+   -(moved ^tile <v> ^step <m>)
+  -->
+    (modify 4 ^pos <b>)
+    (modify 2 ^pos <t>)
+    (modify 1 ^moves (compute <m> + 1))
+    (make moved ^tile <v> ^step (compute <m> + 1)))
+
+; Drop stale move markers so working memory stays bounded.
+(p ep-clean
+    (counter ^moves <m>)
+    (moved ^tile <v> ^step < <m>)
+  -->
+    (remove 2))
+`
+
+// MonkeyBananas is the classic monkey-and-bananas planning task: the
+// monkey must push the ladder under the bananas, climb it, and grab
+// them. It demonstrates MEA conflict resolution with goal elements.
+const MonkeyBananas = `
+(p mb-done
+    (goal ^status satisfied)
+  -->
+    (write problem solved)
+    (halt))
+
+(p mb-grab
+    (goal ^type holds ^object bananas ^status active)
+    (monkey ^at <p> ^on ladder)
+    (bananas ^at <p>)
+  -->
+    (modify 1 ^status satisfied)
+    (write monkey grabs the bananas))
+
+(p mb-climb
+    (goal ^type holds ^object bananas ^status active)
+    (monkey ^at <p> ^on floor)
+    (ladder ^at <p>)
+    (bananas ^at <p>)
+  -->
+    (modify 2 ^on ladder)
+    (write monkey climbs the ladder))
+
+(p mb-push-ladder
+    (goal ^type holds ^object bananas ^status active)
+    (monkey ^at <p> ^on floor)
+    (ladder ^at <p>)
+    (bananas ^at { <q> <> <p> })
+  -->
+    (modify 2 ^at <q>)
+    (modify 3 ^at <q>)
+    (write monkey pushes the ladder))
+
+(p mb-walk-to-ladder
+    (goal ^type holds ^object bananas ^status active)
+    (monkey ^at <p> ^on floor)
+    (ladder ^at { <q> <> <p> })
+  -->
+    (modify 2 ^at <q>)
+    (write monkey walks to the ladder))
+
+(make goal ^type holds ^object bananas ^status active)
+(make monkey ^at a ^on floor)
+(make ladder ^at c)
+(make bananas ^at b)
+`
+
+// BlocksWorld solves block-stacking goals with the classical
+// terminating two-phase strategy: first unstack every tower onto the
+// table, then build the goal configuration bottom-up (a block is only
+// stacked onto a destination whose own goal, if any, is already
+// satisfied). Goals are (goal-on ^top ^below) WMEs.
+const BlocksWorld = `
+(p bw-done
+    (task ^status done)
+  -->
+    (halt))
+
+; Phase 1: take every tower apart, topmost blocks first.
+(p bw-unstack
+    (task ^status unstacking)
+    (on ^top <x> ^below { <y> <> table })
+   -(on ^top <z> ^below <x>)
+  -->
+    (modify 2 ^below table)
+    (write unstack <x> from <y>))
+
+(p bw-start-building
+    (task ^status unstacking)
+   -(on ^below <> table)
+  -->
+    (modify 1 ^status building)
+    (write all blocks on the table))
+
+; Bookkeeping: a goal is satisfied exactly when its relation holds.
+(p bw-mark-satisfied
+    (task ^status building)
+    (goal-on ^top <x> ^below <y> ^satisfied no)
+    (on ^top <x> ^below <y>)
+  -->
+    (modify 2 ^satisfied yes))
+
+(p bw-unsatisfy
+    (task ^status building)
+    (goal-on ^top <x> ^below <y> ^satisfied yes)
+   -(on ^top <x> ^below <y>)
+  -->
+    (modify 2 ^satisfied no))
+
+; Phase 2: build bottom-up — stack x onto y only when both are clear
+; and y itself needs no further placement.
+(p bw-stack
+    (task ^status building)
+    (goal-on ^top <x> ^below <y> ^satisfied no)
+    (on ^top <x> ^below <z>)
+   -(on ^top <w> ^below <x>)
+   -(on ^top <v> ^below <y>)
+   -(goal-on ^top <y> ^satisfied no)
+  -->
+    (modify 3 ^below <y>)
+    (write stack <x> onto <y>))
+
+(p bw-check-done
+    (task ^status building)
+   -(goal-on ^satisfied no)
+  -->
+    (modify 1 ^status done)
+    (write all goals satisfied))
+`

@@ -1,0 +1,90 @@
+package workload
+
+// Systems returns the synthetic analogues of the paper's §6 workloads,
+// in the order the figures list them. The parameters are calibrated so
+// that, on the default 32-processor PSM configuration, each system's
+// concurrency plateau falls where its curve sits in Figure 6-1 and the
+// eight-curve averages land near the paper's headline numbers (average
+// concurrency 15.92, ~9400 wme-changes/sec, true speed-up 8.25, lost
+// factor 1.93). The serial match cost per WM change is held near the
+// paper's measured c1 ≈ 1800 instructions, with the paper's task
+// granularity of 50-100 instructions per node activation.
+//
+// Per-system shape notes (from the paper's descriptions and figures):
+//
+//   - VT and ILOG make few WM changes per firing and have heavy
+//     sequential tails, so their curves flatten lowest.
+//   - MUD and DAA are mid-range.
+//   - R1-Soar and Eight-Puzzle-Soar support a "parallel firings" mode
+//     (multiple rule firings per cycle) that multiplies the changes
+//     processed in parallel and roughly doubles their plateaus.
+func Systems() []Params {
+	return []Params{
+		{
+			Name: "vt", Seed: 101, Cycles: 120,
+			ChangesPerFiring: 2.6, FiringsPerCycle: 1,
+			AffectedMean: 24, AffectedSpread: 6,
+			HeavyProb: 0.055, HeavyChainMean: 3.0, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.4,
+			CostBase: 38, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 1300,
+		},
+		{
+			Name: "ilog", Seed: 102, Cycles: 120,
+			ChangesPerFiring: 3.0, FiringsPerCycle: 1,
+			AffectedMean: 26, AffectedSpread: 7,
+			HeavyProb: 0.045, HeavyChainMean: 2.6, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.3,
+			CostBase: 38, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 1200,
+		},
+		{
+			Name: "mud", Seed: 103, Cycles: 120,
+			ChangesPerFiring: 3.7, FiringsPerCycle: 1,
+			AffectedMean: 28, AffectedSpread: 8,
+			HeavyProb: 0.04, HeavyChainMean: 2.2, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.2,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 900,
+		},
+		{
+			Name: "daa", Seed: 104, Cycles: 120,
+			ChangesPerFiring: 4.7, FiringsPerCycle: 1,
+			AffectedMean: 30, AffectedSpread: 9,
+			HeavyProb: 0.035, HeavyChainMean: 2.0, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.1,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 500,
+		},
+		{
+			Name: "ep-soar", Seed: 105, Cycles: 120,
+			ChangesPerFiring: 4.4, FiringsPerCycle: 1,
+			AffectedMean: 29, AffectedSpread: 8,
+			HeavyProb: 0.035, HeavyChainMean: 2.1, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.1,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 300,
+		},
+		{
+			Name: "r1-soar", Seed: 106, Cycles: 120,
+			ChangesPerFiring: 5.3, FiringsPerCycle: 1,
+			AffectedMean: 32, AffectedSpread: 9,
+			HeavyProb: 0.03, HeavyChainMean: 1.8, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.0,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 2400,
+		},
+		{
+			Name: "ep-soar (parallel firings)", Seed: 107, Cycles: 120,
+			ChangesPerFiring: 4.4, FiringsPerCycle: 2,
+			AffectedMean: 29, AffectedSpread: 8,
+			HeavyProb: 0.035, HeavyChainMean: 2.1, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.1,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 300,
+		},
+		{
+			Name: "r1-soar (parallel firings)", Seed: 108, Cycles: 120,
+			ChangesPerFiring: 5.3, FiringsPerCycle: 3,
+			AffectedMean: 32, AffectedSpread: 9,
+			HeavyProb: 0.03, HeavyChainMean: 1.8, HeavyFanout: 2.0, HeavyPool: 10, HeavyCostFactor: 2.0,
+			CostBase: 39, CostSpread: 13, LightTwoProb: 0.08, RootCost: 65, Prods: 2400,
+		},
+	}
+}
+
+// SystemByName returns the named system's parameters.
+func SystemByName(name string) (Params, bool) {
+	for _, p := range Systems() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
