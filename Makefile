@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench serve clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent layers: the sharded service, the parallel
+# matcher, and the engine's context-aware run loop.
+race:
+	$(GO) test -race ./internal/server/... ./internal/prete ./internal/engine
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+serve: build
+	$(GO) run ./cmd/psmd -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -9,8 +9,13 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
@@ -22,6 +27,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/psm"
 	"repro/internal/rete"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -395,6 +401,84 @@ func BenchmarkE16NodeExclusive(b *testing.B) {
 		}
 		b.ReportMetric(r.Concurrency, "concurrency")
 	})
+}
+
+// BenchmarkServerThroughput measures end-to-end wme-changes/sec through
+// the full service stack (HTTP JSON API -> shard mailbox -> engine):
+// the Miss Manners workload replayed against an in-process psmd server,
+// the serving-side counterpart of Figure 6-2's execution-speed metric.
+func BenchmarkServerThroughput(b *testing.B) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := workload.DefaultMannersParams()
+	wmes, err := workload.MannersWM(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	call := func(method, path string, body, out any) {
+		b.Helper()
+		payload, err := json.Marshal(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode/100 != 2 {
+			b.Fatalf("%s %s: %s: %s", method, path, resp.Status, data)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	const batch = 8
+	var changes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		call("POST", "/sessions", server.CreateRequest{ID: id, Program: workload.MissManners}, nil)
+		for start := 0; start < len(wmes); start += batch {
+			req := server.ChangesRequest{}
+			for _, w := range wmes[start:min(start+batch, len(wmes))] {
+				attrs := make(map[string]any, len(w.Attrs))
+				for k, v := range w.Attrs {
+					if v.Kind == ops5.NumValue {
+						attrs[k] = v.Num
+					} else {
+						attrs[k] = v.Sym
+					}
+				}
+				req.Changes = append(req.Changes, server.WireChange{Op: "assert", Class: w.Class, Attrs: attrs})
+			}
+			call("POST", "/sessions/"+id+"/changes", req, nil)
+		}
+		var run server.RunResponse
+		call("POST", "/sessions/"+id+"/run", server.RunRequest{}, &run)
+		if !run.Halted {
+			b.Fatal("manners did not finish")
+		}
+		var st server.SessionResponse
+		call("GET", "/sessions/"+id, nil, &st)
+		changes += st.TotalChanges
+		call("DELETE", "/sessions/"+id, nil, nil)
+	}
+	b.ReportMetric(float64(changes)/b.Elapsed().Seconds(), "wme-changes/s")
 }
 
 // BenchmarkMissManners runs the canonical join-heavy OPS5 benchmark

@@ -43,14 +43,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var strategy conflict.Strategy
-	switch *strategyName {
-	case "lex":
-		strategy = conflict.LEX
-	case "mea":
-		strategy = conflict.MEA
-	default:
-		fatal(fmt.Errorf("unknown strategy %q (lex|mea)", *strategyName))
+	strategy, err := conflict.ParseStrategy(*strategyName)
+	if err != nil {
+		fatal(err)
 	}
 
 	sys, err := core.NewSystem(string(src), core.Options{

@@ -1,0 +1,97 @@
+// Command psmd serves the rule-engine as a long-lived daemon: many
+// independent OPS5 sessions behind one HTTP JSON API, sharded across
+// engine goroutines by session ID (see internal/server).
+//
+// Usage examples:
+//
+//	psmd -addr :8080
+//	psmd -addr :8080 -shards 8 -queue 256 -timeout 10s
+//	psmd -addr :8080 -max-wmes 100000 -max-cycles 10000
+//
+// Endpoints (see internal/server/http.go for the wire formats):
+//
+//	POST   /sessions                create a session (program in body)
+//	GET    /sessions                list sessions
+//	GET    /sessions/{id}           session stats
+//	DELETE /sessions/{id}           delete a session
+//	POST   /sessions/{id}/changes   batched assert/retract changes
+//	POST   /sessions/{id}/run       run N recognize-act cycles
+//	GET    /sessions/{id}/conflicts conflict set (LEX order)
+//	GET    /sessions/{id}/wm        working memory (?class= filters)
+//	GET    /metrics                 serving metrics, text exposition
+//	GET    /statusz                 human-readable session table
+//	GET    /healthz                 liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 128, "per-shard mailbox depth before 429 backpressure")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff suggested on 429 responses")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = default, negative = none)")
+	maxWMEs := flag.Int("max-wmes", 0, "default per-session working-memory quota (0 = unlimited)")
+	maxCycles := flag.Int("max-cycles", 0, "default per-session cycles-per-run quota (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "psmd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		RetryAfter: *retryAfter,
+		DefaultQuota: server.Quota{
+			MaxWMEs:             *maxWMEs,
+			MaxCyclesPerRequest: *maxCycles,
+		},
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.HandlerWith(server.HandlerConfig{RequestTimeout: *timeout}),
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "psmd: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure before shutdown.
+		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "psmd: %v, draining (up to %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "psmd: shutdown: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		srv.Close()
+	}
+}

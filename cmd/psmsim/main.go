@@ -45,6 +45,12 @@ func main() {
 	maxCycles := flag.Int("max-cycles", 300, "cycle bound for -program runs")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "psmsim: unexpected argument %q (inputs are flags: -workload, -program, -trace)\n", flag.Arg(0))
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, p := range workload.Systems() {
 			fmt.Println(p.Name)

@@ -1,0 +1,230 @@
+// Command client is a load generator for the psmd rule-engine service.
+// It replays the Miss Manners workload (internal/workload) over the
+// HTTP JSON API: one session per concurrent worker, guest list posted
+// in batches, then recognize-act cycles run in chunks until the program
+// halts. It reports end-to-end working-memory changes per second — the
+// paper's throughput metric, measured through the full service stack —
+// and echoes the daemon's own psmd_* counters afterwards.
+//
+// Usage examples:
+//
+//	client                                  # in-process server, defaults
+//	client -addr localhost:8080             # against a running psmd
+//	client -sessions 8 -guests 16 -matcher parallel-rete
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ops5"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "psmd address (host:port); empty starts an in-process server")
+	sessions := flag.Int("sessions", 4, "concurrent sessions")
+	guests := flag.Int("guests", 8, "manners guests per session (even)")
+	batch := flag.Int("batch", 8, "working-memory changes per POST")
+	chunk := flag.Int("chunk", 64, "recognize-act cycles per run request")
+	matcher := flag.String("matcher", "", "matcher per session (rete, parallel-rete, treat, ...)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "client: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	if *addr == "" {
+		srv := server.New(server.Config{})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("in-process server at %s\n", base)
+	}
+
+	params := workload.DefaultMannersParams()
+	params.Guests = *guests
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		changes int // submitted + fired, per the daemon's accounting
+		cycles  int
+		fired   int
+		failed  []error
+	)
+	t0 := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := params
+			p.Seed = params.Seed + int64(i)
+			st, err := replay(base, fmt.Sprintf("load-%03d", i), *matcher, p, *batch, *chunk)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed = append(failed, fmt.Errorf("session %d: %w", i, err))
+				return
+			}
+			changes += st.TotalChanges
+			cycles += st.Cycles
+			fired += st.Fired
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	for _, err := range failed {
+		fmt.Fprintf(os.Stderr, "client: %v\n", err)
+	}
+	fmt.Printf("%d sessions, %d guests each: %d cycles, %d firings, %d wme changes in %v\n",
+		*sessions-len(failed), *guests, cycles, fired, changes, elapsed.Round(time.Millisecond))
+	fmt.Printf("end-to-end throughput: %.0f wme-changes/sec, %.0f firings/sec\n",
+		float64(changes)/elapsed.Seconds(), float64(fired)/elapsed.Seconds())
+
+	fmt.Println("\nserver counters (/metrics):")
+	printMetrics(base)
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay drives one session to completion and returns its final stats.
+func replay(base, id, matcher string, p workload.MannersParams, batch, chunk int) (server.SessionResponse, error) {
+	var stats server.SessionResponse
+	wmes, err := workload.MannersWM(p)
+	if err != nil {
+		return stats, err
+	}
+	err = post(base+"/sessions", server.CreateRequest{
+		ID: id, Program: workload.MissManners, Matcher: matcher,
+	}, nil)
+	if err != nil {
+		return stats, err
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	for start := 0; start < len(wmes); start += batch {
+		end := min(start+batch, len(wmes))
+		req := server.ChangesRequest{}
+		for _, w := range wmes[start:end] {
+			req.Changes = append(req.Changes, server.WireChange{
+				Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+			})
+		}
+		if err := post(base+"/sessions/"+id+"/changes", req, nil); err != nil {
+			return stats, err
+		}
+	}
+
+	for {
+		var run server.RunResponse
+		if err := post(base+"/sessions/"+id+"/run", server.RunRequest{Cycles: chunk}, &run); err != nil {
+			return stats, err
+		}
+		if run.Halted || run.Quiesced {
+			break
+		}
+	}
+	return stats, get(base+"/sessions/"+id, &stats)
+}
+
+// wireAttrs converts a WME's attributes to the JSON wire form.
+func wireAttrs(w *ops5.WME) map[string]any {
+	attrs := make(map[string]any, len(w.Attrs))
+	for k, v := range w.Attrs {
+		switch v.Kind {
+		case ops5.SymValue:
+			attrs[k] = v.Sym
+		case ops5.NumValue:
+			attrs[k] = v.Num
+		}
+	}
+	return attrs
+}
+
+// post sends a JSON body and decodes the response into out (if non-nil),
+// retrying after the suggested backoff on 429.
+func post(url string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(time.Duration(max(after, 1)) * time.Second)
+			continue
+		}
+		return decode(resp, out)
+	}
+}
+
+// get fetches a JSON document.
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+// decode checks the status and unmarshals the body.
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// printMetrics echoes the daemon's psmd_* counter lines.
+func printMetrics(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "client: metrics: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "psmd_") && !strings.Contains(line, "_bucket{") {
+			fmt.Println("  " + line)
+		}
+	}
+}

@@ -4,7 +4,9 @@
 package conflict
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ops5"
 )
@@ -29,6 +31,19 @@ func (s Strategy) String() string {
 		return "MEA"
 	}
 	return "LEX"
+}
+
+// ParseStrategy converts a name (case-insensitive "lex" or "mea") to a
+// strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "lex":
+		return LEX, nil
+	case "mea":
+		return MEA, nil
+	default:
+		return LEX, fmt.Errorf("conflict: unknown strategy %q (lex|mea)", name)
+	}
 }
 
 // Set is the conflict set: the instantiations of all currently satisfied

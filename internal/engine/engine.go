@@ -6,6 +6,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -14,6 +16,12 @@ import (
 	"repro/internal/ops5"
 	"repro/internal/wm"
 )
+
+// ErrCycleLimit is returned by RunContext when the cycle cap is reached
+// before the system quiesces or halts. It distinguishes "stopped by
+// policy" from "ran to completion", so services hosting untrusted
+// programs can degrade gracefully instead of running unbounded.
+var ErrCycleLimit = errors.New("engine: cycle limit reached")
 
 // Matcher is the interface every match algorithm implements. Conflict
 // set deltas are delivered through callbacks configured at construction
@@ -172,11 +180,32 @@ func usesConsumed(inst *ops5.Instantiation, consumed map[int]bool) bool {
 
 // Run executes cycles until no production can fire, halt is executed, or
 // MaxCycles is reached. It returns the number of cycles executed.
+// Reaching MaxCycles is not an error at this level (batch drivers treat
+// the cap as a normal stopping point); callers that need to distinguish
+// the capped case use RunContext, which reports it as ErrCycleLimit.
 func (e *Engine) Run() (int, error) {
+	n, err := e.RunContext(context.Background(), e.MaxCycles)
+	if errors.Is(err, ErrCycleLimit) {
+		err = nil
+	}
+	return n, err
+}
+
+// RunContext executes cycles until no production can fire, halt is
+// executed, ctx is done, or maxCycles is reached (zero means no bound;
+// the engine's MaxCycles field is ignored). It returns the number of
+// cycles executed this call, with ErrCycleLimit when the cap stopped the
+// run and ctx.Err() when cancellation or a deadline did. The context is
+// checked between cycles, so a single recognize-act cycle is never
+// interrupted mid-flight and working memory stays consistent.
+func (e *Engine) RunContext(ctx context.Context, maxCycles int) (int, error) {
 	start := e.Cycles
 	for {
-		if e.MaxCycles > 0 && e.Cycles-start >= e.MaxCycles {
-			return e.Cycles - start, nil
+		if err := ctx.Err(); err != nil {
+			return e.Cycles - start, err
+		}
+		if maxCycles > 0 && e.Cycles-start >= maxCycles {
+			return e.Cycles - start, ErrCycleLimit
 		}
 		ok, err := e.Step()
 		if err != nil {

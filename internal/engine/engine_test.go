@@ -1,6 +1,8 @@
 package engine_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -292,5 +294,62 @@ func TestCallUnregisteredErrors(t *testing.T) {
 	sys.Assert(ops5.NewWME("a", "v", 1))
 	if _, err := sys.Run(); err == nil {
 		t.Fatal("expected error for unregistered call")
+	}
+}
+
+// loopSrc is a program that never quiesces: every firing makes a fresh
+// WME that re-satisfies the production.
+const loopSrc = `
+(p loop
+    (c ^n <x>)
+  -->
+    (make c ^n <x>))
+`
+
+func TestRunContextCycleLimit(t *testing.T) {
+	sys := newSys(t, loopSrc, core.Options{})
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	n, err := sys.RunContext(context.Background(), 10)
+	if !errors.Is(err, engine.ErrCycleLimit) {
+		t.Fatalf("RunContext err = %v, want ErrCycleLimit", err)
+	}
+	if n != 10 {
+		t.Fatalf("RunContext ran %d cycles, want 10", n)
+	}
+	// Run keeps its historical contract: hitting MaxCycles is not an
+	// error.
+	sys.MaxCycles = 5
+	if n, err := sys.Run(); err != nil || n != 5 {
+		t.Fatalf("Run = (%d, %v), want (5, nil)", n, err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	sys := newSys(t, loopSrc, core.Options{})
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	sys.OnFire = func(*ops5.Instantiation) {
+		fired++
+		if fired == 3 {
+			cancel()
+		}
+	}
+	n, err := sys.RunContext(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if n != 3 {
+		t.Fatalf("RunContext ran %d cycles before cancel, want 3", n)
+	}
+}
+
+func TestRunContextQuiescenceIsNil(t *testing.T) {
+	src := `(p once (c ^n <x>) --> (remove 1))`
+	sys := newSys(t, src, core.Options{})
+	sys.Assert(ops5.NewWME("c", "n", 1))
+	n, err := sys.RunContext(context.Background(), 50)
+	if err != nil || n != 1 {
+		t.Fatalf("RunContext = (%d, %v), want (1, nil)", n, err)
 	}
 }

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ops5"
+)
+
+// Wire types for the JSON API. OPS5 values map onto JSON naturally:
+// numbers stay numbers, symbols are strings, nil is null.
+
+// CreateRequest is the body of POST /sessions.
+type CreateRequest struct {
+	ID              string `json:"id,omitempty"`
+	Program         string `json:"program"`
+	Matcher         string `json:"matcher,omitempty"`
+	Strategy        string `json:"strategy,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	ParallelFirings int    `json:"parallel_firings,omitempty"`
+	MaxWMEs         int    `json:"max_wmes,omitempty"`
+	MaxCycles       int    `json:"max_cycles_per_request,omitempty"`
+}
+
+// WireChange is one change in POST /sessions/{id}/changes.
+type WireChange struct {
+	Op    string         `json:"op"` // "assert" | "retract"
+	Class string         `json:"class,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Tag   int            `json:"tag,omitempty"`
+}
+
+// ChangesRequest is the body of POST /sessions/{id}/changes.
+type ChangesRequest struct {
+	Changes []WireChange `json:"changes"`
+}
+
+// ChangesResponse reports a committed batch.
+type ChangesResponse struct {
+	Applied      int   `json:"applied"`
+	Tags         []int `json:"tags,omitempty"`
+	WMSize       int   `json:"wm_size"`
+	ConflictSize int   `json:"conflict_size"`
+}
+
+// RunRequest is the body of POST /sessions/{id}/run.
+type RunRequest struct {
+	Cycles int `json:"cycles,omitempty"` // 0 = until quiescence/halt/quota
+}
+
+// RunResponse reports an executed run.
+type RunResponse struct {
+	Cycles       int  `json:"cycles"`
+	Fired        int  `json:"fired"`
+	Halted       bool `json:"halted"`
+	Quiesced     bool `json:"quiesced"`
+	LimitHit     bool `json:"limit_hit"`
+	WMSize       int  `json:"wm_size"`
+	ConflictSize int  `json:"conflict_size"`
+}
+
+// WireWME is one working-memory element on the wire.
+type WireWME struct {
+	Tag   int            `json:"tag"`
+	Class string         `json:"class"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// WireInst is one conflict-set instantiation on the wire.
+type WireInst struct {
+	Production string    `json:"production"`
+	Key        string    `json:"key"`
+	WMEs       []WireWME `json:"wmes"`
+}
+
+// SessionResponse reports a session's state.
+type SessionResponse struct {
+	ID              string  `json:"id"`
+	Shard           int     `json:"shard"`
+	Matcher         string  `json:"matcher"`
+	Strategy        string  `json:"strategy"`
+	Productions     int     `json:"productions"`
+	ParallelFirings int     `json:"parallel_firings,omitempty"`
+	MaxWMEs         int     `json:"max_wmes,omitempty"`
+	MaxCycles       int     `json:"max_cycles_per_request,omitempty"`
+	WMSize          int     `json:"wm_size"`
+	ConflictSize    int     `json:"conflict_size"`
+	Cycles          int     `json:"cycles"`
+	Fired           int     `json:"fired"`
+	TotalChanges    int     `json:"total_changes"`
+	Halted          bool    `json:"halted"`
+	Requests        int64   `json:"requests"`
+	AgeSeconds      float64 `json:"age_seconds"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// HandlerConfig tunes the HTTP layer.
+type HandlerConfig struct {
+	// RequestTimeout is the per-request deadline threaded through the
+	// shard mailbox into the engine's cycle loop (default 30s; <0
+	// disables).
+	RequestTimeout time.Duration
+}
+
+// Handler returns the HTTP API with default settings.
+func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) }
+
+// HandlerWith returns the HTTP API:
+//
+//	POST   /sessions                create a session (program in body)
+//	GET    /sessions                list sessions
+//	GET    /sessions/{id}           session stats
+//	DELETE /sessions/{id}           delete a session
+//	POST   /sessions/{id}/changes   submit batched assert/retract changes
+//	POST   /sessions/{id}/run       run N recognize-act cycles
+//	GET    /sessions/{id}/conflicts conflict set (LEX order)
+//	GET    /sessions/{id}/wm        working memory (?class= filters)
+//	GET    /metrics                 serving metrics, text exposition
+//	GET    /statusz                 human-readable session table
+//	GET    /healthz                 liveness
+func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	mux := http.NewServeMux()
+	h := func(fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ctx := r.Context()
+			if cfg.RequestTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+				defer cancel()
+			}
+			if err := fn(w, r.WithContext(ctx)); err != nil {
+				writeError(w, err)
+			}
+		}
+	}
+
+	mux.HandleFunc("POST /sessions", h(s.handleCreate))
+	mux.HandleFunc("GET /sessions", h(s.handleList))
+	mux.HandleFunc("GET /sessions/{id}", h(s.handleStats))
+	mux.HandleFunc("DELETE /sessions/{id}", h(s.handleDelete))
+	mux.HandleFunc("POST /sessions/{id}/changes", h(s.handleChanges))
+	mux.HandleFunc("POST /sessions/{id}/run", h(s.handleRun))
+	mux.HandleFunc("GET /sessions/{id}/conflicts", h(s.handleConflicts))
+	mux.HandleFunc("GET /sessions/{id}/wm", h(s.handleWM))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.registry.WriteText(w)
+	})
+	mux.HandleFunc("GET /statusz", h(s.handleStatusz))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
+	var req CreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	info, err := s.CreateSession(r.Context(), CreateSpec{
+		ID:              req.ID,
+		Program:         req.Program,
+		Matcher:         req.Matcher,
+		Strategy:        req.Strategy,
+		Workers:         req.Workers,
+		ParallelFirings: req.ParallelFirings,
+		Quota:           Quota{MaxWMEs: req.MaxWMEs, MaxCyclesPerRequest: req.MaxCycles},
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusCreated, sessionResponse(info))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
+	infos, err := s.Sessions(r.Context())
+	if err != nil {
+		return err
+	}
+	out := make([]SessionResponse, len(infos))
+	for i, info := range infos {
+		out[i] = sessionResponse(info)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	info, err := s.SessionStats(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, sessionResponse(info))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.DeleteSession(r.Context(), r.PathValue("id")); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) error {
+	var req ChangesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	specs := make([]ChangeSpec, len(req.Changes))
+	for i, c := range req.Changes {
+		spec := ChangeSpec{Op: ChangeOp(c.Op), Class: c.Class, Tag: c.Tag}
+		if len(c.Attrs) > 0 {
+			spec.Attrs = make(map[string]ops5.Value, len(c.Attrs))
+			for k, v := range c.Attrs {
+				val, err := jsonToValue(v)
+				if err != nil {
+					return badReqf("change %d attribute %q: %v", i, k, err)
+				}
+				spec.Attrs[k] = val
+			}
+		}
+		specs[i] = spec
+	}
+	res, err := s.Apply(r.Context(), r.PathValue("id"), specs)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, ChangesResponse{
+		Applied: res.Applied, Tags: res.Tags,
+		WMSize: res.WMSize, ConflictSize: res.ConflictSize,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	res, err := s.RunCycles(r.Context(), r.PathValue("id"), req.Cycles)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, RunResponse{
+		Cycles: res.Cycles, Fired: res.Fired, Halted: res.Halted,
+		Quiesced: res.Quiesced, LimitHit: res.LimitHit,
+		WMSize: res.WMSize, ConflictSize: res.ConflictSize,
+	})
+}
+
+func (s *Server) handleConflicts(w http.ResponseWriter, r *http.Request) error {
+	insts, err := s.Conflicts(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	out := make([]WireInst, len(insts))
+	for i, inst := range insts {
+		wi := WireInst{Production: inst.Production, Key: inst.Key, WMEs: make([]WireWME, len(inst.WMEs))}
+		for j, wme := range inst.WMEs {
+			wi.WMEs[j] = wireWME(wme)
+		}
+		out[i] = wi
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) error {
+	wmes, err := s.WM(r.Context(), r.PathValue("id"), r.URL.Query().Get("class"))
+	if err != nil {
+		return err
+	}
+	out := make([]WireWME, len(wmes))
+	for i, wme := range wmes {
+		out[i] = wireWME(wme)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatusz renders the live sessions as an aligned table, reusing
+// the experiment harness's renderer (internal/metrics).
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) error {
+	infos, err := s.Sessions(r.Context())
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, len(infos))
+	for i, in := range infos {
+		rows[i] = []string{
+			in.ID, strconv.Itoa(in.Shard), in.Matcher, in.Strategy,
+			strconv.Itoa(in.Productions), strconv.Itoa(in.WMSize),
+			strconv.Itoa(in.ConflictSize), strconv.Itoa(in.Cycles),
+			strconv.Itoa(in.Fired), strconv.Itoa(in.TotalChanges),
+			strconv.FormatBool(in.Halted),
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d sessions, uptime %s\n\n", len(infos), time.Since(s.start).Round(time.Second))
+	fmt.Fprint(w, metrics.Table(
+		[]string{"session", "shard", "matcher", "strategy", "prods", "wm", "conflicts", "cycles", "fired", "changes", "halted"},
+		rows))
+	return nil
+}
+
+// sessionResponse converts a SessionInfo for the wire.
+func sessionResponse(in SessionInfo) SessionResponse {
+	return SessionResponse{
+		ID: in.ID, Shard: in.Shard, Matcher: in.Matcher, Strategy: in.Strategy,
+		Productions: in.Productions, ParallelFirings: in.ParallelFirings,
+		MaxWMEs: in.Quota.MaxWMEs, MaxCycles: in.Quota.MaxCyclesPerRequest,
+		WMSize: in.WMSize, ConflictSize: in.ConflictSize,
+		Cycles: in.Cycles, Fired: in.Fired, TotalChanges: in.TotalChanges,
+		Halted: in.Halted, Requests: in.Requests, AgeSeconds: in.Age.Seconds(),
+	}
+}
+
+// wireWME converts a WMEInfo for the wire.
+func wireWME(in WMEInfo) WireWME {
+	attrs := make(map[string]any, len(in.Attrs))
+	for k, v := range in.Attrs {
+		attrs[k] = valueToJSON(v)
+	}
+	return WireWME{Tag: in.Tag, Class: in.Class, Attrs: attrs}
+}
+
+// jsonToValue maps a decoded JSON value onto an OPS5 value.
+func jsonToValue(v any) (ops5.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return ops5.Value{}, nil
+	case string:
+		return ops5.Sym(x), nil
+	case float64:
+		return ops5.Num(x), nil
+	case bool:
+		// OPS5 has no booleans; symbols true/false keep round-trips sane.
+		return ops5.Sym(strconv.FormatBool(x)), nil
+	default:
+		return ops5.Value{}, fmt.Errorf("unsupported JSON value %T (want string, number, or null)", v)
+	}
+}
+
+// valueToJSON maps an OPS5 value onto its JSON representation.
+func valueToJSON(v ops5.Value) any {
+	switch v.Kind {
+	case ops5.SymValue:
+		return v.Sym
+	case ops5.NumValue:
+		return v.Num
+	default:
+		return nil
+	}
+}
+
+// decodeJSON strictly decodes a request body.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badReqf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, status int, body any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(body)
+}
+
+// writeError maps service errors onto HTTP statuses:
+//
+//	404 unknown session          409 duplicate session
+//	400 malformed input          413 working-memory quota
+//	429 shard backpressure       504 request deadline
+//	503 server shutting down     408 client went away
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var busy *BusyError
+	var badReq *BadRequestError
+	switch {
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", strconv.Itoa(int(busy.RetryAfter.Seconds())))
+		status = http.StatusTooManyRequests
+	case errors.As(err, &badReq):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNoSession):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrWMQuota):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrServerClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusRequestTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

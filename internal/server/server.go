@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server/stats"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Shards is the engine-shard count; sessions are distributed by
+	// hash(sessionID) (default GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's mailbox; a full mailbox rejects
+	// requests with BusyError — backpressure instead of unbounded
+	// queueing (default 128).
+	QueueDepth int
+	// RetryAfter is the backoff suggested with BusyError (default 1s).
+	RetryAfter time.Duration
+	// DefaultQuota applies to sessions that do not set their own.
+	DefaultQuota Quota
+}
+
+// Server hosts sessions across a fixed pool of engine shards.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+	nextID atomic.Int64
+
+	mu     sync.RWMutex // guards closed vs in-flight dispatches
+	closed bool
+	wg     sync.WaitGroup
+
+	// Serving metrics (the §6 throughput numbers, measured at the
+	// service boundary).
+	registry     *stats.Registry
+	sessions     *stats.Gauge
+	requests     *stats.Counter
+	rejected     *stats.Counter
+	panics       *stats.Counter
+	wmeChanges   *stats.Counter
+	firings      *stats.Counter
+	cycles       *stats.Counter
+	matchSeconds *stats.Histogram
+	runSeconds   *stats.Histogram
+	queueDepth   []*stats.Gauge
+}
+
+// New starts a server: one goroutine per shard, draining its mailbox.
+// Close releases them.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	r := stats.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		registry: r,
+		sessions: r.Gauge("psmd_sessions", "live sessions"),
+		requests: r.Counter("psmd_requests_total", "session operations dispatched to shards"),
+		rejected: r.Counter("psmd_rejected_total", "operations rejected by shard backpressure"),
+		panics:   r.Counter("psmd_panics_total", "session operations recovered from panic"),
+		wmeChanges: r.Counter("psmd_wme_changes_total",
+			"working-memory changes processed (submitted and fired)"),
+		firings: r.Counter("psmd_firings_total", "production firings"),
+		cycles:  r.Counter("psmd_cycles_total", "recognize-act cycles executed"),
+		matchSeconds: r.Histogram("psmd_match_seconds",
+			"latency of one change batch through the matcher", nil),
+		runSeconds: r.Histogram("psmd_run_seconds",
+			"latency of one run-cycles request", nil),
+	}
+	r.GaugeFunc("psmd_uptime_seconds", "seconds since server start", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	r.GaugeFunc("psmd_wme_changes_per_sec", "working-memory changes per second of uptime", func() float64 {
+		return float64(s.wmeChanges.Value()) / time.Since(s.start).Seconds()
+	})
+	r.GaugeFunc("psmd_firings_per_sec", "production firings per second of uptime", func() float64 {
+		return float64(s.firings.Value()) / time.Since(s.start).Seconds()
+	})
+	s.shards = make([]*shard, cfg.Shards)
+	s.queueDepth = make([]*stats.Gauge, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, s, cfg.QueueDepth)
+		s.queueDepth[i] = r.Gauge(fmt.Sprintf("psmd_shard_queue_depth{shard=%q}", fmt.Sprint(i)),
+			"requests queued per shard mailbox")
+		s.wg.Add(1)
+		go func(sh *shard) {
+			defer s.wg.Done()
+			sh.loop()
+		}(s.shards[i])
+	}
+	return s
+}
+
+// Registry exposes the serving metrics (for /metrics and tests).
+func (s *Server) Registry() *stats.Registry { return s.registry }
+
+// Close stops every shard goroutine and waits for in-flight requests to
+// drain. Queued requests still execute; new dispatches fail with
+// ErrServerClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.mailbox)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// shardFor maps a session ID onto its owning shard.
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// dispatchShard routes fn to sh and waits for completion or context
+// expiry. A full mailbox fails fast with BusyError; the caller never
+// blocks behind another tenant's queue. The result travels back through
+// the request's done channel — never through a variable shared with the
+// caller — so a caller that gives up at its deadline cannot race with
+// the shard still finishing the work.
+func dispatchShard[T any](s *Server, ctx context.Context, sh *shard, fn func(sh *shard) (T, error)) (T, error) {
+	var zero T
+	req := &request{ctx: ctx, done: make(chan outcome, 1)}
+	req.fn = func(sh *shard) (any, error) { return fn(sh) }
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return zero, ErrServerClosed
+	}
+	select {
+	case sh.mailbox <- req:
+		s.mu.RUnlock()
+		s.requests.Inc()
+		s.queueDepth[sh.id].Add(1)
+	default:
+		s.mu.RUnlock()
+		s.rejected.Inc()
+		return zero, &BusyError{Shard: sh.id, RetryAfter: s.cfg.RetryAfter}
+	}
+
+	select {
+	case out := <-req.done:
+		if out.err != nil {
+			return zero, out.err
+		}
+		return out.val.(T), nil
+	case <-ctx.Done():
+		// The shard will skip or finish the request on its own; the
+		// buffered done channel keeps that send from blocking.
+		return zero, ctx.Err()
+	}
+}
+
+// dispatch routes a result-less fn to the session's shard (see
+// dispatchShard).
+func (s *Server) dispatch(ctx context.Context, sessionID string, fn func(sh *shard) error) error {
+	_, err := dispatchShard(s, ctx, s.shardFor(sessionID), func(sh *shard) (struct{}, error) {
+		return struct{}{}, fn(sh)
+	})
+	return err
+}
+
+// CreateSession compiles spec (on the calling goroutine, so compilation
+// never serializes a shard) and registers the session with its shard.
+func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInfo, error) {
+	if spec.ID == "" {
+		spec.ID = fmt.Sprintf("s-%06d", s.nextID.Add(1))
+	}
+	sess, err := newSession(spec, s.cfg.DefaultQuota, time.Now())
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return dispatchShard(s, ctx, s.shardFor(spec.ID), func(sh *shard) (SessionInfo, error) {
+		if _, dup := sh.sessions[spec.ID]; dup {
+			return SessionInfo{}, fmt.Errorf("%w: %q", ErrSessionExists, spec.ID)
+		}
+		sh.sessions[spec.ID] = sess
+		s.sessions.Add(1)
+		s.wmeChanges.Add(int64(sess.sys.TotalChanges)) // initial (make ...) forms
+		return sess.info(sh.id, time.Now()), nil
+	})
+}
+
+// DeleteSession removes a session.
+func (s *Server) DeleteSession(ctx context.Context, id string) error {
+	return s.dispatch(ctx, id, func(sh *shard) error {
+		if _, ok := sh.sessions[id]; !ok {
+			return fmt.Errorf("%w: %q", ErrNoSession, id)
+		}
+		delete(sh.sessions, id)
+		s.sessions.Add(-1)
+		return nil
+	})
+}
+
+// Apply commits a batch of working-memory changes to a session and runs
+// its matcher once (one synchronization step).
+func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (ApplyResult, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (ApplyResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return ApplyResult{}, err
+		}
+		t0 := time.Now()
+		res, err := sess.apply(specs)
+		if err != nil {
+			return ApplyResult{}, err
+		}
+		s.matchSeconds.Observe(time.Since(t0).Seconds())
+		s.wmeChanges.Add(int64(res.Applied))
+		return res, nil
+	})
+}
+
+// RunCycles executes up to maxCycles recognize-act cycles (0 = until
+// quiescence, halt, quota, or the request deadline). The session's
+// MaxCyclesPerRequest quota truncates larger asks — graceful
+// degradation, reported through RunResult.LimitHit rather than an
+// error.
+func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunResult, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (RunResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return RunResult{}, err
+		}
+		limit := maxCycles
+		if q := sess.quota.MaxCyclesPerRequest; q > 0 && (limit <= 0 || limit > q) {
+			limit = q
+		}
+		eng := sess.sys.Engine
+		changesBefore, firedBefore := eng.TotalChanges, eng.Fired
+		t0 := time.Now()
+		n, err := eng.RunContext(ctx, limit)
+		s.runSeconds.Observe(time.Since(t0).Seconds())
+		s.cycles.Add(int64(n))
+		s.firings.Add(int64(eng.Fired - firedBefore))
+		s.wmeChanges.Add(int64(eng.TotalChanges - changesBefore))
+		if err != nil && !errors.Is(err, engine.ErrCycleLimit) {
+			return RunResult{}, err
+		}
+		res := RunResult{
+			Cycles:       n,
+			Fired:        eng.Fired - firedBefore,
+			Halted:       eng.Halted,
+			LimitHit:     errors.Is(err, engine.ErrCycleLimit),
+			WMSize:       sess.sys.WM.Size(),
+			ConflictSize: sess.sys.CS.Len(),
+		}
+		res.Quiesced = !res.Halted && !res.LimitHit
+		return res, nil
+	})
+}
+
+// Conflicts returns the session's conflict set in deterministic (LEX)
+// order.
+func (s *Server) Conflicts(ctx context.Context, id string) ([]InstInfo, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) ([]InstInfo, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return nil, err
+		}
+		var out []InstInfo
+		for _, inst := range sess.sys.CS.Instantiations() {
+			info := InstInfo{Production: inst.Production.Name, Key: inst.Key()}
+			for _, w := range inst.WMEs {
+				if w != nil {
+					info.WMEs = append(info.WMEs, wmeInfo(w))
+				}
+			}
+			out = append(out, info)
+		}
+		return out, nil
+	})
+}
+
+// WM returns the session's working memory, optionally filtered by
+// class, ordered by time tag.
+func (s *Server) WM(ctx context.Context, id, class string) ([]WMEInfo, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) ([]WMEInfo, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return nil, err
+		}
+		wmes := sess.sys.WM.Elements()
+		if class != "" {
+			wmes = sess.sys.WM.OfClass(class)
+		}
+		out := make([]WMEInfo, len(wmes))
+		for i, w := range wmes {
+			out[i] = wmeInfo(w)
+		}
+		return out, nil
+	})
+}
+
+// SessionStats snapshots one session.
+func (s *Server) SessionStats(ctx context.Context, id string) (SessionInfo, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (SessionInfo, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		return sess.info(sh.id, time.Now()), nil
+	})
+}
+
+// Sessions snapshots every live session, shard by shard.
+func (s *Server) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	for _, sh := range s.shards {
+		infos, err := dispatchShard(s, ctx, sh, func(sh *shard) ([]SessionInfo, error) {
+			now := time.Now()
+			infos := make([]SessionInfo, 0, len(sh.sessions))
+			for _, sess := range sh.sessions {
+				infos = append(infos, sess.info(sh.id, now))
+			}
+			return infos, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, infos...)
+	}
+	return out, nil
+}

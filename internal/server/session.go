@@ -1,0 +1,329 @@
+// Package server hosts many independent rule-engine sessions behind a
+// sharded, concurrent service: the serving-side counterpart of the
+// paper's Production System Machine. Each session is one compiled OPS5
+// program with its own working memory, matcher and conflict set;
+// sessions are distributed over a fixed pool of engine shards by
+// hash(sessionID), and each shard is owned by exactly one goroutine, so
+// all engine and working-memory code runs single-threaded per session
+// and the paper's per-memory-lock discipline stays inside the parallel
+// matcher (internal/prete).
+//
+// The package exposes both a direct Go API (Server methods) and an HTTP
+// JSON API (Server.Handler, served by cmd/psmd) with endpoints to
+// create/delete sessions, submit batched working-memory changes, run
+// recognize-act cycles, and query the conflict set, working memory and
+// serving metrics.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/ops5"
+)
+
+// Quota bounds a session's resource use so one hot or runaway program
+// degrades gracefully instead of starving its shard.
+type Quota struct {
+	// MaxWMEs caps working-memory size; change batches that would
+	// exceed it are rejected whole (0 = unlimited).
+	MaxWMEs int
+	// MaxCyclesPerRequest caps the recognize-act cycles a single run
+	// request may execute; larger asks are truncated, reported via
+	// RunResult.LimitHit (0 = unlimited).
+	MaxCyclesPerRequest int
+}
+
+// CreateSpec describes a session to create.
+type CreateSpec struct {
+	// ID names the session; empty means the server assigns one.
+	ID string
+	// Program is the OPS5 source text (productions plus optional
+	// top-level make forms).
+	Program string
+	// Matcher selects the match algorithm by name (core.ParseMatcherKind
+	// spelling; empty = serial rete).
+	Matcher string
+	// Strategy selects conflict resolution ("lex" default, or "mea").
+	Strategy string
+	// Workers sets the parallel matcher's goroutine count (parallel
+	// rete only; 0 = GOMAXPROCS).
+	Workers int
+	// ParallelFirings fires up to N non-conflicting instantiations per
+	// cycle (default 1).
+	ParallelFirings int
+	// Quota overrides the server default when any field is non-zero.
+	Quota Quota
+}
+
+// session is one hosted production system. It is owned by its shard's
+// goroutine: no field is touched from any other goroutine after
+// construction.
+type session struct {
+	id      string
+	spec    CreateSpec
+	sys     *core.System
+	quota   Quota
+	created time.Time
+
+	// requests counts every operation routed to this session.
+	requests int64
+}
+
+// ChangeOp names a working-memory change submitted over the API.
+type ChangeOp string
+
+// The two change operations.
+const (
+	OpAssert  ChangeOp = "assert"
+	OpRetract ChangeOp = "retract"
+)
+
+// ChangeSpec is one submitted working-memory change: an assert carries
+// a class and attributes, a retract the time tag to remove.
+type ChangeSpec struct {
+	Op    ChangeOp
+	Class string
+	Attrs map[string]ops5.Value
+	Tag   int
+}
+
+// ApplyResult reports a committed change batch.
+type ApplyResult struct {
+	// Applied is the number of changes committed.
+	Applied int
+	// Tags holds the time tags assigned to asserts, in submission
+	// order (retracts contribute no entry).
+	Tags []int
+	// WMSize and ConflictSize snapshot the session after the batch.
+	WMSize       int
+	ConflictSize int
+}
+
+// RunResult reports a run-cycles request.
+type RunResult struct {
+	// Cycles is the number of recognize-act cycles executed.
+	Cycles int
+	// Fired is the number of production firings during those cycles.
+	Fired int
+	// Halted reports whether the program executed (halt).
+	Halted bool
+	// Quiesced reports whether the run stopped because no production
+	// could fire.
+	Quiesced bool
+	// LimitHit reports that the cycle cap (requested or quota) stopped
+	// the run before quiescence or halt.
+	LimitHit bool
+	// WMSize and ConflictSize snapshot the session after the run.
+	WMSize       int
+	ConflictSize int
+}
+
+// SessionInfo is a session's externally visible state.
+type SessionInfo struct {
+	ID              string
+	Shard           int
+	Matcher         string
+	Strategy        string
+	Productions     int
+	ParallelFirings int
+	Quota           Quota
+	WMSize          int
+	ConflictSize    int
+	Cycles          int
+	Fired           int
+	TotalChanges    int
+	Halted          bool
+	Requests        int64
+	Age             time.Duration
+}
+
+// InstInfo describes one conflict-set instantiation.
+type InstInfo struct {
+	// Production is the satisfied production's name.
+	Production string
+	// Key is the canonical identity (production plus time tags).
+	Key string
+	// WMEs are the matched working-memory elements in LHS order
+	// (negated condition elements contribute no entry).
+	WMEs []WMEInfo
+}
+
+// WMEInfo describes one working-memory element.
+type WMEInfo struct {
+	Tag   int
+	Class string
+	Attrs map[string]ops5.Value
+}
+
+// Typed service errors, mapped onto HTTP statuses by the handler layer.
+var (
+	// ErrNoSession reports an unknown session ID.
+	ErrNoSession = errors.New("server: no such session")
+	// ErrSessionExists reports a create with an ID already in use.
+	ErrSessionExists = errors.New("server: session already exists")
+	// ErrWMQuota reports a change batch that would exceed the session's
+	// working-memory quota.
+	ErrWMQuota = errors.New("server: working-memory quota exceeded")
+	// ErrServerClosed reports an operation on a closed server.
+	ErrServerClosed = errors.New("server: closed")
+)
+
+// BusyError reports a shard whose mailbox is full — the backpressure
+// signal behind HTTP 429.
+type BusyError struct {
+	// Shard is the full shard's index.
+	Shard int
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+// Error describes the full shard.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server: shard %d mailbox full, retry after %s", e.Shard, e.RetryAfter)
+}
+
+// BadRequestError wraps a client-input problem (unknown matcher, bad
+// retract tag, program errors) so the HTTP layer can answer 400 without
+// string matching.
+type BadRequestError struct{ Err error }
+
+// Error returns the wrapped message.
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// badReqf builds a BadRequestError from a format string.
+func badReqf(format string, args ...any) error {
+	return &BadRequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// newSession compiles a CreateSpec into a live session. It runs on the
+// caller's goroutine (program compilation is the expensive part and
+// must not serialize a shard); ownership passes to the shard when the
+// session is registered.
+func newSession(spec CreateSpec, defaultQuota Quota, now time.Time) (*session, error) {
+	kind := core.SerialRete
+	if spec.Matcher != "" {
+		var err error
+		if kind, err = core.ParseMatcherKind(spec.Matcher); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	}
+	strategy := conflict.LEX
+	if spec.Strategy != "" {
+		var err error
+		if strategy, err = conflict.ParseStrategy(spec.Strategy); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	}
+	quota := spec.Quota
+	if quota == (Quota{}) {
+		quota = defaultQuota
+	}
+	sys, err := core.NewSystem(spec.Program, core.Options{
+		Matcher:         kind,
+		Strategy:        strategy,
+		Workers:         spec.Workers,
+		ParallelFirings: spec.ParallelFirings,
+	})
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	if quota.MaxWMEs > 0 && sys.WM.Size() > quota.MaxWMEs {
+		return nil, badReqf("server: initial working memory (%d elements) exceeds quota %d",
+			sys.WM.Size(), quota.MaxWMEs)
+	}
+	return &session{id: spec.ID, spec: spec, sys: sys, quota: quota, created: now}, nil
+}
+
+// apply validates and commits one change batch, owned-goroutine only.
+// A retract may target an element asserted earlier in the same batch:
+// working memory assigns time tags deterministically (arrival order),
+// so the tag of the k-th assert is predictable and the delete resolves
+// to the pending element.
+func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
+	changes := make([]ops5.Change, 0, len(specs))
+	asserts := 0
+	retracted := make(map[int]bool, len(specs))
+	pending := make(map[int]*ops5.WME) // predicted tag -> WME asserted this batch
+	nextTag := s.sys.WM.NextTag()
+	for i, c := range specs {
+		switch c.Op {
+		case OpAssert:
+			if c.Class == "" {
+				return ApplyResult{}, badReqf("server: change %d: assert needs a class", i)
+			}
+			w := &ops5.WME{Class: c.Class, Attrs: make(map[string]ops5.Value, len(c.Attrs))}
+			for k, v := range c.Attrs {
+				w.Attrs[k] = v
+			}
+			pending[nextTag] = w
+			nextTag++
+			changes = append(changes, ops5.Change{Kind: ops5.Insert, WME: w})
+			asserts++
+		case OpRetract:
+			w, ok := s.sys.WM.Get(c.Tag)
+			if !ok {
+				w, ok = pending[c.Tag]
+			}
+			if !ok || retracted[c.Tag] {
+				return ApplyResult{}, badReqf("server: change %d: no working-memory element with tag %d", i, c.Tag)
+			}
+			retracted[c.Tag] = true
+			changes = append(changes, ops5.Change{Kind: ops5.Delete, WME: w})
+		default:
+			return ApplyResult{}, badReqf("server: change %d: unknown op %q (assert|retract)", i, c.Op)
+		}
+	}
+	if s.quota.MaxWMEs > 0 && s.sys.WM.Size()+asserts-len(retracted) > s.quota.MaxWMEs {
+		return ApplyResult{}, fmt.Errorf("%w: %d elements + %d asserts - %d retracts > %d",
+			ErrWMQuota, s.sys.WM.Size(), asserts, len(retracted), s.quota.MaxWMEs)
+	}
+	s.sys.ApplyChanges(changes)
+	res := ApplyResult{
+		Applied:      len(changes),
+		WMSize:       s.sys.WM.Size(),
+		ConflictSize: s.sys.CS.Len(),
+	}
+	for _, ch := range changes {
+		if ch.Kind == ops5.Insert {
+			res.Tags = append(res.Tags, ch.WME.TimeTag)
+		}
+	}
+	return res, nil
+}
+
+// info snapshots the session, owned-goroutine only.
+func (s *session) info(shard int, now time.Time) SessionInfo {
+	return SessionInfo{
+		ID:              s.id,
+		Shard:           shard,
+		Matcher:         s.sys.MatcherKind().String(),
+		Strategy:        s.sys.CS.Strategy().String(),
+		Productions:     len(s.sys.Productions()),
+		ParallelFirings: s.spec.ParallelFirings,
+		Quota:           s.quota,
+		WMSize:          s.sys.WM.Size(),
+		ConflictSize:    s.sys.CS.Len(),
+		Cycles:          s.sys.Cycles,
+		Fired:           s.sys.Fired,
+		TotalChanges:    s.sys.TotalChanges,
+		Halted:          s.sys.Halted,
+		Requests:        s.requests,
+		Age:             now.Sub(s.created),
+	}
+}
+
+// wmeInfo converts one WME for the wire.
+func wmeInfo(w *ops5.WME) WMEInfo {
+	attrs := make(map[string]ops5.Value, len(w.Attrs))
+	for k, v := range w.Attrs {
+		attrs[k] = v
+	}
+	return WMEInfo{Tag: w.TimeTag, Class: w.Class, Attrs: attrs}
+}
