@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench serve clean
+.PHONY: all build test race vet check bench bench-all serve clean
 
 all: build vet test
 
@@ -18,7 +18,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+# check is the pre-merge gate: vet, the full suite, and race-mode runs
+# of the lock-striped parallel matcher and the sharded service.
+check: vet test
+	$(GO) test -race ./internal/prete/... ./internal/server/...
+
+# bench runs the tier-1 headline benchmarks and records each as a
+# go test -json stream, for before/after comparisons across changes.
 bench:
+	$(GO) test -json -run '^$$' -bench BenchmarkMissManners -benchmem . > BENCH_manners.json
+	$(GO) test -json -run '^$$' -bench BenchmarkServerThroughput -benchmem . > BENCH_server.json
+
+# bench-all runs every benchmark with human-readable output.
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 serve: build

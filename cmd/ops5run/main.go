@@ -85,6 +85,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "throughput: %.0f wme-changes/sec\n",
 				float64(sys.TotalChanges)/elapsed.Seconds())
 		}
+		// Matcher-specific detail comes through the optional capability
+		// interfaces, not matcher internals.
+		if st, ok := sys.MatcherStats(); ok {
+			fmt.Fprintf(os.Stderr, "match comparisons:     %d\n", st.Comparisons)
+			fmt.Fprintf(os.Stderr, "conflict ins/rem:      %d/%d\n", st.ConflictInserts, st.ConflictRemoves)
+		}
+		if ix, ok := sys.MatcherIndex(); ok {
+			fmt.Fprintf(os.Stderr, "indexed joins:         %d (%d fallback)\n", ix.IndexedNodes, ix.FallbackNodes)
+			fmt.Fprintf(os.Stderr, "hash buckets:          %d (max depth %d)\n", ix.Buckets, ix.MaxBucket)
+		}
 		if net := sys.Network(); net != nil {
 			fmt.Fprintf(os.Stderr, "affected productions/change: %.1f\n", net.Stats.AvgAffected())
 			fmt.Fprintf(os.Stderr, "node activations:            %d\n", net.Stats.TotalActivations())

@@ -4,7 +4,8 @@
 // in batches, then recognize-act cycles run in chunks until the program
 // halts. It reports end-to-end working-memory changes per second — the
 // paper's throughput metric, measured through the full service stack —
-// and echoes the daemon's own psmd_* counters afterwards.
+// plus p50/p95/p99 request latency, and echoes the daemon's own psmd_*
+// counters afterwards.
 //
 // Usage examples:
 //
@@ -23,6 +24,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +58,7 @@ func main() {
 		base = ts.URL
 		fmt.Printf("in-process server at %s\n", base)
 	}
+	api := base + server.APIVersion
 
 	params := workload.DefaultMannersParams()
 	params.Guests = *guests
@@ -67,6 +70,7 @@ func main() {
 		cycles  int
 		fired   int
 		failed  []error
+		lat     latencies
 	)
 	t0 := time.Now()
 	for i := 0; i < *sessions; i++ {
@@ -75,7 +79,7 @@ func main() {
 			defer wg.Done()
 			p := params
 			p.Seed = params.Seed + int64(i)
-			st, err := replay(base, fmt.Sprintf("load-%03d", i), *matcher, p, *batch, *chunk)
+			st, err := replay(api, &lat, fmt.Sprintf("load-%03d", i), *matcher, p, *batch, *chunk)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -97,6 +101,8 @@ func main() {
 		*sessions-len(failed), *guests, cycles, fired, changes, elapsed.Round(time.Millisecond))
 	fmt.Printf("end-to-end throughput: %.0f wme-changes/sec, %.0f firings/sec\n",
 		float64(changes)/elapsed.Seconds(), float64(fired)/elapsed.Seconds())
+	fmt.Printf("request latency: p50 %v  p95 %v  p99 %v (%d requests)\n",
+		lat.percentile(50), lat.percentile(95), lat.percentile(99), len(lat.ds))
 
 	fmt.Println("\nserver counters (/metrics):")
 	printMetrics(base)
@@ -106,13 +112,15 @@ func main() {
 }
 
 // replay drives one session to completion and returns its final stats.
-func replay(base, id, matcher string, p workload.MannersParams, batch, chunk int) (server.SessionResponse, error) {
+// base is the versioned API base; every request's round-trip time is
+// recorded in lat.
+func replay(base string, lat *latencies, id, matcher string, p workload.MannersParams, batch, chunk int) (server.SessionResponse, error) {
 	var stats server.SessionResponse
 	wmes, err := workload.MannersWM(p)
 	if err != nil {
 		return stats, err
 	}
-	err = post(base+"/sessions", server.CreateRequest{
+	err = post(lat, base+"/sessions", server.CreateRequest{
 		ID: id, Program: workload.MissManners, Matcher: matcher,
 	}, nil)
 	if err != nil {
@@ -133,21 +141,21 @@ func replay(base, id, matcher string, p workload.MannersParams, batch, chunk int
 				Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
 			})
 		}
-		if err := post(base+"/sessions/"+id+"/changes", req, nil); err != nil {
+		if err := post(lat, base+"/sessions/"+id+"/changes", req, nil); err != nil {
 			return stats, err
 		}
 	}
 
 	for {
 		var run server.RunResponse
-		if err := post(base+"/sessions/"+id+"/run", server.RunRequest{Cycles: chunk}, &run); err != nil {
+		if err := post(lat, base+"/sessions/"+id+"/run", server.RunRequest{Cycles: chunk}, &run); err != nil {
 			return stats, err
 		}
 		if run.Halted || run.Quiesced {
 			break
 		}
 	}
-	return stats, get(base+"/sessions/"+id, &stats)
+	return stats, get(lat, base+"/sessions/"+id, &stats)
 }
 
 // wireAttrs converts a WME's attributes to the JSON wire form.
@@ -164,18 +172,55 @@ func wireAttrs(w *ops5.WME) map[string]any {
 	return attrs
 }
 
+// latencies collects per-request round-trip times across all sessions.
+type latencies struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+// observe records one request's round-trip time.
+func (l *latencies) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (nearest-rank) of the
+// recorded latencies, rounded for display.
+func (l *latencies) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.ds))
+	copy(sorted, l.ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(10 * time.Microsecond)
+}
+
 // post sends a JSON body and decodes the response into out (if non-nil),
-// retrying after the suggested backoff on 429.
-func post(url string, body, out any) error {
+// retrying after the suggested backoff on 429. Each round trip —
+// including 429 rejections — is recorded in lat.
+func post(lat *latencies, url string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
 	for {
+		t0 := time.Now()
 		resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
 		if err != nil {
 			return err
 		}
+		lat.observe(time.Since(t0))
 		if resp.StatusCode == http.StatusTooManyRequests {
 			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 			io.Copy(io.Discard, resp.Body)
@@ -187,12 +232,14 @@ func post(url string, body, out any) error {
 	}
 }
 
-// get fetches a JSON document.
-func get(url string, out any) error {
+// get fetches a JSON document, recording the round trip in lat.
+func get(lat *latencies, url string, out any) error {
+	t0 := time.Now()
 	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}
+	lat.observe(time.Since(t0))
 	return decode(resp, out)
 }
 

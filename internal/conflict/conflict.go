@@ -55,9 +55,16 @@ type Set struct {
 	items    map[string]*entry
 }
 
+// entry caches an instantiation's ordering features at insert time —
+// instantiations are immutable, so recency tags, the MEA goal tag and
+// specificity never need recomputing during selection.
 type entry struct {
 	inst  *ops5.Instantiation
 	fired bool
+	key   string
+	mea   int
+	tags  []int // time tags sorted descending
+	spec  int
 }
 
 // NewSet returns an empty conflict set using the given strategy.
@@ -79,7 +86,13 @@ func (s *Set) Insert(in *ops5.Instantiation) {
 	if _, ok := s.items[k]; ok {
 		return
 	}
-	s.items[k] = &entry{inst: in}
+	s.items[k] = &entry{
+		inst: in,
+		key:  k,
+		mea:  meaTag(in),
+		tags: sortedTagsDesc(in),
+		spec: specificity(in.Production),
+	}
 }
 
 // Remove deletes an instantiation by identity. Removing an absent
@@ -108,16 +121,25 @@ func (s *Set) Instantiations() []*ops5.Instantiation {
 // Select picks the instantiation to fire under the set's strategy, or
 // nil if every instantiation has already fired (or the set is empty) —
 // the halting condition of the recognize-act cycle. The chosen
-// instantiation is marked fired (refraction).
+// instantiation is marked fired (refraction). Selection is a linear
+// scan for the best unfired entry — better is a total order (the final
+// tie-break is the unique key), so map iteration order cannot change
+// the outcome.
 func (s *Set) Select() *ops5.Instantiation {
-	entries := s.sorted()
-	for _, e := range entries {
-		if !e.fired {
-			e.fired = true
-			return e.inst
+	var best *entry
+	for _, e := range s.items {
+		if e.fired {
+			continue
+		}
+		if best == nil || s.better(e, best) {
+			best = e
 		}
 	}
-	return nil
+	if best == nil {
+		return nil
+	}
+	best.fired = true
+	return best.inst
 }
 
 // sorted returns entries best-first under the strategy.
@@ -127,21 +149,21 @@ func (s *Set) sorted() []*entry {
 		entries = append(entries, e)
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		return s.better(entries[i].inst, entries[j].inst)
+		return s.better(entries[i], entries[j])
 	})
 	return entries
 }
 
-// better reports whether a should fire before b.
-func (s *Set) better(a, b *ops5.Instantiation) bool {
+// better reports whether a should fire before b, comparing the
+// features cached at insert time.
+func (s *Set) better(a, b *entry) bool {
 	if s.strategy == MEA {
-		am, bm := meaTag(a), meaTag(b)
-		if am != bm {
-			return am > bm
+		if a.mea != b.mea {
+			return a.mea > b.mea
 		}
 	}
 	// Recency: compare sorted-descending time tags lexicographically.
-	at, bt := sortedTagsDesc(a), sortedTagsDesc(b)
+	at, bt := a.tags, b.tags
 	for i := 0; i < len(at) && i < len(bt); i++ {
 		if at[i] != bt[i] {
 			return at[i] > bt[i]
@@ -151,15 +173,15 @@ func (s *Set) better(a, b *ops5.Instantiation) bool {
 		return len(at) > len(bt)
 	}
 	// Specificity: number of tests in the LHS.
-	as, bs := specificity(a.Production), specificity(b.Production)
-	if as != bs {
-		return as > bs
+	if a.spec != b.spec {
+		return a.spec > b.spec
 	}
 	// Final deterministic tie-breaks: production order, then key.
-	if a.Production.Order != b.Production.Order {
-		return a.Production.Order < b.Production.Order
+	ap, bp := a.inst.Production, b.inst.Production
+	if ap.Order != bp.Order {
+		return ap.Order < bp.Order
 	}
-	return a.Key() < b.Key()
+	return a.key < b.key
 }
 
 // meaTag returns the time tag of the WME matching the first positive CE.

@@ -140,7 +140,7 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 		pm.OnInsert = cs.Insert
 		pm.OnRemove = cs.Remove
 		sys.pm = pm
-		m = pm
+		m = preteMatcher{pm}
 	case TREAT:
 		tm, err := treat.New(prog.Productions)
 		if err != nil {
@@ -148,7 +148,7 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 		}
 		tm.OnInsert = cs.Insert
 		tm.OnRemove = cs.Remove
-		m = tm
+		m = treatMatcher{tm}
 	case FullState:
 		fm, err := fullstate.New(prog.Productions)
 		if err != nil {
@@ -156,7 +156,7 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 		}
 		fm.OnInsert = cs.Insert
 		fm.OnRemove = cs.Remove
-		m = fm
+		m = fullstateMatcher{fm}
 	case Naive:
 		nm, err := naive.New(prog.Productions)
 		if err != nil {
@@ -164,7 +164,7 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 		}
 		nm.OnInsert = cs.Insert
 		nm.OnRemove = cs.Remove
-		m = nm
+		m = naiveMatcher{nm}
 	default:
 		return nil, fmt.Errorf("core: unknown matcher kind %d", opts.Matcher)
 	}
@@ -178,11 +178,116 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 	return sys, nil
 }
 
+// The adapters below bind each matcher to engine.Matcher and to the
+// optional capability interfaces (engine.StatsProvider and, for the
+// matchers with hash-indexed memories, engine.IndexProvider). The
+// matcher packages stay free of engine imports; the capability
+// surface lives here.
+
 // netMatcher adapts *rete.Network to engine.Matcher.
 type netMatcher struct{ net *rete.Network }
 
 // Apply forwards the batch to the network.
 func (m netMatcher) Apply(changes []ops5.Change) { m.net.Apply(changes) }
+
+// MatchStats reports the network's match work.
+func (m netMatcher) MatchStats() engine.MatchStats {
+	s := m.net.Stats
+	return engine.MatchStats{
+		Changes:         int64(s.Changes),
+		Comparisons:     s.TokenComparisons,
+		ConflictInserts: s.ConflictInserts,
+		ConflictRemoves: s.ConflictRemoves,
+	}
+}
+
+// Indexed reports the network's hash-index state.
+func (m netMatcher) Indexed() engine.IndexReport {
+	info := m.net.IndexInfo()
+	return engine.IndexReport{
+		IndexedNodes:  info.IndexedJoins,
+		FallbackNodes: info.FallbackJoins,
+		Buckets:       info.Buckets,
+		MaxBucket:     info.MaxBucket,
+	}
+}
+
+// preteMatcher adapts *prete.Matcher with its capabilities.
+type preteMatcher struct{ *prete.Matcher }
+
+// MatchStats reports the parallel matcher's work.
+func (m preteMatcher) MatchStats() engine.MatchStats {
+	s := m.Matcher.Stats()
+	return engine.MatchStats{
+		Changes:         s.Changes,
+		Comparisons:     s.Comparisons,
+		ConflictInserts: s.ConflictInserts,
+		ConflictRemoves: s.ConflictRemoves,
+	}
+}
+
+// Indexed reports the parallel matcher's bucket state.
+func (m preteMatcher) Indexed() engine.IndexReport {
+	info := m.Matcher.IndexInfo()
+	return engine.IndexReport{
+		IndexedNodes:  info.IndexedNodes,
+		FallbackNodes: info.FallbackNodes,
+		Buckets:       info.Buckets,
+		MaxBucket:     info.MaxBucket,
+	}
+}
+
+// treatMatcher adapts *treat.Matcher with its capabilities.
+type treatMatcher struct{ *treat.Matcher }
+
+// MatchStats reports the TREAT matcher's work.
+func (m treatMatcher) MatchStats() engine.MatchStats {
+	s := m.Matcher.Stats
+	return engine.MatchStats{
+		Changes:         int64(s.Changes),
+		Comparisons:     s.JoinTuplesTested,
+		ConflictInserts: s.ConflictInserts,
+		ConflictRemoves: s.ConflictRemoves,
+	}
+}
+
+// Indexed reports the TREAT matcher's bucket state.
+func (m treatMatcher) Indexed() engine.IndexReport {
+	info := m.Matcher.IndexInfo()
+	return engine.IndexReport{
+		IndexedNodes:  info.IndexedCEs,
+		FallbackNodes: info.FallbackCEs,
+		Buckets:       info.Buckets,
+		MaxBucket:     info.MaxBucket,
+	}
+}
+
+// fullstateMatcher adapts *fullstate.Matcher (stats only: the
+// full-state scheme stores every CE combination, nothing is indexed).
+type fullstateMatcher struct{ *fullstate.Matcher }
+
+// MatchStats reports the full-state matcher's work.
+func (m fullstateMatcher) MatchStats() engine.MatchStats {
+	s := m.Matcher.Stats
+	return engine.MatchStats{
+		Changes:         int64(s.Changes),
+		Comparisons:     s.ConsistencyChecks,
+		ConflictInserts: s.ConflictInserts,
+		ConflictRemoves: s.ConflictRemoves,
+	}
+}
+
+// naiveMatcher adapts *naive.Matcher (stats only).
+type naiveMatcher struct{ *naive.Matcher }
+
+// MatchStats reports the naive matcher's work.
+func (m naiveMatcher) MatchStats() engine.MatchStats {
+	s := m.Matcher.Stats
+	return engine.MatchStats{
+		Changes:     int64(s.Changes),
+		Comparisons: s.ElementsMatched,
+	}
+}
 
 // Productions returns the compiled productions.
 func (s *System) Productions() []*ops5.Production { return s.prods }

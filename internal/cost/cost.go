@@ -26,6 +26,10 @@ type Model struct {
 	PerTokenTest float64
 	// PerPairEmit is the cost of building and forwarding one token.
 	PerPairEmit float64
+	// HashProbe is the fixed cost of computing a join key and probing
+	// the opposite memory's hash bucket (indexed activations only; the
+	// bucket's candidates are then charged at PerTokenTest each).
+	HashProbe float64
 	// TermOp is the cost of a conflict-set insertion or removal.
 	TermOp float64
 
@@ -44,6 +48,7 @@ func Default() Model {
 		JoinBase:     45,
 		PerTokenTest: 14,
 		PerPairEmit:  35,
+		HashProbe:    20,
 		TermOp:       60,
 		C1:           1800,
 		C3:           1100,
@@ -58,9 +63,13 @@ func (m Model) Cost(ev rete.ActivationEvent) float64 {
 	case rete.KindAlpha:
 		return m.AlphaUpdate
 	case rete.KindJoinLeft, rete.KindJoinRight, rete.KindNegLeft, rete.KindNegRight:
-		return m.JoinBase +
+		c := m.JoinBase +
 			float64(ev.TokensTested)*m.PerTokenTest +
 			float64(ev.PairsEmitted)*m.PerPairEmit
+		if ev.Indexed {
+			c += m.HashProbe
+		}
+		return c
 	case rete.KindTerm:
 		return m.TermOp
 	default:

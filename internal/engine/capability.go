@@ -1,0 +1,61 @@
+package engine
+
+// This file defines the optional matcher capability interfaces. The
+// core Matcher contract stays the single Apply method; matchers (or
+// their adapters in internal/core) may additionally implement
+// StatsProvider and IndexProvider, which the engine — and tools such
+// as cmd/ops5run -stats — discover by type assertion instead of
+// reaching into matcher internals.
+
+// MatchStats is a matcher-neutral summary of match work performed.
+type MatchStats struct {
+	// Changes is the number of WM changes processed.
+	Changes int64
+	// Comparisons counts element-versus-pattern or token-versus-WME
+	// tests, whatever the matcher's unit of match work is.
+	Comparisons int64
+	// ConflictInserts and ConflictRemoves count conflict-set deltas.
+	ConflictInserts int64
+	ConflictRemoves int64
+}
+
+// IndexReport summarises a matcher's equality-join hash indexes.
+type IndexReport struct {
+	// IndexedNodes and FallbackNodes partition the matcher's join
+	// points by whether they probe a hash bucket or scan linearly.
+	IndexedNodes  int
+	FallbackNodes int
+	// Buckets is the number of live hash buckets; MaxBucket the
+	// largest bucket's population (the worst-case probe scan).
+	Buckets   int
+	MaxBucket int
+}
+
+// StatsProvider is the optional capability of reporting match work.
+type StatsProvider interface {
+	MatchStats() MatchStats
+}
+
+// IndexProvider is the optional capability of reporting hash-index
+// state; matchers without indexed memories simply do not implement it.
+type IndexProvider interface {
+	Indexed() IndexReport
+}
+
+// MatcherStats returns the matcher's work summary when the matcher
+// implements StatsProvider; ok is false otherwise.
+func (e *Engine) MatcherStats() (s MatchStats, ok bool) {
+	if p, has := e.Matcher.(StatsProvider); has {
+		return p.MatchStats(), true
+	}
+	return MatchStats{}, false
+}
+
+// MatcherIndex returns the matcher's index report when the matcher
+// implements IndexProvider; ok is false otherwise.
+func (e *Engine) MatcherIndex() (r IndexReport, ok bool) {
+	if p, has := e.Matcher.(IndexProvider); has {
+		return p.Indexed(), true
+	}
+	return IndexReport{}, false
+}

@@ -307,11 +307,11 @@ func e8(w io.Writer, _ int) error {
 		nChanges += len(b)
 	}
 
-	run := func(kind core.MatcherKind) (float64, error) {
+	run := func(kind core.MatcherKind) (float64, string, error) {
 		prog := &ops5.Program{Productions: prods}
 		sys, err := core.NewSystemFromProgram(prog, core.Options{Matcher: kind, Workers: runtime.GOMAXPROCS(0)})
 		if err != nil {
-			return 0, err
+			return 0, "", err
 		}
 		start := time.Now()
 		for _, batch := range script.Batches {
@@ -322,22 +322,29 @@ func e8(w io.Writer, _ int) error {
 			}
 			sys.Matcher.Apply(cp)
 		}
-		return float64(nChanges) / time.Since(start).Seconds(), nil
+		speed := float64(nChanges) / time.Since(start).Seconds()
+		// Matcher work comes through the capability interface, the same
+		// way ops5run -stats reads it; no matcher internals here.
+		comparisons := "-"
+		if st, ok := sys.MatcherStats(); ok {
+			comparisons = fmt.Sprint(st.Comparisons)
+		}
+		return speed, comparisons, nil
 	}
 
 	var rows [][]string
 	var baseline float64
 	for _, kind := range []core.MatcherKind{core.Naive, core.TREAT, core.SerialRete, core.ParallelRete} {
-		speed, err := run(kind)
+		speed, comparisons, err := run(kind)
 		if err != nil {
 			return err
 		}
 		if baseline == 0 {
 			baseline = speed
 		}
-		rows = append(rows, []string{kind.String(), metrics.F(speed, 0), metrics.F(speed/baseline, 1) + "x"})
+		rows = append(rows, []string{kind.String(), metrics.F(speed, 0), metrics.F(speed/baseline, 1) + "x", comparisons})
 	}
-	fmt.Fprint(w, metrics.Table([]string{"matcher", "wme-changes/sec (real)", "vs naive"}, rows))
+	fmt.Fprint(w, metrics.Table([]string{"matcher", "wme-changes/sec (real)", "vs naive", "comparisons"}, rows))
 	fmt.Fprintf(w, "\n(%d productions, %d WM changes, GOMAXPROCS=%d; the paper's ladder was\n",
 		len(prods), nChanges, runtime.GOMAXPROCS(0))
 	fmt.Fprintln(w, "Lisp 8 -> Bliss 40 -> compiled 200 wme-changes/sec on a VAX-11/780, §2.2.")

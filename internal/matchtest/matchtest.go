@@ -43,6 +43,23 @@ func DefaultGenParams() GenParams {
 	}
 }
 
+// IndexStressGenParams returns parameters tuned to exercise the
+// hash-indexed join memories: deep productions with many equality
+// variable joins (the indexed path), frequent predicate tests on bound
+// variables (residual tests the index must not skip), and enough
+// negation to cover indexed not-nodes, over a small value pool so
+// buckets grow multi-element.
+func IndexStressGenParams() GenParams {
+	p := DefaultGenParams()
+	p.MaxCEs = 4
+	p.NegProb = 0.3
+	p.VarProb = 0.65
+	p.PredProb = 0.35
+	p.Vars = 4
+	p.Values = 5
+	return p
+}
+
 func class(i int) string { return fmt.Sprintf("c%d", i) }
 func attr(i int) string  { return fmt.Sprintf("a%d", i) }
 func varName(i int) string {

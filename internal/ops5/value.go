@@ -21,6 +21,7 @@ package ops5
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -104,6 +105,67 @@ func (v Value) String() string {
 	default:
 		return "nil"
 	}
+}
+
+// AppendValueKey appends a deterministic byte encoding of v to b and
+// returns the extended slice. Equal values (per Equal) always encode
+// identically, so the encoding can key hash buckets for equality
+// joins. It is not guaranteed injective — symbols containing the
+// separator byte can collide — so callers must re-verify candidates
+// with the full test; a collision only widens a bucket, never loses a
+// match. Negative zero encodes as zero to stay consistent with Equal.
+func AppendValueKey(b []byte, v Value) []byte {
+	switch v.Kind {
+	case SymValue:
+		b = append(b, 's')
+		b = append(b, v.Sym...)
+	case NumValue:
+		n := v.Num
+		if n == 0 {
+			n = 0
+		}
+		b = append(b, 'n')
+		b = strconv.AppendFloat(b, n, 'g', -1, 64)
+	default:
+		b = append(b, 'x')
+	}
+	return append(b, 0x1f)
+}
+
+// HashSeed is the initial accumulator for HashValue chains (the FNV-1a
+// offset basis).
+const HashSeed uint64 = 14695981039346656037
+
+// HashValue folds v into the running FNV-1a hash h and returns it.
+// Like AppendValueKey it is Equal-consistent — equal values (per Equal)
+// always hash identically — but not injective, so callers keying hash
+// buckets by it must re-verify candidates with the full test; a
+// collision only widens a bucket, never loses a match. Unlike
+// AppendValueKey it never allocates. Negative zero hashes as zero to
+// stay consistent with Equal.
+func HashValue(h uint64, v Value) uint64 {
+	const prime = 1099511628211
+	switch v.Kind {
+	case SymValue:
+		h = (h ^ 's') * prime
+		for i := 0; i < len(v.Sym); i++ {
+			h = (h ^ uint64(v.Sym[i])) * prime
+		}
+	case NumValue:
+		n := v.Num
+		if n == 0 {
+			n = 0
+		}
+		bits := math.Float64bits(n)
+		h = (h ^ 'n') * prime
+		for i := 0; i < 8; i++ {
+			h = (h ^ (bits & 0xff)) * prime
+			bits >>= 8
+		}
+	default:
+		h = (h ^ 'x') * prime
+	}
+	return h
 }
 
 // atomString renders any identifier that lexes as an atom (class

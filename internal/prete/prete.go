@@ -75,21 +75,66 @@ type wmeEntry struct {
 	count int
 }
 
+// stripes is the number of lock stripes per indexed node's memories.
+const stripes = 16
+
+// bucketShard is one lock stripe of a node's memories: the left and
+// right hash buckets whose join keys hash to this stripe. Any (token,
+// WME) pair that can pass the node's equality tests computes the same
+// join key, hence lands in the same shard — so holding one stripe's
+// lock makes the update-memory-and-scan-opposite-bucket step atomic,
+// while activations with different keys proceed in parallel on other
+// stripes. A node with no equality tests has a single shard with
+// everything under the empty key, which degenerates to the old
+// whole-node lock.
+type bucketShard struct {
+	mu    sync.Mutex
+	left  map[string]tokenSet
+	right map[string]map[int]*wmeEntry // join key -> time tag -> entry
+}
+
 // pnode mirrors one rete two-input node, owning private copies of its
-// left and right memories guarded by a single mutex.
+// left and right memories, hash-bucketed by equality join key and
+// guarded by striped locks.
 type pnode struct {
 	id    int
 	kind  rete.JoinKind
 	tests func(*rete.Token, *ops5.WME) bool
+	// leftKey/rightKey compute a task's join key; nil on nodes with no
+	// equality tests (every task then uses the empty key, stripe 0).
+	leftKey  func(*rete.Token) string
+	rightKey func(*ops5.WME) string
 
-	mu    sync.Mutex
-	left  tokenSet
-	right map[int]*wmeEntry // by time tag
+	shards []bucketShard
 
 	// downstream nodes receive this node's output tokens on their left
 	// input; terminals announce conflict-set deltas.
 	downstream []*pnode
 	terminals  []*rete.Terminal
+}
+
+// key computes a task's join key on this node.
+func (n *pnode) key(t task) string {
+	if n.leftKey == nil {
+		return ""
+	}
+	if t.side == rightSide {
+		return n.rightKey(t.wme)
+	}
+	return n.leftKey(t.tok)
+}
+
+// shardOf maps a join key to its lock stripe.
+func (n *pnode) shardOf(key string) *bucketShard {
+	if len(n.shards) == 1 {
+		return &n.shards[0]
+	}
+	h := uint32(2166136261) // FNV-1a
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &n.shards[h%uint32(len(n.shards))]
 }
 
 func tokenKey(t *rete.Token) string {
@@ -113,6 +158,14 @@ type Stats struct {
 	Cancellations int64
 	// Batches counts Apply calls.
 	Batches int
+	// Changes counts WM changes processed.
+	Changes int64
+	// Comparisons counts (token, wme) pairs tested at nodes — bucket
+	// candidates only, for nodes with an equality key.
+	Comparisons int64
+	// ConflictInserts and ConflictRemoves count flushed deltas.
+	ConflictInserts int64
+	ConflictRemoves int64
 }
 
 // Matcher is the parallel Rete matcher. It satisfies engine.Matcher.
@@ -128,10 +181,14 @@ type Matcher struct {
 	OnRemove func(*ops5.Instantiation)
 
 	mu sync.Mutex // guards the delta buffer
-	// tasks and cancellations are atomic counters (hot path).
+	// tasks, cancellations and comparisons are atomic counters (hot path).
 	tasks         atomic.Int64
 	cancellations atomic.Int64
+	comparisons   atomic.Int64
 	batches       int
+	changes       int64
+	confIns       int64
+	confRem       int64
 	// deltas accumulates net conflict-set changes within a batch.
 	deltas map[string]*delta
 }
@@ -159,13 +216,22 @@ func New(prods []*ops5.Production, workers int) (*Matcher, error) {
 		deltas:  make(map[string]*delta),
 	}
 	for _, j := range net.Joins() {
-		m.nodes[j] = &pnode{
+		pn := &pnode{
 			id:    j.ID,
 			kind:  j.Kind,
 			tests: rete.CompileJoinTests(j.Tests),
-			left:  tokenSet{},
-			right: map[int]*wmeEntry{},
 		}
+		nshards := 1
+		if eq, _ := rete.SplitJoinTests(j.Tests); len(eq) > 0 {
+			pn.leftKey, pn.rightKey = rete.JoinKeyFuncs(eq)
+			nshards = stripes
+		}
+		pn.shards = make([]bucketShard, nshards)
+		for i := range pn.shards {
+			pn.shards[i].left = make(map[string]tokenSet)
+			pn.shards[i].right = make(map[string]map[int]*wmeEntry)
+		}
+		m.nodes[j] = pn
 	}
 	for _, j := range net.Joins() {
 		pn := m.nodes[j]
@@ -174,11 +240,13 @@ func New(prods []*ops5.Production, workers int) (*Matcher, error) {
 		}
 		pn.terminals = j.Out.Terminals
 	}
-	// Prime nodes fed by the dummy top with the empty token.
+	// Prime nodes fed by the dummy top with the empty token. These
+	// joins have no earlier CE to bind variables, hence no equality
+	// tests and a single shard.
 	for _, j := range net.DummyTop().Joins {
 		pn := m.nodes[j]
 		empty := &rete.Token{}
-		pn.left[tokenKey(empty)] = &tokenEntry{tok: empty, count: 1}
+		pn.shards[0].left[""] = tokenSet{tokenKey(empty): &tokenEntry{tok: empty, count: 1}}
 		if j.Kind == rete.JoinNegative {
 			// matches is computed lazily against an initially empty
 			// right memory: zero.
@@ -198,10 +266,57 @@ func (m *Matcher) Network() *rete.Network { return m.net }
 // Stats returns a snapshot of the work counters.
 func (m *Matcher) Stats() Stats {
 	return Stats{
-		Tasks:         m.tasks.Load(),
-		Cancellations: m.cancellations.Load(),
-		Batches:       m.batches,
+		Tasks:           m.tasks.Load(),
+		Cancellations:   m.cancellations.Load(),
+		Batches:         m.batches,
+		Changes:         m.changes,
+		Comparisons:     m.comparisons.Load(),
+		ConflictInserts: m.confIns,
+		ConflictRemoves: m.confRem,
 	}
+}
+
+// IndexInfo summarises the hash-bucketed node memories.
+type IndexInfo struct {
+	// IndexedNodes and FallbackNodes partition the two-input nodes by
+	// whether they key their memories on an equality join key.
+	IndexedNodes  int
+	FallbackNodes int
+	// Buckets is the number of live (key, side) buckets; MaxBucket the
+	// largest bucket's population.
+	Buckets   int
+	MaxBucket int
+}
+
+// IndexInfo reports current bucket occupancy. It briefly takes every
+// stripe lock, so it should not be called from inside Apply.
+func (m *Matcher) IndexInfo() IndexInfo {
+	var info IndexInfo
+	for _, pn := range m.nodes {
+		if pn.leftKey != nil {
+			info.IndexedNodes++
+		} else {
+			info.FallbackNodes++
+		}
+		for i := range pn.shards {
+			sh := &pn.shards[i]
+			sh.mu.Lock()
+			for _, ts := range sh.left {
+				info.Buckets++
+				if len(ts) > info.MaxBucket {
+					info.MaxBucket = len(ts)
+				}
+			}
+			for _, wb := range sh.right {
+				info.Buckets++
+				if len(wb) > info.MaxBucket {
+					info.MaxBucket = len(wb)
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return info
 }
 
 // queue is an unbounded work queue with completion tracking.
@@ -286,9 +401,13 @@ func (m *Matcher) Apply(changes []ops5.Change) {
 	wg.Wait()
 	m.flush()
 	m.batches++
+	m.changes += int64(len(changes))
 }
 
 // run executes one node activation, pushing downstream activations.
+// Only the task's own join-key bucket (and its lock stripe) is
+// touched: a matching pair always shares the key, so the opposite
+// bucket under the same stripe lock is the complete candidate set.
 func (m *Matcher) run(t task, q *queue) {
 	m.tasks.Add(1)
 
@@ -299,28 +418,36 @@ func (m *Matcher) run(t task, q *queue) {
 	var emits []emit
 
 	n := t.node
-	n.mu.Lock()
+	key := n.key(t)
+	sh := n.shardOf(key)
+	tested := 0
+	sh.mu.Lock()
 	switch {
 	case t.side == rightSide && n.kind == rete.JoinPositive:
-		if cancelled := n.updateRight(t); cancelled {
+		if cancelled := sh.updateRight(key, t); cancelled {
 			m.cancelled()
 			break
 		}
-		for _, e := range n.left {
+		for _, e := range sh.left[key] {
 			if e.count <= 0 {
 				continue
 			}
+			tested++
 			if n.match(e.tok, t.wme) {
 				emits = append(emits, emit{tok: e.tok.Extend(t.wme), dir: t.dir})
 			}
 		}
 	case t.side == rightSide && n.kind == rete.JoinNegative:
-		if cancelled := n.updateRight(t); cancelled {
+		if cancelled := sh.updateRight(key, t); cancelled {
 			m.cancelled()
 			break
 		}
-		for _, e := range n.left {
-			if e.count <= 0 || !n.match(e.tok, t.wme) {
+		for _, e := range sh.left[key] {
+			if e.count <= 0 {
+				continue
+			}
+			tested++
+			if !n.match(e.tok, t.wme) {
 				continue
 			}
 			switch t.dir {
@@ -337,14 +464,15 @@ func (m *Matcher) run(t task, q *queue) {
 			}
 		}
 	case t.side == leftSide && n.kind == rete.JoinPositive:
-		if cancelled := n.updateLeft(t); cancelled {
+		if cancelled := sh.updateLeft(key, t); cancelled {
 			m.cancelled()
 			break
 		}
-		for _, e := range n.right {
+		for _, e := range sh.right[key] {
 			if e.count <= 0 {
 				continue
 			}
+			tested++
 			if n.match(t.tok, e.wme) {
 				emits = append(emits, emit{tok: t.tok.Extend(e.wme), dir: t.dir})
 			}
@@ -352,23 +480,22 @@ func (m *Matcher) run(t task, q *queue) {
 	case t.side == leftSide && n.kind == rete.JoinNegative:
 		switch t.dir {
 		case ops5.Insert:
-			key := tokenKey(t.tok)
-			e := n.left[key]
-			if e == nil {
-				e = &tokenEntry{tok: t.tok}
-				n.left[key] = e
-			}
+			e := sh.leftEntry(key, t.tok)
 			e.count++
 			if e.count == 0 {
-				delete(n.left, key)
+				sh.dropLeft(key, t.tok)
 			}
 			if e.count <= 0 {
 				m.cancelled()
 				break // annihilated by an earlier delete
 			}
 			matches := 0
-			for _, re := range n.right {
-				if re.count > 0 && n.match(t.tok, re.wme) {
+			for _, re := range sh.right[key] {
+				if re.count <= 0 {
+					continue
+				}
+				tested++
+				if n.match(t.tok, re.wme) {
 					matches += re.count
 				}
 			}
@@ -377,17 +504,12 @@ func (m *Matcher) run(t task, q *queue) {
 				emits = append(emits, emit{tok: t.tok, dir: ops5.Insert})
 			}
 		case ops5.Delete:
-			key := tokenKey(t.tok)
-			e := n.left[key]
-			if e == nil {
-				e = &tokenEntry{tok: t.tok}
-				n.left[key] = e
-			}
+			e := sh.leftEntry(key, t.tok)
 			hadMatches := e.matches
 			present := e.count > 0
 			e.count--
 			if e.count == 0 {
-				delete(n.left, key)
+				sh.dropLeft(key, t.tok)
 			}
 			if !present {
 				m.cancelled()
@@ -398,7 +520,8 @@ func (m *Matcher) run(t task, q *queue) {
 			}
 		}
 	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
+	m.comparisons.Add(int64(tested))
 
 	for _, e := range emits {
 		for _, dn := range n.downstream {
@@ -410,19 +533,57 @@ func (m *Matcher) run(t task, q *queue) {
 	}
 }
 
+// bucket returns the right bucket for a join key, creating it when
+// missing. Caller holds the stripe lock.
+func (sh *bucketShard) rightBucket(key string) map[int]*wmeEntry {
+	b := sh.right[key]
+	if b == nil {
+		b = make(map[int]*wmeEntry)
+		sh.right[key] = b
+	}
+	return b
+}
+
+// leftEntry returns the counted entry for a token in a key's bucket,
+// creating bucket and entry when missing. Caller holds the stripe lock.
+func (sh *bucketShard) leftEntry(key string, tok *rete.Token) *tokenEntry {
+	ts := sh.left[key]
+	if ts == nil {
+		ts = tokenSet{}
+		sh.left[key] = ts
+	}
+	tk := tokenKey(tok)
+	e := ts[tk]
+	if e == nil {
+		e = &tokenEntry{tok: tok}
+		ts[tk] = e
+	}
+	return e
+}
+
+// dropLeft removes a token's entry, reclaiming the bucket when empty.
+func (sh *bucketShard) dropLeft(key string, tok *rete.Token) {
+	ts := sh.left[key]
+	delete(ts, tokenKey(tok))
+	if len(ts) == 0 {
+		delete(sh.left, key)
+	}
+}
+
 // updateRight applies a counted right-memory update, reporting whether
 // the operation was annihilated by an earlier opposite operation.
-func (n *pnode) updateRight(t task) (cancelled bool) {
-	e := n.right[t.wme.TimeTag]
+func (sh *bucketShard) updateRight(key string, t task) (cancelled bool) {
+	b := sh.rightBucket(key)
+	e := b[t.wme.TimeTag]
 	if e == nil {
 		e = &wmeEntry{wme: t.wme}
-		n.right[t.wme.TimeTag] = e
+		b[t.wme.TimeTag] = e
 	}
 	switch t.dir {
 	case ops5.Insert:
 		e.count++
 		if e.count == 0 {
-			delete(n.right, t.wme.TimeTag)
+			sh.dropRight(key, t.wme.TimeTag)
 		}
 		if e.count <= 0 {
 			return true
@@ -431,7 +592,7 @@ func (n *pnode) updateRight(t task) (cancelled bool) {
 		present := e.count > 0
 		e.count--
 		if e.count == 0 {
-			delete(n.right, t.wme.TimeTag)
+			sh.dropRight(key, t.wme.TimeTag)
 		}
 		if !present {
 			return true
@@ -440,19 +601,23 @@ func (n *pnode) updateRight(t task) (cancelled bool) {
 	return false
 }
 
-// updateLeft applies a counted left-memory update for positive nodes.
-func (n *pnode) updateLeft(t task) (cancelled bool) {
-	key := tokenKey(t.tok)
-	e := n.left[key]
-	if e == nil {
-		e = &tokenEntry{tok: t.tok}
-		n.left[key] = e
+// dropRight removes a WME's entry, reclaiming the bucket when empty.
+func (sh *bucketShard) dropRight(key string, tag int) {
+	b := sh.right[key]
+	delete(b, tag)
+	if len(b) == 0 {
+		delete(sh.right, key)
 	}
+}
+
+// updateLeft applies a counted left-memory update for positive nodes.
+func (sh *bucketShard) updateLeft(key string, t task) (cancelled bool) {
+	e := sh.leftEntry(key, t.tok)
 	switch t.dir {
 	case ops5.Insert:
 		e.count++
 		if e.count == 0 {
-			delete(n.left, key)
+			sh.dropLeft(key, t.tok)
 		}
 		if e.count <= 0 {
 			return true
@@ -461,7 +626,7 @@ func (n *pnode) updateLeft(t task) (cancelled bool) {
 		present := e.count > 0
 		e.count--
 		if e.count == 0 {
-			delete(n.left, key)
+			sh.dropLeft(key, t.tok)
 		}
 		if !present {
 			return true
@@ -511,10 +676,16 @@ func (m *Matcher) flush() {
 
 	for _, d := range pending {
 		switch {
-		case d.n > 0 && m.OnInsert != nil:
-			m.OnInsert(d.inst)
-		case d.n < 0 && m.OnRemove != nil:
-			m.OnRemove(d.inst)
+		case d.n > 0:
+			m.confIns++
+			if m.OnInsert != nil {
+				m.OnInsert(d.inst)
+			}
+		case d.n < 0:
+			m.confRem++
+			if m.OnRemove != nil {
+				m.OnRemove(d.inst)
+			}
 		}
 	}
 }

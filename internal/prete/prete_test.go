@@ -66,6 +66,27 @@ func TestRandomizedCrossCheckNegation(t *testing.T) {
 	}
 }
 
+// TestRandomizedCrossCheckIndexStress covers the striped hash-bucket
+// path under parallelism: equality-join-heavy programs with predicate
+// and negated joins, on several worker counts, cross-checked against
+// brute force after every batch.
+func TestRandomizedCrossCheckIndexStress(t *testing.T) {
+	params := matchtest.IndexStressGenParams()
+	indexed := 0
+	for _, workers := range []int{1, 8} {
+		for seed := int64(300); seed < 310; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			prods := matchtest.RandomProgram(rng, params)
+			script := matchtest.RandomScript(rng, params, 24, 5)
+			m := runScript(t, prods, script, workers)
+			indexed += m.IndexInfo().IndexedNodes
+		}
+	}
+	if indexed == 0 {
+		t.Error("index-stress programs produced no indexed joins; generator drifted")
+	}
+}
+
 func TestLargeBatches(t *testing.T) {
 	// Large batches maximise in-flight parallel activations and
 	// out-of-order arrivals (the counted-cancellation path).

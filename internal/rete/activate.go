@@ -68,10 +68,18 @@ type ActivationEvent struct {
 	Dir ops5.ChangeKind
 	// TestsRun counts constant tests evaluated (root events).
 	TestsRun int
-	// TokensTested counts opposite-memory entries scanned (join events).
+	// TokensTested counts opposite-memory entries tested (join events):
+	// the probed bucket's population when Indexed, the full memory
+	// otherwise.
 	TokensTested int
 	// PairsEmitted counts tokens sent downstream.
 	PairsEmitted int
+	// Indexed reports whether the activation probed a hash bucket
+	// rather than scanning the opposite memory.
+	Indexed bool
+	// OppSize is the opposite memory's total population at activation
+	// time; with TokensTested it shows the work an index saved.
+	OppSize int
 	// SharedBy is the number of productions/CEs sharing the node; the
 	// simulator uses it to model the sharing that production-level
 	// parallelism loses (§4).
@@ -90,8 +98,11 @@ type Stats struct {
 	// ConstTests is the total number of constant tests evaluated.
 	ConstTests int64
 	// TokenComparisons is the total number of (token, wme) pairs tested
-	// at two-input nodes.
+	// at two-input nodes (bucket candidates only, for indexed nodes).
 	TokenComparisons int64
+	// IndexedProbes counts two-input activations answered from a hash
+	// bucket instead of a linear scan.
+	IndexedProbes int64
 	// ConflictInserts and ConflictRemoves count conflict-set deltas.
 	ConflictInserts int64
 	// ConflictRemoves counts conflict-set removals.
@@ -124,6 +135,14 @@ func (s *Stats) AvgAffected() float64 {
 	return float64(s.AffectedProductions) / float64(s.Changes)
 }
 
+// linearProbeMin is the opposite-memory population below which a join
+// activation scans linearly even when an index exists: computing the
+// join key and probing the map costs more than testing a handful of
+// candidates directly. Memories this small are also where most
+// activations of well-partitioned programs land, so the cutover
+// matters for constant factors while leaving the asymptotics indexed.
+const linearProbeMin = 16
+
 // applyCtx threads per-change bookkeeping through the propagation.
 type applyCtx struct {
 	change   int
@@ -136,6 +155,7 @@ type applyCtx struct {
 // (working memory assigns them).
 func (n *Network) Apply(changes []ops5.Change) {
 	n.started = true
+	n.prepare()
 	for i, ch := range changes {
 		ctx := &applyCtx{change: i, dir: ch.Kind, affected: make(map[*ops5.Production]int)}
 		root := n.roots[ch.WME.Class]
@@ -198,11 +218,17 @@ func (n *Network) alphaActivate(am *AlphaMem, w *ops5.WME, ctx *applyCtx, parent
 	}
 	switch ctx.dir {
 	case ops5.Insert:
-		am.Items = append(am.Items, w)
+		am.insert(w)
+		for _, ix := range am.indexes {
+			ix.insert(w, am.Items)
+		}
 	case ops5.Delete:
 		if !am.remove(w) {
 			n.Stats.Anomalies++
 			return
+		}
+		for _, ix := range am.indexes {
+			ix.remove(w)
 		}
 	}
 	n.emit(ActivationEvent{
@@ -231,7 +257,13 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 	case JoinPositive:
 		n.Stats.Activations[KindJoinRight]++
 		tested, emitted := 0, 0
-		for _, tok := range j.Left.Tokens {
+		toks := j.Left.Tokens
+		indexed := j.leftIdx != nil && j.leftIdx.buckets != nil && len(toks) >= linearProbeMin
+		if indexed {
+			toks = j.leftIdx.buckets[j.rightHash(w)]
+			n.Stats.IndexedProbes++
+		}
+		for _, tok := range toks {
 			tested++
 			if j.evalJoin(tok, w) {
 				emitted++
@@ -242,13 +274,18 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinRight,
 			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
-			SharedBy: j.SharedBy,
+			SharedBy: j.SharedBy, Indexed: indexed, OppSize: len(j.Left.Tokens),
 		})
 	case JoinNegative:
 		n.Stats.Activations[KindNegRight]++
 		tested, emitted := 0, 0
-		for idx := range j.negRecords {
-			rec := &j.negRecords[idx]
+		recs := j.negRecords
+		indexed := j.negIndex != nil
+		if indexed {
+			recs = j.negIndex[j.rightHash(w)]
+			n.Stats.IndexedProbes++
+		}
+		for _, rec := range recs {
 			tested++
 			if !j.evalJoin(rec.tok, w) {
 				continue
@@ -268,11 +305,15 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 				}
 			}
 		}
+		opp := len(j.negRecords)
+		if indexed {
+			opp = j.negCount
+		}
 		n.Stats.TokenComparisons += int64(tested)
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegRight,
 			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
-			SharedBy: j.SharedBy,
+			SharedBy: j.SharedBy, Indexed: indexed, OppSize: opp,
 		})
 	}
 }
@@ -286,7 +327,13 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 	case JoinPositive:
 		n.Stats.Activations[KindJoinLeft]++
 		tested, emitted := 0, 0
-		for _, w := range j.Right.Items {
+		items := j.Right.Items
+		indexed := j.rightIdx != nil && j.rightIdx.buckets != nil && len(items) >= linearProbeMin
+		if indexed {
+			items = j.rightIdx.buckets[j.leftHash(tok)]
+			n.Stats.IndexedProbes++
+		}
+		for _, w := range items {
 			tested++
 			if j.evalJoin(tok, w) {
 				emitted++
@@ -301,38 +348,75 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinLeft,
 			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,
-			SharedBy: j.SharedBy,
+			SharedBy: j.SharedBy, Indexed: indexed, OppSize: len(j.Right.Items),
 		})
 	case JoinNegative:
 		n.Stats.Activations[KindNegLeft]++
 		tested, emitted := 0, 0
+		indexed := j.negIndex != nil
 		switch dir {
 		case ops5.Insert:
 			count := 0
-			for _, w := range j.Right.Items {
+			items := j.Right.Items
+			if j.rightIdx != nil && j.rightIdx.buckets != nil && len(items) >= linearProbeMin {
+				items = j.rightIdx.buckets[j.leftHash(tok)]
+				n.Stats.IndexedProbes++
+			}
+			for _, w := range items {
 				tested++
 				if j.evalJoin(tok, w) {
 					count++
 				}
 			}
-			j.negRecords = append(j.negRecords, negRecord{tok: tok, count: count})
+			rec := &negRecord{tok: tok, count: count}
+			if indexed {
+				k := j.leftHash(tok)
+				j.negIndex[k] = append(j.negIndex[k], rec)
+				j.negCount++
+			} else {
+				j.negRecords = append(j.negRecords, rec)
+			}
 			if count == 0 {
 				emitted++
 				n.betaInsert(j.Out, tok, ctx, seq)
 			}
 		case ops5.Delete:
 			found := false
-			for idx := range j.negRecords {
-				tested++
-				if j.negRecords[idx].tok.EqualTo(tok) {
-					count := j.negRecords[idx].count
-					j.negRecords = append(j.negRecords[:idx], j.negRecords[idx+1:]...)
-					if count == 0 {
-						emitted++
-						n.betaDelete(j.Out, tok, ctx, seq)
+			if indexed {
+				k := j.leftHash(tok)
+				bucket := j.negIndex[k]
+				for idx, rec := range bucket {
+					tested++
+					if rec.tok.EqualTo(tok) {
+						count := rec.count
+						bucket = append(bucket[:idx], bucket[idx+1:]...)
+						if len(bucket) == 0 {
+							delete(j.negIndex, k)
+						} else {
+							j.negIndex[k] = bucket
+						}
+						j.negCount--
+						if count == 0 {
+							emitted++
+							n.betaDelete(j.Out, tok, ctx, seq)
+						}
+						found = true
+						break
 					}
-					found = true
-					break
+				}
+			} else {
+				for idx, rec := range j.negRecords {
+					tested++
+					if rec.tok.EqualTo(tok) {
+						count := rec.count
+						j.negRecords = append(j.negRecords[:idx], j.negRecords[idx+1:]...)
+						if count == 0 {
+							emitted++
+							n.betaDelete(j.Out, tok, ctx, seq)
+						}
+						found = true
+						break
+					}
 				}
 			}
 			if !found {
@@ -343,14 +427,17 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegLeft,
 			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,
-			SharedBy: j.SharedBy,
+			SharedBy: j.SharedBy, Indexed: indexed, OppSize: len(j.Right.Items),
 		})
 	}
 }
 
 // betaInsert stores a token and propagates to joins and terminals.
 func (n *Network) betaInsert(bm *BetaMem, tok *Token, ctx *applyCtx, parent int64) {
-	bm.Tokens = append(bm.Tokens, tok)
+	bm.insert(tok)
+	for _, ix := range bm.indexes {
+		ix.insert(tok, bm.Tokens)
+	}
 	for _, j := range bm.Joins {
 		n.leftActivate(j, tok, ops5.Insert, ctx, parent)
 	}
@@ -364,6 +451,9 @@ func (n *Network) betaDelete(bm *BetaMem, tok *Token, ctx *applyCtx, parent int6
 	if !bm.remove(tok) {
 		n.Stats.Anomalies++
 		return
+	}
+	for _, ix := range bm.indexes {
+		ix.remove(tok)
 	}
 	for _, j := range bm.Joins {
 		n.leftActivate(j, tok, ops5.Delete, ctx, parent)
@@ -386,13 +476,35 @@ func (n *Network) betaActivate(bm *BetaMem, tok *Token, ctx *applyCtx, parent in
 func (n *Network) terminalActivate(t *Terminal, tok *Token, dir ops5.ChangeKind, ctx *applyCtx, parent int64) {
 	seq := n.nextSeq()
 	n.Stats.Activations[KindTerm]++
-	inst := t.Instantiate(tok)
+	key := tokenIDHash(tok)
+	var inst *ops5.Instantiation
 	if dir == ops5.Insert {
+		inst = t.Instantiate(tok)
+		if t.live == nil {
+			t.live = make(map[uint64][]liveInst)
+		}
+		t.live[key] = append(t.live[key], liveInst{tok: tok, inst: inst})
 		n.Stats.ConflictInserts++
 		if n.OnInsert != nil {
 			n.OnInsert(inst)
 		}
 	} else {
+		bucket := t.live[key]
+		for i, li := range bucket {
+			if li.tok.EqualTo(tok) {
+				inst = li.inst
+				bucket[i] = bucket[len(bucket)-1]
+				if len(bucket) == 1 {
+					delete(t.live, key)
+				} else {
+					t.live[key] = bucket[:len(bucket)-1]
+				}
+				break
+			}
+		}
+		if inst == nil {
+			inst = t.Instantiate(tok)
+		}
 		n.Stats.ConflictRemoves++
 		if n.OnRemove != nil {
 			n.OnRemove(inst)

@@ -1,0 +1,356 @@
+package rete
+
+import (
+	"sort"
+
+	"repro/internal/ops5"
+)
+
+// This file implements equality-keyed hash indexes over alpha and beta
+// memories. At prepare time (the first Apply) the equality subset of
+// each two-input node's tests becomes a join key; the node's opposite
+// memories maintain map[key]bucket alongside their slices, and
+// activations probe the matching bucket instead of scanning the whole
+// memory. The serial matcher keys buckets by an allocation-free uint64
+// hash (ops5.HashValue); the parallel matcher uses the string encoding
+// from JoinKeyFuncs (ops5.AppendValueKey). Both encodings are
+// Equal-consistent but not injective, so every candidate drawn from a
+// bucket is still re-verified with the node's full test chain: a key
+// collision can only widen a bucket, never fabricate or lose a match.
+// Nodes with no equality tests (pure predicate joins) keep the linear
+// scan; indexed not-nodes keep their count semantics but store the
+// left records keyed by join key.
+
+// SplitJoinTests partitions a two-input node's tests into the equality
+// tests forming the hash join key (in canonical order, so nodes with
+// the same key spec can share an index) and the residual predicate
+// tests. Used here at prepare time and by the parallel matcher.
+func SplitJoinTests(tests []JoinTest) (eq, rest []JoinTest) {
+	for _, t := range tests {
+		if t.Pred == ops5.PredEq {
+			eq = append(eq, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	sort.Slice(eq, func(i, j int) bool { return eq[i].key() < eq[j].key() })
+	return eq, rest
+}
+
+// JoinKeyFuncs returns the two sides' key functions for an equality
+// test list (as returned by SplitJoinTests): leftKey over a token's
+// bound attributes, rightKey over a WME's. A (token, WME) pair that
+// passes every equality test always produces leftKey == rightKey.
+func JoinKeyFuncs(eq []JoinTest) (leftKey func(*Token) string, rightKey func(*ops5.WME) string) {
+	tests := append([]JoinTest(nil), eq...)
+	leftKey = func(tok *Token) string {
+		b := make([]byte, 0, 16*len(tests))
+		for _, t := range tests {
+			b = ops5.AppendValueKey(b, tok.WMEs[t.LeftIdx].Get(t.LeftAttr))
+		}
+		return string(b)
+	}
+	rightKey = func(w *ops5.WME) string {
+		b := make([]byte, 0, 16*len(tests))
+		for _, t := range tests {
+			b = ops5.AppendValueKey(b, w.Get(t.RightAttr))
+		}
+		return string(b)
+	}
+	return leftKey, rightKey
+}
+
+// joinHashFuncs is the allocation-free counterpart of JoinKeyFuncs: the
+// returned functions fold the key columns into a uint64 with
+// ops5.HashValue. A (token, WME) pair passing every equality test
+// always produces leftHash == rightHash.
+func joinHashFuncs(eq []JoinTest) (leftHash func(*Token) uint64, rightHash func(*ops5.WME) uint64) {
+	tests := append([]JoinTest(nil), eq...)
+	leftHash = func(tok *Token) uint64 {
+		h := ops5.HashSeed
+		for _, t := range tests {
+			h = ops5.HashValue(h, tok.WMEs[t.LeftIdx].Get(t.LeftAttr))
+		}
+		return h
+	}
+	rightHash = func(w *ops5.WME) uint64 {
+		h := ops5.HashSeed
+		for _, t := range tests {
+			h = ops5.HashValue(h, w.Get(t.RightAttr))
+		}
+		return h
+	}
+	return leftHash, rightHash
+}
+
+// alphaIndex is a hash index over an alpha memory's WMEs, keyed by the
+// values of attrs (the RightAttr columns of one equality key spec).
+// buckets stays nil — and insert/remove are no-ops — until the memory
+// first reaches linearProbeMin items, the size below which activations
+// scan linearly anyway; tiny memories then pay no key or map upkeep.
+type alphaIndex struct {
+	attrs   []string
+	buckets map[uint64][]*ops5.WME
+}
+
+func (ix *alphaIndex) key(w *ops5.WME) uint64 {
+	h := ops5.HashSeed
+	for _, a := range ix.attrs {
+		h = ops5.HashValue(h, w.Get(a))
+	}
+	return h
+}
+
+// insert adds w to its bucket. items is the owning memory's current
+// population (already including w); the bucket map is built from it in
+// full when the memory first reaches linearProbeMin.
+func (ix *alphaIndex) insert(w *ops5.WME, items []*ops5.WME) {
+	if ix.buckets == nil {
+		if len(items) < linearProbeMin {
+			return
+		}
+		ix.buckets = make(map[uint64][]*ops5.WME, len(items))
+		for _, x := range items {
+			k := ix.key(x)
+			ix.buckets[k] = append(ix.buckets[k], x)
+		}
+		return
+	}
+	k := ix.key(w)
+	ix.buckets[k] = append(ix.buckets[k], w)
+}
+
+func (ix *alphaIndex) remove(w *ops5.WME) {
+	if ix.buckets == nil {
+		return
+	}
+	k := ix.key(w)
+	bucket := ix.buckets[k]
+	for i, x := range bucket {
+		if x == w {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = bucket
+			}
+			return
+		}
+	}
+}
+
+// betaCol is one column of a beta index key: token position and attr.
+type betaCol struct {
+	idx  int
+	attr string
+}
+
+// betaIndex is a hash index over a beta memory's tokens, keyed by the
+// values of cols (the LeftIdx/LeftAttr columns of one equality spec).
+// As with alphaIndex, buckets stays nil until the memory first reaches
+// linearProbeMin tokens.
+type betaIndex struct {
+	cols    []betaCol
+	buckets map[uint64][]*Token
+}
+
+func (ix *betaIndex) key(tok *Token) uint64 {
+	h := ops5.HashSeed
+	for _, c := range ix.cols {
+		h = ops5.HashValue(h, tok.WMEs[c.idx].Get(c.attr))
+	}
+	return h
+}
+
+// insert adds tok to its bucket. tokens is the owning memory's current
+// population (already including tok); the bucket map is built from it
+// in full when the memory first reaches linearProbeMin.
+func (ix *betaIndex) insert(tok *Token, tokens []*Token) {
+	if ix.buckets == nil {
+		if len(tokens) < linearProbeMin {
+			return
+		}
+		ix.buckets = make(map[uint64][]*Token, len(tokens))
+		for _, x := range tokens {
+			k := ix.key(x)
+			ix.buckets[k] = append(ix.buckets[k], x)
+		}
+		return
+	}
+	k := ix.key(tok)
+	ix.buckets[k] = append(ix.buckets[k], tok)
+}
+
+func (ix *betaIndex) remove(tok *Token) {
+	if ix.buckets == nil {
+		return
+	}
+	k := ix.key(tok)
+	bucket := ix.buckets[k]
+	for i, t := range bucket {
+		if t.EqualTo(tok) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = bucket
+			}
+			return
+		}
+	}
+}
+
+// indexFor returns this alpha memory's index for the given equality
+// spec, creating (and back-filling) it on first request. Joins with
+// identical right-side key columns share one index.
+func (am *AlphaMem) indexFor(eq []JoinTest) *alphaIndex {
+	attrs := make([]string, len(eq))
+	for i, t := range eq {
+		attrs[i] = t.RightAttr
+	}
+	for _, ix := range am.indexes {
+		if stringsEqual(ix.attrs, attrs) {
+			return ix
+		}
+	}
+	ix := &alphaIndex{attrs: attrs}
+	if len(am.Items) >= linearProbeMin {
+		ix.buckets = make(map[uint64][]*ops5.WME, len(am.Items))
+		for _, w := range am.Items {
+			k := ix.key(w)
+			ix.buckets[k] = append(ix.buckets[k], w)
+		}
+	}
+	am.indexes = append(am.indexes, ix)
+	return ix
+}
+
+// indexFor returns this beta memory's index for the given equality
+// spec, creating (and back-filling) it on first request.
+func (bm *BetaMem) indexFor(eq []JoinTest) *betaIndex {
+	cols := make([]betaCol, len(eq))
+	for i, t := range eq {
+		cols[i] = betaCol{idx: t.LeftIdx, attr: t.LeftAttr}
+	}
+	for _, ix := range bm.indexes {
+		if colsEqual(ix.cols, cols) {
+			return ix
+		}
+	}
+	ix := &betaIndex{cols: cols}
+	if len(bm.Tokens) >= linearProbeMin {
+		ix.buckets = make(map[uint64][]*Token, len(bm.Tokens))
+		for _, tok := range bm.Tokens {
+			k := ix.key(tok)
+			ix.buckets[k] = append(ix.buckets[k], tok)
+		}
+	}
+	bm.indexes = append(bm.indexes, ix)
+	return ix
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func colsEqual(a, b []betaCol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare builds the hash indexes for every two-input node with at
+// least one equality test. It runs once, at the first Apply — safe
+// because AddProduction rejects further productions after matching
+// starts, so the set of key specs is final.
+func (n *Network) prepare() {
+	if n.prepared {
+		return
+	}
+	n.prepared = true
+	for _, j := range n.joins {
+		eq, _ := SplitJoinTests(j.Tests)
+		if len(eq) == 0 {
+			continue
+		}
+		j.leftHash, j.rightHash = joinHashFuncs(eq)
+		j.rightIdx = j.Right.indexFor(eq)
+		j.leftIdx = j.Left.indexFor(eq)
+		if j.Kind == JoinNegative {
+			j.negIndex = make(map[uint64][]*negRecord)
+		}
+	}
+}
+
+// IndexInfo summarises the hash-index state of a network.
+type IndexInfo struct {
+	// IndexedJoins and FallbackJoins partition the two-input nodes by
+	// whether activations probe a hash bucket or scan linearly.
+	IndexedJoins  int
+	FallbackJoins int
+	// AlphaIndexes and BetaIndexes count distinct (possibly shared)
+	// indexes maintained over the memories.
+	AlphaIndexes int
+	BetaIndexes  int
+	// Buckets is the total number of live hash buckets; MaxBucket the
+	// largest bucket's population (the residual scan bound).
+	Buckets   int
+	MaxBucket int
+}
+
+// IndexInfo reports the current index topology and occupancy. It
+// prepares the network if matching has not started yet.
+func (n *Network) IndexInfo() IndexInfo {
+	n.prepare()
+	var info IndexInfo
+	for _, j := range n.joins {
+		if j.leftHash != nil {
+			info.IndexedJoins++
+		} else {
+			info.FallbackJoins++
+		}
+		for _, b := range j.negIndex {
+			info.Buckets++
+			if len(b) > info.MaxBucket {
+				info.MaxBucket = len(b)
+			}
+		}
+	}
+	for _, am := range n.alphas {
+		info.AlphaIndexes += len(am.indexes)
+		for _, ix := range am.indexes {
+			info.Buckets += len(ix.buckets)
+			for _, b := range ix.buckets {
+				if len(b) > info.MaxBucket {
+					info.MaxBucket = len(b)
+				}
+			}
+		}
+	}
+	for _, bm := range n.betas {
+		info.BetaIndexes += len(bm.indexes)
+		for _, ix := range bm.indexes {
+			info.Buckets += len(ix.buckets)
+			for _, b := range ix.buckets {
+				if len(b) > info.MaxBucket {
+					info.MaxBucket = len(b)
+				}
+			}
+		}
+	}
+	return info
+}

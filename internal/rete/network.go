@@ -114,6 +114,11 @@ type AlphaMem struct {
 	// ProdRefs lists the (production, LHS index) pairs reading this
 	// memory; used for affected-production statistics (§4, E9).
 	ProdRefs []ProdRef
+	// indexes are the equality-join hash indexes over Items, built at
+	// prepare time and shared between joins with the same key spec.
+	indexes []*alphaIndex
+	// pos maps each item to its slice position for O(1) removal.
+	pos map[*ops5.WME]int
 	// Mu guards Items in the parallel runtime only.
 	Mu sync.Mutex
 }
@@ -124,15 +129,54 @@ type ProdRef struct {
 	CE         int
 }
 
-// remove deletes one occurrence of w, reporting whether it was present.
-func (am *AlphaMem) remove(w *ops5.WME) bool {
-	for i, x := range am.Items {
-		if x == w {
-			am.Items = append(am.Items[:i], am.Items[i+1:]...)
-			return true
+// insert appends w, recording its position once the memory is large
+// enough that linear removal would cost more than map upkeep. The
+// position map is built lazily at the linearProbeMin crossing and kept
+// thereafter.
+func (am *AlphaMem) insert(w *ops5.WME) {
+	if am.pos == nil && len(am.Items) >= linearProbeMin {
+		am.pos = make(map[*ops5.WME]int, len(am.Items)+1)
+		for i, x := range am.Items {
+			am.pos[x] = i
 		}
 	}
-	return false
+	if am.pos != nil {
+		am.pos[w] = len(am.Items)
+	}
+	am.Items = append(am.Items, w)
+}
+
+// remove deletes one occurrence of w, reporting whether it was present.
+// The last item is swapped into the hole (memory order carries no
+// meaning), so removal is O(1) via the position map once it exists, and
+// a short scan before then.
+func (am *AlphaMem) remove(w *ops5.WME) bool {
+	if am.pos == nil {
+		for i, x := range am.Items {
+			if x == w {
+				last := len(am.Items) - 1
+				am.Items[i] = am.Items[last]
+				am.Items[last] = nil
+				am.Items = am.Items[:last]
+				return true
+			}
+		}
+		return false
+	}
+	i, ok := am.pos[w]
+	if !ok {
+		return false
+	}
+	delete(am.pos, w)
+	last := len(am.Items) - 1
+	if i != last {
+		moved := am.Items[last]
+		am.Items[i] = moved
+		am.pos[moved] = i
+	}
+	am.Items[last] = nil
+	am.Items = am.Items[:last]
+	return true
 }
 
 // Token is a sequence of WMEs matching the positive condition elements
@@ -181,19 +225,105 @@ type BetaMem struct {
 	Joins []*JoinNode
 	// Terminals fire when tokens reach this memory.
 	Terminals []*Terminal
+	// indexes are the equality-join hash indexes over Tokens, built at
+	// prepare time and shared between joins with the same key spec.
+	indexes []*betaIndex
+	// pos maps token identity hashes to slice positions for O(1)
+	// removal. A bucket holds the positions of all tokens sharing a
+	// hash (time tags make chains unique, so buckets are single-entry
+	// in practice; EqualTo re-verifies either way).
+	pos map[uint64][]int
 	// Mu guards Tokens in the parallel runtime only.
 	Mu sync.Mutex
 }
 
-// remove deletes one token structurally equal to tok, reporting presence.
-func (bm *BetaMem) remove(tok *Token) bool {
-	for i, t := range bm.Tokens {
-		if t.EqualTo(tok) {
-			bm.Tokens = append(bm.Tokens[:i], bm.Tokens[i+1:]...)
-			return true
+// tokenIDHash folds a token's identity — its WMEs' time tags in
+// order — into a uint64 map key for O(1) structural lookup. The hash is
+// not injective, so lookups re-verify candidates with EqualTo.
+func tokenIDHash(tok *Token) uint64 {
+	const prime = 1099511628211
+	h := ops5.HashSeed
+	for _, w := range tok.WMEs {
+		bits := uint64(w.TimeTag)
+		for i := 0; i < 4; i++ {
+			h = (h ^ (bits & 0xffff)) * prime
+			bits >>= 16
 		}
 	}
+	return h
+}
+
+// insert appends tok, recording its position under its identity key
+// once the memory is large enough that linear removal would cost more
+// than key computation and map upkeep. The position map is built lazily
+// at the linearProbeMin crossing and kept thereafter.
+func (bm *BetaMem) insert(tok *Token) {
+	if bm.pos == nil && len(bm.Tokens) >= linearProbeMin {
+		bm.pos = make(map[uint64][]int, len(bm.Tokens)+1)
+		for i, t := range bm.Tokens {
+			k := tokenIDHash(t)
+			bm.pos[k] = append(bm.pos[k], i)
+		}
+	}
+	if bm.pos != nil {
+		key := tokenIDHash(tok)
+		bm.pos[key] = append(bm.pos[key], len(bm.Tokens))
+	}
+	bm.Tokens = append(bm.Tokens, tok)
+}
+
+// remove deletes one token structurally equal to tok, reporting
+// presence. Lookup goes through the identity-key position map once it
+// exists (a short EqualTo scan before then) and the hole is filled by
+// swapping in the last token (token order carries no meaning), so
+// removal is O(1) instead of a linear EqualTo scan.
+func (bm *BetaMem) remove(tok *Token) bool {
+	if bm.pos == nil {
+		for i, t := range bm.Tokens {
+			if t.EqualTo(tok) {
+				bm.swapRemove(i)
+				return true
+			}
+		}
+		return false
+	}
+	key := tokenIDHash(tok)
+	bucket := bm.pos[key]
+	for bi, i := range bucket {
+		if !bm.Tokens[i].EqualTo(tok) {
+			continue
+		}
+		bucket[bi] = bucket[len(bucket)-1]
+		if len(bucket) == 1 {
+			delete(bm.pos, key)
+		} else {
+			bm.pos[key] = bucket[:len(bucket)-1]
+		}
+		bm.swapRemove(i)
+		return true
+	}
 	return false
+}
+
+// swapRemove deletes Tokens[i] by moving the last token into the hole
+// and updating that token's position entry.
+func (bm *BetaMem) swapRemove(i int) {
+	last := len(bm.Tokens) - 1
+	if i != last {
+		moved := bm.Tokens[last]
+		bm.Tokens[i] = moved
+		if bm.pos != nil {
+			mb := bm.pos[tokenIDHash(moved)]
+			for bi, p := range mb {
+				if p == last {
+					mb[bi] = i
+					break
+				}
+			}
+		}
+	}
+	bm.Tokens[last] = nil
+	bm.Tokens = bm.Tokens[:last]
 }
 
 // JoinTest is one inter-element variable consistency test evaluated at a
@@ -242,8 +372,22 @@ type JoinNode struct {
 	Right *AlphaMem
 	Tests []JoinTest
 	Out   *BetaMem
-	// negRecords holds the left tokens with match counts (not-nodes).
-	negRecords []negRecord
+	// negRecords holds the left tokens with match counts (not-nodes
+	// without an equality key; indexed not-nodes use negIndex instead).
+	negRecords []*negRecord
+	// Hash-join state, filled by Network.prepare when Tests contains at
+	// least one equality test: leftHash/rightHash compute the join key
+	// hash of a token/WME, and leftIdx/rightIdx are the opposite
+	// memories' bucket indexes probed by activations. nil means linear
+	// fallback.
+	leftHash  func(*Token) uint64
+	rightHash func(*ops5.WME) uint64
+	leftIdx   *betaIndex
+	rightIdx  *alphaIndex
+	// negIndex holds an indexed not-node's left records bucketed by
+	// join key hash; negCount tracks their number for StateSize.
+	negIndex map[uint64][]*negRecord
+	negCount int
 	// compiled, when non-nil, is the closure-specialised test chain.
 	compiled func(*Token, *ops5.WME) bool
 	// SharedBy counts the productions compiled onto this node.
@@ -268,6 +412,18 @@ type Terminal struct {
 	Production *ops5.Production
 	// posIndex maps token position -> LHS condition-element index.
 	posIndex []int
+	// live caches the instantiation of each token currently in the
+	// conflict set, keyed by token identity hash (buckets re-verified
+	// with EqualTo), so removals don't rebuild variable bindings. Only
+	// the serial runtime touches it; the parallel runtime calls
+	// Instantiate directly, which stays pure.
+	live map[uint64][]liveInst
+}
+
+// liveInst pairs a live token with its cached instantiation.
+type liveInst struct {
+	tok  *Token
+	inst *ops5.Instantiation
 }
 
 // Instantiate builds the instantiation for a complete token, recomputing
@@ -316,8 +472,9 @@ type Network struct {
 	// Stats accumulates match statistics across Apply calls.
 	Stats Stats
 
-	started bool
-	seq     int64
+	started  bool
+	prepared bool
+	seq      int64
 }
 
 // New returns an empty network with no productions.
@@ -328,7 +485,7 @@ func New() *Network {
 		joinByKey:  make(map[string]*JoinNode),
 	}
 	n.dummyTop = n.newBetaMem()
-	n.dummyTop.Tokens = []*Token{{}}
+	n.dummyTop.insert(&Token{})
 	return n
 }
 

@@ -94,7 +94,11 @@ func (n *Network) StateSize() int {
 		size += len(bm.Tokens)
 	}
 	for _, j := range n.joins {
-		size += len(j.negRecords)
+		if j.negIndex != nil {
+			size += j.negCount
+		} else {
+			size += len(j.negRecords)
+		}
 	}
 	// The dummy top's permanent empty token is not match state.
 	return size - 1

@@ -224,6 +224,27 @@ func TestRandomizedCrossCheckHeavyNegation(t *testing.T) {
 	}
 }
 
+// TestRandomizedCrossCheckIndexStress drives the hash-indexed join
+// path hard: many equality variable joins (indexed probes), predicate
+// tests on bound variables (full-test re-verification of bucket
+// candidates), and negated CEs (indexed not-nodes), cross-checked
+// against brute force after every batch. Programs with few equality
+// tests also exercise the linear-scan fallback.
+func TestRandomizedCrossCheckIndexStress(t *testing.T) {
+	params := matchtest.IndexStressGenParams()
+	indexed := 0
+	for seed := int64(300); seed < 320; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prods := matchtest.RandomProgram(rng, params)
+		script := matchtest.RandomScript(rng, params, 30, 4)
+		n := runScript(t, prods, script)
+		indexed += n.IndexInfo().IndexedJoins
+	}
+	if indexed == 0 {
+		t.Error("index-stress programs produced no indexed joins; generator drifted")
+	}
+}
+
 func TestInsertDeleteRestoresMemories(t *testing.T) {
 	// Inserting a batch and deleting it again must restore every memory
 	// to its previous token/item counts.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -99,9 +100,19 @@ type SessionResponse struct {
 	AgeSeconds      float64 `json:"age_seconds"`
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
+// APIVersion is the current HTTP API version prefix. Unversioned
+// paths still work as deprecated aliases and answer with a
+// Deprecation header pointing at the /v1 successor.
+const APIVersion = "/v1"
+
+// ErrorResponse is the single JSON error envelope returned by every
+// handler: a stable machine-readable code, a human-readable message,
+// and whether retrying the identical request may succeed (shard
+// backpressure, shutdown, deadline — transient conditions).
+type ErrorResponse struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
 }
 
 // HandlerConfig tunes the HTTP layer.
@@ -115,19 +126,25 @@ type HandlerConfig struct {
 // Handler returns the HTTP API with default settings.
 func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) }
 
-// HandlerWith returns the HTTP API:
+// HandlerWith returns the HTTP API. The sessions API is versioned
+// under /v1; the unversioned paths remain as deprecated aliases that
+// answer with a Deprecation header and a Link to the /v1 successor.
+// Every error body is the ErrorResponse envelope.
 //
-//	POST   /sessions                create a session (program in body)
-//	GET    /sessions                list sessions
-//	GET    /sessions/{id}           session stats
-//	DELETE /sessions/{id}           delete a session
-//	POST   /sessions/{id}/changes   submit batched assert/retract changes
-//	POST   /sessions/{id}/run       run N recognize-act cycles
-//	GET    /sessions/{id}/conflicts conflict set (LEX order)
-//	GET    /sessions/{id}/wm        working memory (?class= filters)
-//	GET    /metrics                 serving metrics, text exposition
-//	GET    /statusz                 human-readable session table
-//	GET    /healthz                 liveness
+//	POST   /v1/sessions                create a session (program in body)
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/sessions/{id}           session stats
+//	DELETE /v1/sessions/{id}           delete a session
+//	POST   /v1/sessions/{id}/changes   submit batched assert/retract changes
+//	POST   /v1/sessions/{id}/run       run N recognize-act cycles
+//	GET    /v1/sessions/{id}/conflicts conflict set (LEX order)
+//	GET    /v1/sessions/{id}/wm        working memory (?class= filters)
+//	GET    /metrics                    serving metrics, text exposition
+//	GET    /statusz                    human-readable session table
+//	GET    /healthz                    liveness
+//
+// /metrics, /statusz and /healthz are operational endpoints and stay
+// unversioned.
 func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
@@ -146,15 +163,30 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 			}
 		}
 	}
+	// api registers pattern ("METHOD /path") under /v1 and keeps the
+	// unversioned path as a deprecated alias.
+	api := func(pattern string, fn func(w http.ResponseWriter, r *http.Request) error) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("server: route pattern must be \"METHOD /path\": " + pattern)
+		}
+		handler := h(fn)
+		mux.HandleFunc(method+" "+APIVersion+path, handler)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "<"+APIVersion+r.URL.Path+`>; rel="successor-version"`)
+			handler(w, r)
+		})
+	}
 
-	mux.HandleFunc("POST /sessions", h(s.handleCreate))
-	mux.HandleFunc("GET /sessions", h(s.handleList))
-	mux.HandleFunc("GET /sessions/{id}", h(s.handleStats))
-	mux.HandleFunc("DELETE /sessions/{id}", h(s.handleDelete))
-	mux.HandleFunc("POST /sessions/{id}/changes", h(s.handleChanges))
-	mux.HandleFunc("POST /sessions/{id}/run", h(s.handleRun))
-	mux.HandleFunc("GET /sessions/{id}/conflicts", h(s.handleConflicts))
-	mux.HandleFunc("GET /sessions/{id}/wm", h(s.handleWM))
+	api("POST /sessions", s.handleCreate)
+	api("GET /sessions", s.handleList)
+	api("GET /sessions/{id}", s.handleStats)
+	api("DELETE /sessions/{id}", s.handleDelete)
+	api("POST /sessions/{id}/changes", s.handleChanges)
+	api("POST /sessions/{id}/run", s.handleRun)
+	api("GET /sessions/{id}/conflicts", s.handleConflicts)
+	api("GET /sessions/{id}/wm", s.handleWM)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.registry.WriteText(w)
@@ -380,36 +412,40 @@ func writeJSON(w http.ResponseWriter, status int, body any) error {
 	return json.NewEncoder(w).Encode(body)
 }
 
-// writeError maps service errors onto HTTP statuses:
+// writeError maps service errors onto HTTP statuses and the
+// ErrorResponse envelope:
 //
-//	404 unknown session          409 duplicate session
-//	400 malformed input          413 working-memory quota
-//	429 shard backpressure       504 request deadline
-//	503 server shutting down     408 client went away
+//	429 busy (retryable)         404 not_found
+//	400 bad_request              409 already_exists
+//	413 wm_quota                 503 unavailable (retryable)
+//	504 deadline (retryable)     408 canceled
+//	500 internal
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := "internal"
+	retryable := false
 	var busy *BusyError
 	var badReq *BadRequestError
 	switch {
 	case errors.As(err, &busy):
 		w.Header().Set("Retry-After", strconv.Itoa(int(busy.RetryAfter.Seconds())))
-		status = http.StatusTooManyRequests
+		status, code, retryable = http.StatusTooManyRequests, "busy", true
 	case errors.As(err, &badReq):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrNoSession):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrSessionExists):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, "already_exists"
 	case errors.Is(err, ErrWMQuota):
-		status = http.StatusRequestEntityTooLarge
+		status, code = http.StatusRequestEntityTooLarge, "wm_quota"
 	case errors.Is(err, ErrServerClosed):
-		status = http.StatusServiceUnavailable
+		status, code, retryable = http.StatusServiceUnavailable, "unavailable", true
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, code, retryable = http.StatusGatewayTimeout, "deadline", true
 	case errors.Is(err, context.Canceled):
-		status = http.StatusRequestTimeout
+		status, code = http.StatusRequestTimeout, "canceled"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: err.Error(), Retryable: retryable})
 }

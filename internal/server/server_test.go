@@ -21,15 +21,17 @@ import (
 	"repro/internal/server"
 )
 
-// client is a minimal JSON client for the psmd HTTP API.
+// client is a minimal JSON client for the psmd HTTP API. Session
+// paths are requested under the current API version prefix.
 type client struct {
 	t    *testing.T
-	base string
+	base string // versioned base for the sessions API
+	raw  string // unversioned base for operational endpoints
 	http *http.Client
 }
 
 func newClient(t *testing.T, ts *httptest.Server) *client {
-	return &client{t: t, base: ts.URL, http: ts.Client()}
+	return &client{t: t, base: ts.URL + server.APIVersion, raw: ts.URL, http: ts.Client()}
 }
 
 // do sends a request and decodes the JSON response into out (ignored
@@ -137,7 +139,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 
 	// Metrics must reflect the traffic.
-	resp, err := http.Get(c.base + "/metrics")
+	resp, err := http.Get(c.raw + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 
 	// statusz renders a table including the session.
-	resp, err = http.Get(c.base + "/statusz")
+	resp, err = http.Get(c.raw + "/statusz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,6 +206,83 @@ func TestHTTPErrors(t *testing.T) {
 	c.must("GET", "/sessions/small/wm", nil, &wm, http.StatusOK)
 	if len(wm) != 0 {
 		t.Errorf("rejected batch partially applied: %d WMEs", len(wm))
+	}
+}
+
+// TestAPIVersioningAndErrorEnvelope pins the redesigned HTTP surface:
+// unversioned paths still work but are marked deprecated with a Link
+// to the /v1 successor, and every error body is the uniform
+// {code, message, retryable} envelope.
+func TestAPIVersioningAndErrorEnvelope(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Shards: 1})
+	c.must("POST", "/sessions", server.CreateRequest{ID: "v", Program: counterSrc}, nil, http.StatusCreated)
+
+	// The deprecated unversioned alias serves the same resource and
+	// advertises its successor.
+	resp, err := http.Get(c.raw + "/sessions/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unversioned alias: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Deprecation"); got != "true" {
+		t.Errorf("alias Deprecation header = %q, want \"true\"", got)
+	}
+	if got := resp.Header.Get("Link"); got != `</v1/sessions/v>; rel="successor-version"` {
+		t.Errorf("alias Link header = %q", got)
+	}
+
+	// The versioned route answers without deprecation marks.
+	resp2, err := http.Get(c.base + "/sessions/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("Deprecation") != "" {
+		t.Errorf("/v1 route: status %d, Deprecation %q", resp2.StatusCode, resp2.Header.Get("Deprecation"))
+	}
+
+	// Errors carry the envelope with a stable code. Exercise three
+	// classes: not found, conflict, and bad request.
+	envelope := func(method, path string, body any) (int, server.ErrorResponse) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.http.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var env server.ErrorResponse
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+			t.Fatalf("%s %s: error body is not the envelope: %v", method, path, err)
+		}
+		return r.StatusCode, env
+	}
+
+	if st, env := envelope("GET", "/sessions/nope", nil); st != http.StatusNotFound ||
+		env.Code != "not_found" || env.Retryable || env.Message == "" {
+		t.Errorf("not found: status %d, envelope %+v", st, env)
+	}
+	if st, env := envelope("POST", "/sessions", server.CreateRequest{ID: "v", Program: counterSrc}); st != http.StatusConflict ||
+		env.Code != "already_exists" || env.Retryable {
+		t.Errorf("conflict: status %d, envelope %+v", st, env)
+	}
+	if st, env := envelope("POST", "/sessions", server.CreateRequest{Program: "(p broken"}); st != http.StatusBadRequest ||
+		env.Code != "bad_request" || env.Retryable {
+		t.Errorf("bad request: status %d, envelope %+v", st, env)
 	}
 }
 

@@ -40,6 +40,13 @@ type Task struct {
 	Cost float64
 	// SharedBy is the number of productions sharing the node.
 	SharedBy int
+	// Indexed reports whether a two-input activation probed a hash
+	// bucket instead of scanning the opposite memory; Probed is the
+	// number of candidates tested either way, and OppSize the opposite
+	// memory's total population (Probed == OppSize when not indexed).
+	Indexed bool `json:",omitempty"`
+	Probed  int  `json:",omitempty"`
+	OppSize int  `json:",omitempty"`
 }
 
 // Trace is a complete activation trace.
@@ -119,6 +126,9 @@ func NewRecorder(name string, net *rete.Network, model cost.Model) *Recorder {
 			Kind:     ev.Kind,
 			Cost:     model.Cost(ev),
 			SharedBy: ev.SharedBy,
+			Indexed:  ev.Indexed,
+			Probed:   ev.TokensTested,
+			OppSize:  ev.OppSize,
 		})
 	}
 	return r

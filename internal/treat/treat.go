@@ -11,9 +11,86 @@ import (
 )
 
 // ceMem is the alpha memory for one condition element of one production.
+//
+// When the CE tests attributes for equality against variables bound by
+// earlier positive CEs (keyAttrs/keyVars, parallel slices), the memory
+// also buckets its WMEs by the encoded values of those attributes, so
+// the per-cycle joins probe one bucket instead of scanning the whole
+// memory. The key encoding (ops5.AppendValueKey) is Equal-consistent
+// but not injective; every candidate still goes through the full
+// MatchCE check, so a collision only widens a bucket.
 type ceMem struct {
 	ce    *ops5.CondElement
 	items map[int]*ops5.WME // by time tag
+
+	keyAttrs []string
+	keyVars  []string
+	buckets  map[string]map[int]*ops5.WME // nil when the CE has no key
+}
+
+// wmeKey encodes a stored WME's key attribute values.
+func (mem *ceMem) wmeKey(w *ops5.WME) string {
+	b := make([]byte, 0, 16*len(mem.keyAttrs))
+	for _, a := range mem.keyAttrs {
+		b = ops5.AppendValueKey(b, w.Get(a))
+	}
+	return string(b)
+}
+
+// bindKey encodes the probe key from accumulated bindings; ok is false
+// when a key variable is unbound (probe falls back to the full memory).
+func (mem *ceMem) bindKey(bind ops5.Bindings) (string, bool) {
+	b := make([]byte, 0, 16*len(mem.keyVars))
+	for _, v := range mem.keyVars {
+		val, ok := bind[v]
+		if !ok {
+			return "", false
+		}
+		b = ops5.AppendValueKey(b, val)
+	}
+	return string(b), true
+}
+
+// candidates returns the subset of items that could extend bind: the
+// matching bucket for indexed memories, everything otherwise. A WME
+// outside the bucket differs on an equality-tested attribute and
+// cannot pass MatchCE.
+func (mem *ceMem) candidates(bind ops5.Bindings) map[int]*ops5.WME {
+	if mem.buckets == nil {
+		return mem.items
+	}
+	if k, ok := mem.bindKey(bind); ok {
+		return mem.buckets[k]
+	}
+	return mem.items
+}
+
+// insert adds a WME to the memory and its bucket.
+func (mem *ceMem) insert(w *ops5.WME) {
+	mem.items[w.TimeTag] = w
+	if mem.buckets != nil {
+		k := mem.wmeKey(w)
+		b := mem.buckets[k]
+		if b == nil {
+			b = make(map[int]*ops5.WME)
+			mem.buckets[k] = b
+		}
+		b[w.TimeTag] = w
+	}
+}
+
+// remove drops a WME from the memory and its bucket.
+func (mem *ceMem) remove(w *ops5.WME) {
+	delete(mem.items, w.TimeTag)
+	if mem.buckets != nil {
+		k := mem.wmeKey(w)
+		if b := mem.buckets[k]; b != nil {
+			delete(b, w.TimeTag)
+			if len(b) == 0 {
+				delete(mem.buckets, k)
+			}
+		}
+	}
 }
 
 // prodState is per-production match state.
@@ -64,8 +141,36 @@ func New(prods []*ops5.Production) (*Matcher, error) {
 			return nil, err
 		}
 		ps := &prodState{prod: p}
+		bound := make(map[string]bool) // vars bound by earlier positive CEs
 		for _, ce := range p.LHS {
-			ps.mems = append(ps.mems, &ceMem{ce: ce, items: make(map[int]*ops5.WME)})
+			mem := &ceMem{ce: ce, items: make(map[int]*ops5.WME)}
+			// Attributes equality-tested against variables bound by an
+			// earlier positive CE become the memory's hash key; MatchCE
+			// requires those attributes Equal to the binding, so the
+			// probe key narrows the join without changing its result.
+			seen := make(map[string]bool)
+			for _, at := range ce.Tests {
+				for _, t := range at.Terms {
+					if t.Kind == ops5.TermVar && t.Pred == ops5.PredEq && bound[t.Var] && !seen[at.Attr] {
+						seen[at.Attr] = true
+						mem.keyAttrs = append(mem.keyAttrs, at.Attr)
+						mem.keyVars = append(mem.keyVars, t.Var)
+					}
+				}
+			}
+			if len(mem.keyAttrs) > 0 {
+				mem.buckets = make(map[string]map[int]*ops5.WME)
+			}
+			ps.mems = append(ps.mems, mem)
+			if !ce.Negated {
+				for _, at := range ce.Tests {
+					for _, t := range at.Terms {
+						if t.Kind == ops5.TermVar && t.Pred == ops5.PredEq {
+							bound[t.Var] = true
+						}
+					}
+				}
+			}
 		}
 		m.prods = append(m.prods, ps)
 		m.insts[p] = make(map[string]*ops5.Instantiation)
@@ -83,6 +188,39 @@ func (m *Matcher) StateSize() int {
 		}
 	}
 	return size
+}
+
+// IndexInfo summarises the indexed alpha memories.
+type IndexInfo struct {
+	// IndexedCEs and FallbackCEs partition the per-production condition
+	// elements by whether their memory is hash-bucketed.
+	IndexedCEs  int
+	FallbackCEs int
+	// Buckets is the number of live buckets; MaxBucket the largest
+	// bucket's population.
+	Buckets   int
+	MaxBucket int
+}
+
+// IndexInfo reports current bucket occupancy.
+func (m *Matcher) IndexInfo() IndexInfo {
+	var info IndexInfo
+	for _, ps := range m.prods {
+		for _, mem := range ps.mems {
+			if mem.buckets == nil {
+				info.FallbackCEs++
+				continue
+			}
+			info.IndexedCEs++
+			info.Buckets += len(mem.buckets)
+			for _, b := range mem.buckets {
+				if len(b) > info.MaxBucket {
+					info.MaxBucket = len(b)
+				}
+			}
+		}
+	}
+	return info
 }
 
 // Apply processes a batch of WM changes in order.
@@ -103,10 +241,10 @@ func (m *Matcher) applyOne(ch ops5.Change) {
 			}
 			switch ch.Kind {
 			case ops5.Insert:
-				mem.items[ch.WME.TimeTag] = ch.WME
+				mem.insert(ch.WME)
 				m.Stats.AlphaInserts++
 			case ops5.Delete:
-				delete(mem.items, ch.WME.TimeTag)
+				mem.remove(ch.WME)
 				m.Stats.AlphaDeletes++
 			}
 			if mem.ce.Negated {
@@ -147,7 +285,7 @@ func (m *Matcher) seedJoin(ps *prodState, seedIdx int, w *ops5.WME) {
 		ce := ps.prod.LHS[ceIdx]
 		mem := ps.mems[ceIdx]
 		if ce.Negated {
-			for _, x := range mem.items {
+			for _, x := range mem.candidates(b) {
 				m.Stats.JoinTuplesTested++
 				if _, ok := ops5.MatchCE(ce, x, b); ok {
 					return
@@ -166,7 +304,7 @@ func (m *Matcher) seedJoin(ps *prodState, seedIdx int, w *ops5.WME) {
 			}
 			return
 		}
-		for _, x := range mem.items {
+		for _, x := range mem.candidates(b) {
 			// The seed WME may legitimately fill several positive CEs
 			// of one instantiation. To emit each instantiation exactly
 			// once, the seed position must be the first position that
@@ -222,7 +360,7 @@ func (m *Matcher) recompute(ps *prodState) {
 		ce := ps.prod.LHS[ceIdx]
 		mem := ps.mems[ceIdx]
 		if ce.Negated {
-			for _, x := range mem.items {
+			for _, x := range mem.candidates(b) {
 				m.Stats.JoinTuplesTested++
 				if _, ok := ops5.MatchCE(ce, x, b); ok {
 					return
@@ -232,7 +370,7 @@ func (m *Matcher) recompute(ps *prodState) {
 			rec(ceIdx+1, b)
 			return
 		}
-		for _, x := range mem.items {
+		for _, x := range mem.candidates(b) {
 			m.Stats.JoinTuplesTested++
 			if nb, ok := ops5.MatchCE(ce, x, b); ok {
 				wmes[ceIdx] = x

@@ -9,7 +9,7 @@ import (
 	"repro/internal/treat"
 )
 
-func runScript(t *testing.T, prods []*ops5.Production, script *matchtest.Script) {
+func runScript(t *testing.T, prods []*ops5.Production, script *matchtest.Script) *treat.Matcher {
 	t.Helper()
 	m, err := treat.New(prods)
 	if err != nil {
@@ -39,6 +39,7 @@ func runScript(t *testing.T, prods []*ops5.Production, script *matchtest.Script)
 			t.Fatalf("batch %d: conflict set mismatch:\n%s", bi, d)
 		}
 	}
+	return m
 }
 
 func TestRandomizedCrossCheck(t *testing.T) {
@@ -59,6 +60,25 @@ func TestRandomizedCrossCheckNegation(t *testing.T) {
 		prods := matchtest.RandomProgram(rng, params)
 		script := matchtest.RandomScript(rng, params, 20, 3)
 		runScript(t, prods, script)
+	}
+}
+
+// TestRandomizedCrossCheckIndexStress covers the indexed alpha-memory
+// path: equality-join-heavy programs where seedJoin and recompute
+// probe per-CE buckets, with predicate and negated joins mixed in,
+// cross-checked against brute force after every batch.
+func TestRandomizedCrossCheckIndexStress(t *testing.T) {
+	params := matchtest.IndexStressGenParams()
+	indexed := 0
+	for seed := int64(300); seed < 318; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prods := matchtest.RandomProgram(rng, params)
+		script := matchtest.RandomScript(rng, params, 25, 4)
+		m := runScript(t, prods, script)
+		indexed += m.IndexInfo().IndexedCEs
+	}
+	if indexed == 0 {
+		t.Error("index-stress programs produced no indexed CEs; generator drifted")
 	}
 }
 
