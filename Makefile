@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-all serve clean
+.PHONY: all build test race vet fmt-check check bench bench-all serve profile clean
 
 all: build vet test
 
@@ -18,9 +18,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the pre-merge gate: vet, the full suite, and race-mode runs
-# of the lock-striped parallel matcher and the sharded service.
-check: vet test
+# fmt-check fails (listing the files) when anything needs gofmt.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+# check is the pre-merge gate: vet, gofmt, the full suite, and
+# race-mode runs of the lock-striped parallel matcher and the sharded
+# service.
+check: vet fmt-check test
 	$(GO) test -race ./internal/prete/... ./internal/server/...
 
 # bench runs the tier-1 headline benchmarks and records each as a
@@ -35,6 +41,14 @@ bench-all:
 
 serve: build
 	$(GO) run ./cmd/psmd -addr :8080
+
+# profile grabs a CPU profile from a running psmd's /debug/pprof and
+# prints the hottest functions (override PSMD_ADDR / PROFILE_SECONDS).
+PSMD_ADDR ?= localhost:8080
+PROFILE_SECONDS ?= 5
+profile:
+	$(GO) tool pprof -top -seconds $(PROFILE_SECONDS) \
+		http://$(PSMD_ADDR)/debug/pprof/profile
 
 clean:
 	$(GO) clean ./...

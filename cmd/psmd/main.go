@@ -7,6 +7,7 @@
 //	psmd -addr :8080
 //	psmd -addr :8080 -shards 8 -queue 256 -timeout 10s
 //	psmd -addr :8080 -max-wmes 100000 -max-cycles 10000
+//	psmd -addr :8080 -log-format json -slow-cycle 50ms
 //
 // Endpoints (see internal/server/http.go for the wire formats):
 //
@@ -18,9 +19,16 @@
 //	POST   /sessions/{id}/run       run N recognize-act cycles
 //	GET    /sessions/{id}/conflicts conflict set (LEX order)
 //	GET    /sessions/{id}/wm        working memory (?class= filters)
+//	GET    /sessions/{id}/trace     recent cycle spans (survives deletion)
+//	GET    /sessions/{id}/profile   hot-node profile (?top= truncates)
 //	GET    /metrics                 serving metrics, text exposition
 //	GET    /statusz                 human-readable session table
 //	GET    /healthz                 liveness
+//	GET    /debug/pprof/...         runtime profiles (disable with -no-pprof)
+//
+// Every request carries a trace ID (X-Request-Id header, generated when
+// absent) that is echoed in the response, logged on the request line,
+// and attached to the recognize-act cycle spans the request drives.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -45,6 +54,11 @@ func main() {
 	maxWMEs := flag.Int("max-wmes", 0, "default per-session working-memory quota (0 = unlimited)")
 	maxCycles := flag.Int("max-cycles", 0, "default per-session cycles-per-run quota (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	logFormat := flag.String("log-format", "text", "structured log format (text|json)")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+	slowCycle := flag.Duration("slow-cycle", 0, "log any recognize-act cycle slower than this (0 = disabled)")
+	traceDepth := flag.Int("trace-depth", 0, "cycle spans retained per session (0 = default)")
+	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n", os.Args[0])
 		flag.PrintDefaults()
@@ -53,6 +67,16 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "psmd: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
+		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -64,15 +88,22 @@ func main() {
 			MaxWMEs:             *maxWMEs,
 			MaxCyclesPerRequest: *maxCycles,
 		},
+		Logger:     logger,
+		TraceDepth: *traceDepth,
+		SlowCycle:  *slowCycle,
 	})
 	httpSrv := &http.Server{
-		Addr:    *addr,
-		Handler: srv.HandlerWith(server.HandlerConfig{RequestTimeout: *timeout}),
+		Addr: *addr,
+		Handler: srv.HandlerWith(server.HandlerConfig{
+			RequestTimeout: *timeout,
+			DisablePprof:   *noPprof,
+		}),
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "psmd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "pprof", !*noPprof,
+		"slow_cycle", *slowCycle, "log_format", *logFormat)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -80,15 +111,15 @@ func main() {
 	select {
 	case err := <-errCh:
 		// ListenAndServe only returns on failure before shutdown.
-		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		srv.Close()
 		os.Exit(1)
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "psmd: %v, draining (up to %s)\n", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "budget", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "psmd: shutdown: %v\n", err)
+			logger.Error("shutdown failed", "err", err)
 			srv.Close()
 			os.Exit(1)
 		}

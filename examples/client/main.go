@@ -12,6 +12,15 @@
 //	client                                  # in-process server, defaults
 //	client -addr localhost:8080             # against a running psmd
 //	client -sessions 8 -guests 16 -matcher parallel-rete
+//	client -json bench.json                 # machine-readable summary
+//	client -obs -pprof cpu.pprof            # observability walkthrough
+//
+// With -obs the run finishes with an observability walkthrough: a probe
+// session is traced (GET /trace), its hot nodes ranked (GET /profile),
+// and its trace fetched again after deletion to show archive fallback;
+// with an in-process server the request log (JSON, with trace IDs) goes
+// to stderr. -pprof FILE captures a short CPU profile from
+// /debug/pprof/profile.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -30,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ops5"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -42,6 +53,9 @@ func main() {
 	batch := flag.Int("batch", 8, "working-memory changes per POST")
 	chunk := flag.Int("chunk", 64, "recognize-act cycles per run request")
 	matcher := flag.String("matcher", "", "matcher per session (rete, parallel-rete, treat, ...)")
+	jsonOut := flag.String("json", "", "write a machine-readable result summary to this file")
+	obsDemo := flag.Bool("obs", false, "finish with an observability walkthrough (trace, profile, archive)")
+	pprofOut := flag.String("pprof", "", "capture a 1s CPU profile from /debug/pprof/profile to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "client: unexpected argument %q\n", flag.Arg(0))
@@ -51,7 +65,18 @@ func main() {
 
 	base := "http://" + *addr
 	if *addr == "" {
-		srv := server.New(server.Config{})
+		cfg := server.Config{}
+		if *obsDemo {
+			// Surface the daemon's structured request log (JSON, with
+			// trace IDs) on stderr so one run shows the whole pipeline.
+			logger, err := obs.NewLogger(os.Stderr, "json", slog.LevelInfo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "client: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Logger = logger
+		}
+		srv := server.New(cfg)
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
@@ -104,11 +129,169 @@ func main() {
 	fmt.Printf("request latency: p50 %v  p95 %v  p99 %v (%d requests)\n",
 		lat.percentile(50), lat.percentile(95), lat.percentile(99), len(lat.ds))
 
+	if *jsonOut != "" {
+		if err := writeResults(*jsonOut, results{
+			Sessions: *sessions - len(failed), Guests: *guests, Matcher: *matcher,
+			Cycles: cycles, Fired: fired, WMEChanges: changes,
+			ElapsedSeconds:    elapsed.Seconds(),
+			WMEChangesPerSec:  float64(changes) / elapsed.Seconds(),
+			FiringsPerSec:     float64(fired) / elapsed.Seconds(),
+			Requests:          len(lat.ds),
+			LatencyP50Seconds: lat.percentile(50).Seconds(),
+			LatencyP95Seconds: lat.percentile(95).Seconds(),
+			LatencyP99Seconds: lat.percentile(99).Seconds(),
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "client: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonOut)
+	}
+
 	fmt.Println("\nserver counters (/metrics):")
 	printMetrics(base)
+
+	if *obsDemo {
+		if err := runObsDemo(base, api, *matcher); err != nil {
+			fmt.Fprintf(os.Stderr, "client: obs demo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *pprofOut != "" {
+		if err := capturePprof(base, *pprofOut); err != nil {
+			fmt.Fprintf(os.Stderr, "client: pprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if len(failed) > 0 {
 		os.Exit(1)
 	}
+}
+
+// results is the machine-readable run summary behind -json.
+type results struct {
+	Sessions          int     `json:"sessions"`
+	Guests            int     `json:"guests"`
+	Matcher           string  `json:"matcher,omitempty"`
+	Cycles            int     `json:"cycles"`
+	Fired             int     `json:"fired"`
+	WMEChanges        int     `json:"wme_changes"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	WMEChangesPerSec  float64 `json:"wme_changes_per_sec"`
+	FiringsPerSec     float64 `json:"firings_per_sec"`
+	Requests          int     `json:"requests"`
+	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
+	LatencyP95Seconds float64 `json:"latency_p95_seconds"`
+	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+}
+
+// writeResults writes the run summary as indented JSON.
+func writeResults(path string, r results) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runObsDemo walks the observability surface with a fresh probe
+// session: run a small workload under a known X-Request-Id, show its
+// cycle trace and hot-node profile, then delete the session and show
+// the trace still answering from the archive.
+func runObsDemo(base, api, matcher string) error {
+	const id = "obs-probe"
+	lat := &latencies{}
+	p := workload.DefaultMannersParams()
+	p.Guests = 4
+	wmes, err := workload.MannersWM(p)
+	if err != nil {
+		return err
+	}
+	err = post(lat, api+"/sessions", server.CreateRequest{
+		ID: id, Program: workload.MissManners, Matcher: matcher,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	req := server.ChangesRequest{}
+	for _, w := range wmes {
+		req.Changes = append(req.Changes, server.WireChange{
+			Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+		})
+	}
+	if err := post(lat, api+"/sessions/"+id+"/changes", req, nil); err != nil {
+		return err
+	}
+	if err := post(lat, api+"/sessions/"+id+"/run", server.RunRequest{}, nil); err != nil {
+		return err
+	}
+
+	fmt.Println("\nobservability walkthrough (session obs-probe):")
+	var tr server.TraceResponse
+	if err := get(lat, api+"/sessions/"+id+"/trace", &tr); err != nil {
+		return err
+	}
+	fmt.Printf("  trace: %d spans retained of %d recorded\n", len(tr.Spans), tr.Total)
+	for _, sp := range tail(tr.Spans, 3) {
+		fmt.Printf("    cycle %3d [%s] trace=%s total %.3fms (match %.3f select %.3f act %.3f) fired=%d wm=%d\n",
+			sp.Cycle, sp.Kind, sp.TraceID, sp.TotalSeconds*1e3,
+			sp.MatchSeconds*1e3, sp.SelectSeconds*1e3, sp.ActSeconds*1e3,
+			sp.Fired, sp.WMSize)
+	}
+
+	var prof server.ProfileResponse
+	if err := get(lat, api+"/sessions/"+id+"/profile?top=5", &prof); err != nil {
+		return err
+	}
+	fmt.Printf("  profile: matcher=%s cycles=%d total cost %.0f (top %d nodes of %d)\n",
+		prof.Matcher, prof.Cycles, prof.TotalCost, len(prof.Nodes), len(prof.Nodes)+prof.Truncated)
+	for _, n := range prof.Nodes {
+		fmt.Printf("    %5.1f%%  cost %10.0f  acts %6d  tested %7d  emitted %6d  %s\n",
+			n.CostShare*100, n.Cost, n.Activations, n.TokensTested, n.PairsEmitted, n.Label)
+	}
+	if !prof.NodesSupported {
+		fmt.Println("    (matcher reports no per-node counters; whole-matcher stats only)")
+	}
+
+	reqDel, _ := http.NewRequest(http.MethodDelete, api+"/sessions/"+id, nil)
+	if resp, err := http.DefaultClient.Do(reqDel); err == nil {
+		resp.Body.Close()
+	}
+	if err := get(lat, api+"/sessions/"+id+"/trace", &tr); err != nil {
+		return err
+	}
+	fmt.Printf("  after delete: trace still served, evicted=%v, %d spans archived\n",
+		tr.Evicted, len(tr.Spans))
+	return nil
+}
+
+// tail returns the last n elements of spans.
+func tail(spans []server.WireSpan, n int) []server.WireSpan {
+	if len(spans) > n {
+		return spans[len(spans)-n:]
+	}
+	return spans
+}
+
+// capturePprof saves a short CPU profile from the daemon.
+func capturePprof(base, path string) error {
+	resp, err := http.Get(base + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cpu profile (%d bytes) written to %s\n", len(data), path)
+	return nil
 }
 
 // replay drives one session to completion and returns its final stats.

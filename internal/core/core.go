@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"repro/internal/conflict"
+	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/fullstate"
 	"repro/internal/naive"
@@ -184,6 +185,31 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 // matcher packages stay free of engine imports; the capability
 // surface lives here.
 
+// nodeProfile converts a matcher's per-node counters into engine
+// profile entries, pricing each node's accumulated work with the
+// paper-calibrated cost model so reports rank by cumulative cost.
+func nodeProfile(entries []rete.NodeProfEntry) []engine.NodeProfileEntry {
+	model := cost.Default()
+	out := make([]engine.NodeProfileEntry, len(entries))
+	for i, e := range entries {
+		out[i] = engine.NodeProfileEntry{
+			NodeID:        e.NodeID,
+			Label:         e.Label,
+			SharedBy:      e.SharedBy,
+			Productions:   e.Productions,
+			Activations:   e.Activations,
+			TokensTested:  e.TokensTested,
+			PairsEmitted:  e.PairsEmitted,
+			IndexedProbes: e.IndexedProbes,
+			Cost: float64(e.Activations)*model.JoinBase +
+				float64(e.TokensTested)*model.PerTokenTest +
+				float64(e.PairsEmitted)*model.PerPairEmit +
+				float64(e.IndexedProbes)*model.HashProbe,
+		}
+	}
+	return out
+}
+
 // netMatcher adapts *rete.Network to engine.Matcher.
 type netMatcher struct{ net *rete.Network }
 
@@ -199,6 +225,11 @@ func (m netMatcher) MatchStats() engine.MatchStats {
 		ConflictInserts: s.ConflictInserts,
 		ConflictRemoves: s.ConflictRemoves,
 	}
+}
+
+// NodeProfile reports the network's per-node activation work.
+func (m netMatcher) NodeProfile() []engine.NodeProfileEntry {
+	return nodeProfile(m.net.NodeProfile())
 }
 
 // Indexed reports the network's hash-index state.
@@ -224,6 +255,11 @@ func (m preteMatcher) MatchStats() engine.MatchStats {
 		ConflictInserts: s.ConflictInserts,
 		ConflictRemoves: s.ConflictRemoves,
 	}
+}
+
+// NodeProfile reports the parallel matcher's per-node work.
+func (m preteMatcher) NodeProfile() []engine.NodeProfileEntry {
+	return nodeProfile(m.Matcher.NodeProfile())
 }
 
 // Indexed reports the parallel matcher's bucket state.

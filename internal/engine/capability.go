@@ -31,9 +31,44 @@ type IndexReport struct {
 	MaxBucket int
 }
 
+// NodeProfileEntry is one match-network node's accumulated work, for
+// live hot-node profiling (the serving analogue of internal/trace's
+// offline per-activation traces). Counters are cumulative since the
+// matcher was built.
+type NodeProfileEntry struct {
+	// NodeID identifies the node within the matcher's network.
+	NodeID int
+	// Label describes the node (kind, join tests) for humans.
+	Label string
+	// SharedBy is the number of productions sharing the node — the
+	// sharing that production-level parallelism loses (§4).
+	SharedBy int
+	// Productions names the productions reading the node (deduplicated,
+	// possibly truncated for very shared nodes).
+	Productions []string
+	// Activations counts node activations; TokensTested the
+	// opposite-memory entries examined; PairsEmitted the tokens sent
+	// downstream; IndexedProbes the activations answered from a hash
+	// bucket rather than a linear scan.
+	Activations   int64
+	TokensTested  int64
+	PairsEmitted  int64
+	IndexedProbes int64
+	// Cost is the accumulated instruction cost under the paper's cost
+	// model (internal/cost) — the ranking key for hot-node reports.
+	Cost float64
+}
+
 // StatsProvider is the optional capability of reporting match work.
 type StatsProvider interface {
 	MatchStats() MatchStats
+}
+
+// ProfileProvider is the optional capability of reporting per-node
+// activation work. Matchers without a node network (naive, full-state)
+// simply do not implement it.
+type ProfileProvider interface {
+	NodeProfile() []NodeProfileEntry
 }
 
 // IndexProvider is the optional capability of reporting hash-index
@@ -58,4 +93,13 @@ func (e *Engine) MatcherIndex() (r IndexReport, ok bool) {
 		return p.Indexed(), true
 	}
 	return IndexReport{}, false
+}
+
+// MatcherProfile returns the matcher's per-node work profile when the
+// matcher implements ProfileProvider; ok is false otherwise.
+func (e *Engine) MatcherProfile() (entries []NodeProfileEntry, ok bool) {
+	if p, has := e.Matcher.(ProfileProvider); has {
+		return p.NodeProfile(), true
+	}
+	return nil, false
 }

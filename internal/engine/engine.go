@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/conflict"
+	"repro/internal/obs"
 	"repro/internal/ops5"
 	"repro/internal/wm"
 )
@@ -56,6 +58,15 @@ type Engine struct {
 	Halted bool
 	// OnFire, when set, observes each instantiation as it fires.
 	OnFire func(*ops5.Instantiation)
+	// OnCycle, when set, receives one observability span per
+	// recognize-act cycle and per externally applied change batch.
+	// Phase timing runs only while the hook is installed, so the
+	// uninstrumented hot path pays nothing.
+	OnCycle func(obs.CycleSpan)
+	// TraceID labels emitted spans with the request driving the engine.
+	// RunContext refreshes it from the context's trace ID; services
+	// hosting the engine set it directly on paths without a context.
+	TraceID string
 
 	// funcs holds host functions invokable with (call name args...).
 	funcs map[string]CallFunc
@@ -89,13 +100,14 @@ func Hook(cs *conflict.Set) (onInsert, onRemove func(*ops5.Instantiation)) {
 	return cs.Insert, cs.Remove
 }
 
-// Load applies a set of initial WMEs as one insert batch.
+// Load applies a set of initial WMEs as one insert batch (observable
+// like any externally applied batch).
 func (e *Engine) Load(wmes []*ops5.WME) {
 	changes := make([]ops5.Change, len(wmes))
 	for i, w := range wmes {
 		changes[i] = ops5.Change{Kind: ops5.Insert, WME: w.Clone()}
 	}
-	e.applyBatch(changes)
+	e.ApplyChanges(changes)
 }
 
 // ApplyChanges commits a batch of WM changes (assigning time tags) and
@@ -103,7 +115,17 @@ func (e *Engine) Load(wmes []*ops5.WME) {
 // (e.g. the Soar layer's elaboration waves) drive the engine through
 // this and EvalRHS instead of Step.
 func (e *Engine) ApplyChanges(changes []ops5.Change) {
+	if e.OnCycle == nil || len(changes) == 0 {
+		e.applyBatch(changes)
+		return
+	}
+	start := time.Now()
 	e.applyBatch(changes)
+	e.OnCycle(obs.CycleSpan{
+		TraceID: e.TraceID, Kind: obs.SpanApply, Cycle: e.Cycles,
+		Start: start, Match: time.Since(start), Changes: len(changes),
+		WMSize: e.WM.Size(), ConflictSize: e.CS.Len(),
+	})
 }
 
 // applyBatch commits changes to working memory (assigning tags) and then
@@ -132,11 +154,23 @@ func (e *Engine) Step() (bool, error) {
 	if limit < 1 {
 		limit = 1
 	}
+	observe := e.OnCycle != nil
+	var spanStart, phase time.Time
+	var selectDur, actDur time.Duration
+	if observe {
+		spanStart = time.Now()
+	}
 	var batch []ops5.Change
 	consumed := make(map[int]bool) // time tags removed this cycle
 	fired := 0
 	for fired < limit {
+		if observe {
+			phase = time.Now()
+		}
 		inst := e.CS.Select()
+		if observe {
+			selectDur += time.Since(phase)
+		}
 		if inst == nil {
 			break
 		}
@@ -148,7 +182,13 @@ func (e *Engine) Step() (bool, error) {
 		if e.OnFire != nil {
 			e.OnFire(inst)
 		}
+		if observe {
+			phase = time.Now()
+		}
 		changes, err := e.evalRHS(inst, consumed)
+		if observe {
+			actDur += time.Since(phase)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -163,7 +203,18 @@ func (e *Engine) Step() (bool, error) {
 		return false, nil
 	}
 	e.Cycles++
+	if observe {
+		phase = time.Now()
+	}
 	e.applyBatch(batch)
+	if observe {
+		e.OnCycle(obs.CycleSpan{
+			TraceID: e.TraceID, Kind: obs.SpanCycle, Cycle: e.Cycles,
+			Start: spanStart, Match: time.Since(phase), Select: selectDur, Act: actDur,
+			Fired: fired, Changes: len(batch),
+			WMSize: e.WM.Size(), ConflictSize: e.CS.Len(),
+		})
+	}
 	return true, nil
 }
 
@@ -199,6 +250,9 @@ func (e *Engine) Run() (int, error) {
 // checked between cycles, so a single recognize-act cycle is never
 // interrupted mid-flight and working memory stays consistent.
 func (e *Engine) RunContext(ctx context.Context, maxCycles int) (int, error) {
+	if id := obs.TraceID(ctx); id != "" {
+		e.TraceID = id
+	}
 	start := e.Cycles
 	for {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,103 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/ops5"
+)
+
+const countToThree = `
+(p count
+    (counter ^n <n> ^limit <l>)
+  - (counter ^n <l>)
+  -->
+    (modify 1 ^n (compute <n> + 1)))
+
+(p done
+    (counter ^n <n> ^limit <n>)
+  -->
+    (halt))
+`
+
+func TestOnCycleEmitsSpans(t *testing.T) {
+	sys := newSys(t, countToThree, core.Options{})
+	var spans []obs.CycleSpan
+	sys.Engine.OnCycle = func(sp obs.CycleSpan) { spans = append(spans, sp) }
+
+	sys.Assert(ops5.NewWME("counter", "n", 0, "limit", 3))
+	if len(spans) != 1 || spans[0].Kind != obs.SpanApply {
+		t.Fatalf("after load: spans = %+v, want one apply span", spans)
+	}
+	if spans[0].Changes != 1 || spans[0].WMSize != 1 {
+		t.Errorf("apply span = %+v, want changes=1 wm_size=1", spans[0])
+	}
+
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 count firings plus the done/halt cycle follow the apply span.
+	cycleSpans := spans[1:]
+	if len(cycleSpans) != 4 {
+		t.Fatalf("cycle spans = %d, want 4 (got %+v)", len(cycleSpans), cycleSpans)
+	}
+	for i, sp := range cycleSpans {
+		if sp.Kind != obs.SpanCycle {
+			t.Errorf("span %d kind = %q, want cycle", i, sp.Kind)
+		}
+		if sp.Cycle != i+1 {
+			t.Errorf("span %d cycle = %d, want %d", i, sp.Cycle, i+1)
+		}
+		if sp.Fired != 1 {
+			t.Errorf("span %d fired = %d, want 1", i, sp.Fired)
+		}
+		if sp.Start.IsZero() {
+			t.Errorf("span %d has zero start time", i)
+		}
+		if sp.Total() < sp.Match {
+			t.Errorf("span %d total %v < match %v", i, sp.Total(), sp.Match)
+		}
+	}
+	// The halt cycle commits no changes through the matcher.
+	if last := cycleSpans[len(cycleSpans)-1]; last.Changes != 0 {
+		t.Errorf("halt span changes = %d, want 0", last.Changes)
+	}
+}
+
+func TestRunContextAttachesTraceID(t *testing.T) {
+	sys := newSys(t, countToThree, core.Options{})
+	var spans []obs.CycleSpan
+	sys.Engine.OnCycle = func(sp obs.CycleSpan) { spans = append(spans, sp) }
+	sys.Assert(ops5.NewWME("counter", "n", 0, "limit", 2))
+
+	ctx := obs.WithTraceID(context.Background(), "trace-42")
+	if _, err := sys.Engine.RunContext(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) < 2 {
+		t.Fatalf("spans = %d, want >= 2", len(spans))
+	}
+	// The load happened outside the traced request; every run span
+	// carries the request's ID.
+	if spans[0].TraceID != "" {
+		t.Errorf("apply span trace = %q, want empty", spans[0].TraceID)
+	}
+	for _, sp := range spans[1:] {
+		if sp.TraceID != "trace-42" {
+			t.Errorf("cycle %d trace = %q, want trace-42", sp.Cycle, sp.TraceID)
+		}
+	}
+}
+
+func TestNilOnCycleRunsClean(t *testing.T) {
+	sys := newSys(t, countToThree, core.Options{})
+	sys.Assert(ops5.NewWME("counter", "n", 0, "limit", 3))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Halted {
+		t.Error("program did not halt")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// SpanKind distinguishes the two shapes of engine work a span records.
+type SpanKind string
+
+// The span kinds.
+const (
+	// SpanCycle is one recognize-act cycle: conflict-resolve, act, then
+	// match over the firings' change batch.
+	SpanCycle SpanKind = "cycle"
+	// SpanApply is one externally submitted change batch pushed through
+	// the matcher (no firings of its own).
+	SpanApply SpanKind = "apply"
+)
+
+// CycleSpan is one engine synchronization step, attributed to the
+// request that drove it. Durations split the step into the three phases
+// of §2.1: Match (the change batch through the matcher), Select
+// (conflict resolution), and Act (RHS evaluation).
+type CycleSpan struct {
+	// TraceID is the driving request's trace ID ("" when the span was
+	// produced outside a traced request).
+	TraceID string
+	// Kind is SpanCycle or SpanApply.
+	Kind SpanKind
+	// Cycle is the engine's cumulative cycle count when the span ended
+	// (unchanged across SpanApply spans).
+	Cycle int
+	// Start is when the step began.
+	Start time.Time
+	// Match, Select and Act are the phase durations.
+	Match  time.Duration
+	Select time.Duration
+	Act    time.Duration
+	// Fired is the number of production firings in the step.
+	Fired int
+	// Changes is the number of WM changes the step pushed through the
+	// matcher.
+	Changes int
+	// WMSize and ConflictSize snapshot the session after the step.
+	WMSize       int
+	ConflictSize int
+}
+
+// Total returns the step's summed phase durations.
+func (s CycleSpan) Total() time.Duration { return s.Match + s.Select + s.Act }
+
+// LogAttrs renders the span as structured-log attributes, used by the
+// server's slow-cycle log to dump the offending cycle.
+func (s CycleSpan) LogAttrs() []slog.Attr {
+	return []slog.Attr{
+		slog.String("trace_id", s.TraceID),
+		slog.String("kind", string(s.Kind)),
+		slog.Int("cycle", s.Cycle),
+		slog.Duration("total", s.Total()),
+		slog.Duration("match", s.Match),
+		slog.Duration("select", s.Select),
+		slog.Duration("act", s.Act),
+		slog.Int("fired", s.Fired),
+		slog.Int("changes", s.Changes),
+		slog.Int("wm_size", s.WMSize),
+		slog.Int("conflict_size", s.ConflictSize),
+	}
+}

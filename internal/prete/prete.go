@@ -107,6 +107,14 @@ type pnode struct {
 
 	shards []bucketShard
 
+	// prof accumulates this node's activation work for live hot-node
+	// profiling; atomic because workers activate one node concurrently.
+	prof struct {
+		activations atomic.Int64
+		tested      atomic.Int64
+		emitted     atomic.Int64
+	}
+
 	// downstream nodes receive this node's output tokens on their left
 	// input; terminals announce conflict-set deltas.
 	downstream []*pnode
@@ -319,6 +327,38 @@ func (m *Matcher) IndexInfo() IndexInfo {
 	return info
 }
 
+// NodeProfile returns the accumulated per-node work of every activated
+// two-input node, in node-ID order, in the same shape as the serial
+// network's profile (rete.NodeProfEntry). Every activation of a keyed
+// node probes its join-key bucket, so IndexedProbes equals Activations
+// there and is zero on single-shard fallback nodes.
+func (m *Matcher) NodeProfile() []rete.NodeProfEntry {
+	var out []rete.NodeProfEntry
+	for j, pn := range m.nodes {
+		acts := pn.prof.activations.Load()
+		if acts == 0 {
+			continue
+		}
+		e := rete.NodeProfEntry{
+			NodeID:      j.ID,
+			Label:       j.Label(),
+			SharedBy:    j.SharedBy,
+			Productions: j.ProductionNames(),
+			NodeProf: rete.NodeProf{
+				Activations:  acts,
+				TokensTested: pn.prof.tested.Load(),
+				PairsEmitted: pn.prof.emitted.Load(),
+			},
+		}
+		if pn.leftKey != nil {
+			e.IndexedProbes = acts
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].NodeID < out[k].NodeID })
+	return out
+}
+
 // queue is an unbounded work queue with completion tracking.
 type queue struct {
 	mu          sync.Mutex
@@ -522,6 +562,13 @@ func (m *Matcher) run(t task, q *queue) {
 	}
 	sh.mu.Unlock()
 	m.comparisons.Add(int64(tested))
+	n.prof.activations.Add(1)
+	if tested > 0 {
+		n.prof.tested.Add(int64(tested))
+	}
+	if len(emits) > 0 {
+		n.prof.emitted.Add(int64(len(emits)))
+	}
 
 	for _, e := range emits {
 		for _, dn := range n.downstream {

@@ -1,0 +1,69 @@
+package prete_test
+
+import (
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/prete"
+)
+
+func TestNodeProfileCountsParallelWork(t *testing.T) {
+	src := `
+(p find-colored-blk
+    (goal ^type find-blk ^color <c>)
+    (block ^id <i> ^color <c> ^selected no)
+  -->
+    (modify 2 ^selected yes))
+`
+	p, err := ops5.ParseProduction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prete.New([]*ops5.Production{p}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserts := 0
+	m.OnInsert = func(inst *ops5.Instantiation) { inserts++ }
+	m.OnRemove = func(inst *ops5.Instantiation) {}
+
+	if prof := m.NodeProfile(); len(prof) != 0 {
+		t.Fatalf("profile before any activation = %v, want empty", prof)
+	}
+
+	goal := ops5.NewWME("goal", "type", "find-blk", "color", "red")
+	goal.TimeTag = 1
+	b1 := ops5.NewWME("block", "id", 1, "color", "red", "selected", "no")
+	b1.TimeTag = 2
+	b2 := ops5.NewWME("block", "id", 2, "color", "blue", "selected", "no")
+	b2.TimeTag = 3
+	m.Apply([]ops5.Change{
+		{Kind: ops5.Insert, WME: goal},
+		{Kind: ops5.Insert, WME: b1},
+		{Kind: ops5.Insert, WME: b2},
+	})
+	if inserts != 1 {
+		t.Fatalf("conflict inserts = %d, want 1", inserts)
+	}
+
+	prof := m.NodeProfile()
+	if len(prof) == 0 {
+		t.Fatal("profile empty after activations")
+	}
+	var emitted int64
+	for i, e := range prof {
+		if e.Activations <= 0 {
+			t.Errorf("entry %d: activations = %d, want > 0", i, e.Activations)
+		}
+		if e.Label == "" {
+			t.Errorf("entry %d: empty label", i)
+		}
+		if i > 0 && prof[i-1].NodeID >= e.NodeID {
+			t.Errorf("profile not in node-ID order: %d then %d", prof[i-1].NodeID, e.NodeID)
+		}
+		emitted += e.PairsEmitted
+	}
+	if emitted == 0 {
+		t.Error("no pairs emitted despite a match")
+	}
+}

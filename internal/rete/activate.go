@@ -271,6 +271,7 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 			}
 		}
 		n.Stats.TokenComparisons += int64(tested)
+		j.Prof.add(tested, emitted, indexed)
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinRight,
 			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
@@ -310,6 +311,7 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 			opp = j.negCount
 		}
 		n.Stats.TokenComparisons += int64(tested)
+		j.Prof.add(tested, emitted, indexed)
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegRight,
 			NodeID: j.ID, Dir: ctx.dir, TokensTested: tested, PairsEmitted: emitted,
@@ -345,6 +347,7 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 			}
 		}
 		n.Stats.TokenComparisons += int64(tested)
+		j.Prof.add(tested, emitted, indexed)
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindJoinLeft,
 			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,
@@ -424,6 +427,7 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 			}
 		}
 		n.Stats.TokenComparisons += int64(tested)
+		j.Prof.add(tested, emitted, indexed)
 		n.emit(ActivationEvent{
 			Seq: seq, Parent: parent, Change: ctx.change, Kind: KindNegLeft,
 			NodeID: j.ID, Dir: dir, TokensTested: tested, PairsEmitted: emitted,

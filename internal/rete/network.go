@@ -392,6 +392,9 @@ type JoinNode struct {
 	compiled func(*Token, *ops5.WME) bool
 	// SharedBy counts the productions compiled onto this node.
 	SharedBy int
+	// Prof accumulates the node's activation work for live hot-node
+	// profiling; only the serial runtime writes it.
+	Prof NodeProf
 	// Mu guards negRecords in the parallel runtime only.
 	Mu sync.Mutex
 }

@@ -1,0 +1,106 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeProf accumulates one two-input node's activation work for live
+// hot-node profiling. The serial runtime bumps the counters without
+// synchronization (it owns the network); the parallel runtime
+// (internal/prete) keeps its own atomic per-node counters and reports
+// them in the same shape.
+type NodeProf struct {
+	// Activations counts node activations (left and right combined).
+	Activations int64
+	// TokensTested counts opposite-memory entries examined.
+	TokensTested int64
+	// PairsEmitted counts tokens sent downstream.
+	PairsEmitted int64
+	// IndexedProbes counts activations answered from a hash bucket
+	// rather than a linear scan.
+	IndexedProbes int64
+}
+
+// add folds an activation's counts into the profile.
+func (p *NodeProf) add(tested, emitted int, indexed bool) {
+	p.Activations++
+	p.TokensTested += int64(tested)
+	p.PairsEmitted += int64(emitted)
+	if indexed {
+		p.IndexedProbes++
+	}
+}
+
+// NodeProfEntry is one two-input node's accumulated work plus enough
+// topology to make the numbers legible.
+type NodeProfEntry struct {
+	NodeID      int
+	Label       string
+	SharedBy    int
+	Productions []string
+	NodeProf
+}
+
+// maxProfileProds caps the production list attached to a profile entry;
+// heavily shared nodes would otherwise dominate the report's size.
+const maxProfileProds = 8
+
+// Label renders the node's kind and join tests for diagnostics and
+// profiles, e.g. "and#12 c|dest|=|<r> & ..." or "not#7 (no tests)".
+func (j *JoinNode) Label() string {
+	kind := "and"
+	if j.Kind == JoinNegative {
+		kind = "not"
+	}
+	tests := make([]string, len(j.Tests))
+	for i := range j.Tests {
+		tests[i] = j.Tests[i].key()
+	}
+	testStr := "(no tests)"
+	if len(tests) > 0 {
+		testStr = strings.Join(tests, " & ")
+	}
+	return fmt.Sprintf("%s#%d %s", kind, j.ID, testStr)
+}
+
+// ProductionNames returns the distinct productions reading the node's
+// right (alpha) memory, sorted, truncated at maxProfileProds with a
+// "+N more" marker.
+func (j *JoinNode) ProductionNames() []string {
+	seen := make(map[string]bool, len(j.Right.ProdRefs))
+	names := make([]string, 0, len(j.Right.ProdRefs))
+	for _, ref := range j.Right.ProdRefs {
+		if n := ref.Production.Name; !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > maxProfileProds {
+		extra := len(names) - maxProfileProds
+		names = append(names[:maxProfileProds:maxProfileProds], fmt.Sprintf("+%d more", extra))
+	}
+	return names
+}
+
+// NodeProfile returns the accumulated per-node work of every two-input
+// node activated so far, in node-ID order. Callers rank by whatever
+// cost model they apply (see internal/cost and the core adapters).
+func (n *Network) NodeProfile() []NodeProfEntry {
+	var out []NodeProfEntry
+	for _, j := range n.joins {
+		if j.Prof.Activations == 0 {
+			continue
+		}
+		out = append(out, NodeProfEntry{
+			NodeID:      j.ID,
+			Label:       j.Label(),
+			SharedBy:    j.SharedBy,
+			Productions: j.ProductionNames(),
+			NodeProf:    j.Prof,
+		})
+	}
+	return out
+}

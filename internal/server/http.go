@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ops5"
 )
 
@@ -98,6 +102,78 @@ type SessionResponse struct {
 	Halted          bool    `json:"halted"`
 	Requests        int64   `json:"requests"`
 	AgeSeconds      float64 `json:"age_seconds"`
+	TraceSpans      int     `json:"trace_spans"`
+	TraceTotal      int64   `json:"trace_total"`
+	LastCycleSecs   float64 `json:"last_cycle_seconds,omitempty"`
+}
+
+// WireSpan is one engine step on the wire (phase durations in seconds).
+type WireSpan struct {
+	TraceID       string    `json:"trace_id,omitempty"`
+	Kind          string    `json:"kind"`
+	Cycle         int       `json:"cycle"`
+	Start         time.Time `json:"start"`
+	TotalSeconds  float64   `json:"total_seconds"`
+	MatchSeconds  float64   `json:"match_seconds"`
+	SelectSeconds float64   `json:"select_seconds"`
+	ActSeconds    float64   `json:"act_seconds"`
+	Fired         int       `json:"fired"`
+	Changes       int       `json:"changes"`
+	WMSize        int       `json:"wm_size"`
+	ConflictSize  int       `json:"conflict_size"`
+}
+
+// TraceResponse is the body of GET /v1/sessions/{id}/trace.
+type TraceResponse struct {
+	SessionID string     `json:"session_id"`
+	Evicted   bool       `json:"evicted"`
+	Total     int64      `json:"total_spans"`
+	Spans     []WireSpan `json:"spans"`
+}
+
+// WireProfileNode is one match-network node in a profile, with its
+// share of the profile's total cost.
+type WireProfileNode struct {
+	NodeID        int      `json:"node_id"`
+	Label         string   `json:"label"`
+	SharedBy      int      `json:"shared_by,omitempty"`
+	Productions   []string `json:"productions,omitempty"`
+	Activations   int64    `json:"activations"`
+	TokensTested  int64    `json:"tokens_tested"`
+	PairsEmitted  int64    `json:"pairs_emitted"`
+	IndexedProbes int64    `json:"indexed_probes"`
+	Cost          float64  `json:"cost"`
+	CostShare     float64  `json:"cost_share"`
+}
+
+// WireMatchStats summarises whole-matcher work in a profile.
+type WireMatchStats struct {
+	Changes         int64 `json:"changes"`
+	Comparisons     int64 `json:"comparisons"`
+	ConflictInserts int64 `json:"conflict_inserts"`
+	ConflictRemoves int64 `json:"conflict_removes"`
+}
+
+// WireIndex summarises a matcher's hash-index state in a profile.
+type WireIndex struct {
+	IndexedNodes  int `json:"indexed_nodes"`
+	FallbackNodes int `json:"fallback_nodes"`
+	Buckets       int `json:"buckets"`
+	MaxBucket     int `json:"max_bucket"`
+}
+
+// ProfileResponse is the body of GET /v1/sessions/{id}/profile.
+type ProfileResponse struct {
+	SessionID      string            `json:"session_id"`
+	Matcher        string            `json:"matcher"`
+	Cycles         int               `json:"cycles"`
+	TotalChanges   int               `json:"total_changes"`
+	NodesSupported bool              `json:"nodes_supported"`
+	TotalCost      float64           `json:"total_cost"`
+	Nodes          []WireProfileNode `json:"nodes"`
+	Truncated      int               `json:"truncated,omitempty"`
+	MatchStats     *WireMatchStats   `json:"match_stats,omitempty"`
+	Index          *WireIndex        `json:"index,omitempty"`
 }
 
 // APIVersion is the current HTTP API version prefix. Unversioned
@@ -121,6 +197,8 @@ type HandlerConfig struct {
 	// shard mailbox into the engine's cycle loop (default 30s; <0
 	// disables).
 	RequestTimeout time.Duration
+	// DisablePprof leaves the /debug/pprof endpoints unmounted.
+	DisablePprof bool
 }
 
 // Handler returns the HTTP API with default settings.
@@ -139,12 +217,20 @@ func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) 
 //	POST   /v1/sessions/{id}/run       run N recognize-act cycles
 //	GET    /v1/sessions/{id}/conflicts conflict set (LEX order)
 //	GET    /v1/sessions/{id}/wm        working memory (?class= filters)
+//	GET    /v1/sessions/{id}/trace     recent cycle spans (survives deletion)
+//	GET    /v1/sessions/{id}/profile   hot-node profile (?top= truncates)
 //	GET    /metrics                    serving metrics, text exposition
 //	GET    /statusz                    human-readable session table
 //	GET    /healthz                    liveness
+//	GET    /debug/pprof/...            runtime profiles (unless disabled)
 //
-// /metrics, /statusz and /healthz are operational endpoints and stay
-// unversioned.
+// /metrics, /statusz, /healthz and /debug/pprof are operational
+// endpoints and stay unversioned.
+//
+// Every request is traced: the X-Request-Id header (or a generated ID)
+// becomes the request's trace ID, echoed in the response header,
+// threaded through the engine into cycle spans, and attached to the
+// structured request log line.
 func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
@@ -187,6 +273,8 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	api("POST /sessions/{id}/run", s.handleRun)
 	api("GET /sessions/{id}/conflicts", s.handleConflicts)
 	api("GET /sessions/{id}/wm", s.handleWM)
+	api("GET /sessions/{id}/trace", s.handleTrace)
+	api("GET /sessions/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.registry.WriteText(w)
@@ -195,7 +283,83 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	return mux
+	if !cfg.DisablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.observeHTTP(mux)
+}
+
+// observeHTTP wraps the API with per-request tracing and structured
+// logging: the X-Request-Id header (or a fresh ID) becomes the
+// request's trace ID — propagated via context into the engine and
+// echoed in the response — and every request emits one log line with
+// trace ID, session, shard, status and latency. Operational endpoints
+// log at debug level to keep scrape noise out of info logs.
+func (s *Server) observeHTTP(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get("X-Request-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", traceID)
+		ctx := obs.WithTraceID(r.Context(), traceID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+
+		level := slog.LevelInfo
+		if operational(r.URL.Path) {
+			level = slog.LevelDebug
+		}
+		attrs := []slog.Attr{
+			slog.String("trace_id", traceID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("latency", time.Since(t0)),
+		}
+		if id := sessionFromPath(r.URL.Path); id != "" {
+			attrs = append(attrs,
+				slog.String("session", id),
+				slog.Int("shard", s.shardFor(id).id))
+		}
+		s.logger.LogAttrs(ctx, level, "request", attrs...)
+	})
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// operational reports whether a path is a scrape/probe endpoint whose
+// request logs belong at debug level.
+func operational(path string) bool {
+	return path == "/metrics" || path == "/healthz" || path == "/statusz" ||
+		strings.HasPrefix(path, "/debug/pprof")
+}
+
+// sessionFromPath extracts the session ID from a sessions API path
+// (best-effort, for log attribution only).
+func sessionFromPath(path string) string {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for i, p := range parts {
+		if p == "sessions" && i+1 < len(parts) {
+			return parts[i+1]
+		}
+	}
+	return ""
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
@@ -320,6 +484,108 @@ func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, out)
 }
 
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
+	tr, err := s.Trace(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	out := TraceResponse{
+		SessionID: tr.SessionID,
+		Evicted:   tr.Evicted,
+		Total:     tr.Total,
+		Spans:     make([]WireSpan, len(tr.Spans)),
+	}
+	for i, sp := range tr.Spans {
+		out.Spans[i] = wireSpan(sp)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) error {
+	res, err := s.Profile(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		if top, err = strconv.Atoi(v); err != nil || top < 0 {
+			return badReqf("bad top parameter %q: want a non-negative integer", v)
+		}
+	}
+	out := ProfileResponse{
+		SessionID:      res.SessionID,
+		Matcher:        res.Matcher,
+		Cycles:         res.Cycles,
+		TotalChanges:   res.TotalChanges,
+		NodesSupported: res.NodesSupported,
+		TotalCost:      res.TotalCost,
+	}
+	nodes := res.Nodes
+	if top > 0 && len(nodes) > top {
+		out.Truncated = len(nodes) - top
+		nodes = nodes[:top]
+	}
+	out.Nodes = make([]WireProfileNode, len(nodes))
+	for i, n := range nodes {
+		out.Nodes[i] = wireProfileNode(n, res.TotalCost)
+	}
+	if res.MatchStats != nil {
+		out.MatchStats = &WireMatchStats{
+			Changes:         res.MatchStats.Changes,
+			Comparisons:     res.MatchStats.Comparisons,
+			ConflictInserts: res.MatchStats.ConflictInserts,
+			ConflictRemoves: res.MatchStats.ConflictRemoves,
+		}
+	}
+	if res.Index != nil {
+		out.Index = &WireIndex{
+			IndexedNodes:  res.Index.IndexedNodes,
+			FallbackNodes: res.Index.FallbackNodes,
+			Buckets:       res.Index.Buckets,
+			MaxBucket:     res.Index.MaxBucket,
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// wireSpan converts a cycle span for the wire.
+func wireSpan(sp obs.CycleSpan) WireSpan {
+	return WireSpan{
+		TraceID:       sp.TraceID,
+		Kind:          string(sp.Kind),
+		Cycle:         sp.Cycle,
+		Start:         sp.Start,
+		TotalSeconds:  sp.Total().Seconds(),
+		MatchSeconds:  sp.Match.Seconds(),
+		SelectSeconds: sp.Select.Seconds(),
+		ActSeconds:    sp.Act.Seconds(),
+		Fired:         sp.Fired,
+		Changes:       sp.Changes,
+		WMSize:        sp.WMSize,
+		ConflictSize:  sp.ConflictSize,
+	}
+}
+
+// wireProfileNode converts a profile entry for the wire, attaching its
+// share of totalCost.
+func wireProfileNode(n engine.NodeProfileEntry, totalCost float64) WireProfileNode {
+	out := WireProfileNode{
+		NodeID:        n.NodeID,
+		Label:         n.Label,
+		SharedBy:      n.SharedBy,
+		Productions:   n.Productions,
+		Activations:   n.Activations,
+		TokensTested:  n.TokensTested,
+		PairsEmitted:  n.PairsEmitted,
+		IndexedProbes: n.IndexedProbes,
+		Cost:          n.Cost,
+	}
+	if totalCost > 0 {
+		out.CostShare = n.Cost / totalCost
+	}
+	return out
+}
+
 // handleStatusz renders the live sessions as an aligned table, reusing
 // the experiment harness's renderer (internal/metrics).
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) error {
@@ -354,6 +620,8 @@ func sessionResponse(in SessionInfo) SessionResponse {
 		WMSize: in.WMSize, ConflictSize: in.ConflictSize,
 		Cycles: in.Cycles, Fired: in.Fired, TotalChanges: in.TotalChanges,
 		Halted: in.Halted, Requests: in.Requests, AgeSeconds: in.Age.Seconds(),
+		TraceSpans: in.TraceSpans, TraceTotal: in.TraceTotal,
+		LastCycleSecs: in.LastCycle.Seconds(),
 	}
 }
 

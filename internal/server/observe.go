@@ -1,0 +1,151 @@
+// Observability surface of the server: per-session cycle traces (with
+// an archive so traces survive session eviction) and live hot-node
+// profiles ranked by the paper's cost model.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// TraceResult is one session's retained cycle-span window.
+type TraceResult struct {
+	// SessionID names the traced session.
+	SessionID string
+	// Evicted reports that the session is gone and the spans came from
+	// the post-deletion archive.
+	Evicted bool
+	// Total counts spans ever recorded; Total - len(Spans) spans have
+	// been overwritten by the ring.
+	Total int64
+	// Spans is the retained window, oldest first.
+	Spans []obs.CycleSpan
+}
+
+// archiveDepth bounds the trace archive: the most recently deleted
+// sessions keep their final trace window available for post-mortems.
+const archiveDepth = 64
+
+// traceArchive retains the final trace of recently deleted sessions,
+// FIFO-evicted at archiveDepth. It has its own lock because deletes
+// happen on shard goroutines while reads come from any request.
+type traceArchive struct {
+	mu      sync.Mutex
+	entries map[string]TraceResult
+	order   []string
+}
+
+// put archives a deleted session's trace, evicting the oldest archive
+// entry past archiveDepth.
+func (a *traceArchive) put(tr TraceResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.entries == nil {
+		a.entries = make(map[string]TraceResult)
+	}
+	if _, seen := a.entries[tr.SessionID]; !seen {
+		a.order = append(a.order, tr.SessionID)
+		if len(a.order) > archiveDepth {
+			delete(a.entries, a.order[0])
+			a.order = a.order[1:]
+		}
+	}
+	a.entries[tr.SessionID] = tr
+}
+
+// get returns an archived trace, if retained.
+func (a *traceArchive) get(id string) (TraceResult, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tr, ok := a.entries[id]
+	return tr, ok
+}
+
+// Trace returns a session's retained cycle spans. Deleted sessions fall
+// back to the archive (Evicted true), so a trace can be pulled after
+// the session that produced it is gone.
+func (s *Server) Trace(ctx context.Context, id string) (TraceResult, error) {
+	tr, err := dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (TraceResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return TraceResult{}, err
+		}
+		return TraceResult{
+			SessionID: id,
+			Total:     sess.trace.Total(),
+			Spans:     sess.trace.Snapshot(),
+		}, nil
+	})
+	if errors.Is(err, ErrNoSession) {
+		if arch, ok := s.archive.get(id); ok {
+			return arch, nil
+		}
+	}
+	return tr, err
+}
+
+// ProfileResult is one session's live match-work profile.
+type ProfileResult struct {
+	// SessionID and Matcher identify what was profiled; Cycles and
+	// TotalChanges scale the numbers.
+	SessionID    string
+	Matcher      string
+	Cycles       int
+	TotalChanges int
+	// NodesSupported reports whether the matcher exposes per-node
+	// counters (the Rete variants do; naive and full-state do not).
+	NodesSupported bool
+	// TotalCost sums the node costs under the paper's cost model.
+	TotalCost float64
+	// Nodes holds the activated nodes, costliest first.
+	Nodes []engine.NodeProfileEntry
+	// MatchStats and Index summarise whole-matcher work when the
+	// matcher reports them (nil otherwise).
+	MatchStats *engine.MatchStats
+	Index      *engine.IndexReport
+}
+
+// Profile snapshots a session's live hot-node profile: per-node
+// activation counters priced by the paper's cost model, ranked by
+// cumulative cost.
+func (s *Server) Profile(ctx context.Context, id string) (ProfileResult, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (ProfileResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return ProfileResult{}, err
+		}
+		eng := sess.sys.Engine
+		res := ProfileResult{
+			SessionID:    id,
+			Matcher:      sess.sys.MatcherKind().String(),
+			Cycles:       eng.Cycles,
+			TotalChanges: eng.TotalChanges,
+		}
+		if nodes, ok := eng.MatcherProfile(); ok {
+			res.NodesSupported = true
+			sort.Slice(nodes, func(i, j int) bool {
+				if nodes[i].Cost != nodes[j].Cost {
+					return nodes[i].Cost > nodes[j].Cost
+				}
+				return nodes[i].NodeID < nodes[j].NodeID
+			})
+			for i := range nodes {
+				res.TotalCost += nodes[i].Cost
+			}
+			res.Nodes = nodes
+		}
+		if ms, ok := eng.MatcherStats(); ok {
+			res.MatchStats = &ms
+		}
+		if ix, ok := eng.MatcherIndex(); ok {
+			res.Index = &ix
+		}
+		return res, nil
+	})
+}

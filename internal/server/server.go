@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server/stats"
 )
 
@@ -27,14 +30,25 @@ type Config struct {
 	RetryAfter time.Duration
 	// DefaultQuota applies to sessions that do not set their own.
 	DefaultQuota Quota
+	// Logger receives structured request and slow-cycle logs (default:
+	// discard).
+	Logger *slog.Logger
+	// TraceDepth bounds each session's cycle-span ring (default
+	// obs.DefaultRingDepth).
+	TraceDepth int
+	// SlowCycle logs any recognize-act cycle whose phases sum past this
+	// threshold, dumping the offending span (0 = disabled).
+	SlowCycle time.Duration
 }
 
 // Server hosts sessions across a fixed pool of engine shards.
 type Server struct {
-	cfg    Config
-	shards []*shard
-	start  time.Time
-	nextID atomic.Int64
+	cfg     Config
+	shards  []*shard
+	start   time.Time
+	nextID  atomic.Int64
+	logger  *slog.Logger
+	archive traceArchive
 
 	mu     sync.RWMutex // guards closed vs in-flight dispatches
 	closed bool
@@ -67,10 +81,17 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = obs.DefaultRingDepth
+	}
 	r := stats.NewRegistry()
 	s := &Server{
 		cfg:      cfg,
 		start:    time.Now(),
+		logger:   cfg.Logger,
 		registry: r,
 		sessions: r.Gauge("psmd_sessions", "live sessions"),
 		requests: r.Counter("psmd_requests_total", "session operations dispatched to shards"),
@@ -93,6 +114,14 @@ func New(cfg Config) *Server {
 	})
 	r.GaugeFunc("psmd_firings_per_sec", "production firings per second of uptime", func() float64 {
 		return float64(s.firings.Value()) / time.Since(s.start).Seconds()
+	})
+	r.GaugeFunc("psmd_goroutines", "live goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("psmd_heap_alloc_bytes", "heap bytes allocated and still in use", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
 	})
 	s.shards = make([]*shard, cfg.Shards)
 	s.queueDepth = make([]*stats.Gauge, cfg.Shards)
@@ -195,6 +224,8 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 	if err != nil {
 		return SessionInfo{}, err
 	}
+	sess.trace = obs.NewRing(s.cfg.TraceDepth)
+	sess.sys.Engine.OnCycle = s.observeCycle(sess)
 	return dispatchShard(s, ctx, s.shardFor(spec.ID), func(sh *shard) (SessionInfo, error) {
 		if _, dup := sh.sessions[spec.ID]; dup {
 			return SessionInfo{}, fmt.Errorf("%w: %q", ErrSessionExists, spec.ID)
@@ -206,12 +237,33 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 	})
 }
 
-// DeleteSession removes a session.
+// observeCycle builds a session's span hook: every engine step lands in
+// the session's trace ring, and steps past the slow-cycle threshold are
+// logged with their full span.
+func (s *Server) observeCycle(sess *session) func(obs.CycleSpan) {
+	return func(sp obs.CycleSpan) {
+		sess.trace.Add(sp)
+		if s.cfg.SlowCycle > 0 && sp.Total() >= s.cfg.SlowCycle {
+			attrs := append([]slog.Attr{slog.String("session", sess.id)}, sp.LogAttrs()...)
+			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow cycle", attrs...)
+		}
+	}
+}
+
+// DeleteSession removes a session. Its trace window moves to the
+// archive so /trace keeps answering for recently evicted sessions.
 func (s *Server) DeleteSession(ctx context.Context, id string) error {
 	return s.dispatch(ctx, id, func(sh *shard) error {
-		if _, ok := sh.sessions[id]; !ok {
+		sess, ok := sh.sessions[id]
+		if !ok {
 			return fmt.Errorf("%w: %q", ErrNoSession, id)
 		}
+		s.archive.put(TraceResult{
+			SessionID: id,
+			Evicted:   true,
+			Total:     sess.trace.Total(),
+			Spans:     sess.trace.Snapshot(),
+		})
 		delete(sh.sessions, id)
 		s.sessions.Add(-1)
 		return nil
@@ -226,6 +278,7 @@ func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (Appl
 		if err != nil {
 			return ApplyResult{}, err
 		}
+		sess.sys.Engine.TraceID = obs.TraceID(ctx)
 		t0 := time.Now()
 		res, err := sess.apply(specs)
 		if err != nil {
@@ -253,6 +306,10 @@ func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunRe
 			limit = q
 		}
 		eng := sess.sys.Engine
+		// Stamp (or clear) the span label here rather than relying on
+		// RunContext's pickup, so an earlier request's ID never
+		// lingers on later spans.
+		eng.TraceID = obs.TraceID(ctx)
 		changesBefore, firedBefore := eng.TotalChanges, eng.Fired
 		t0 := time.Now()
 		n, err := eng.RunContext(ctx, limit)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ops5"
 )
 
@@ -68,6 +69,11 @@ type session struct {
 	sys     *core.System
 	quota   Quota
 	created time.Time
+
+	// trace retains the session's most recent cycle spans. The ring is
+	// internally locked: spans are added on the shard goroutine, but the
+	// server archives a snapshot at deletion.
+	trace *obs.Ring
 
 	// requests counts every operation routed to this session.
 	requests int64
@@ -139,6 +145,12 @@ type SessionInfo struct {
 	Halted          bool
 	Requests        int64
 	Age             time.Duration
+	// TraceSpans and TraceTotal summarise the session's trace ring
+	// (buffered spans and spans ever recorded); LastCycle is the most
+	// recent span's total duration.
+	TraceSpans int
+	TraceTotal int64
+	LastCycle  time.Duration
 }
 
 // InstInfo describes one conflict-set instantiation.
@@ -300,7 +312,7 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 
 // info snapshots the session, owned-goroutine only.
 func (s *session) info(shard int, now time.Time) SessionInfo {
-	return SessionInfo{
+	info := SessionInfo{
 		ID:              s.id,
 		Shard:           shard,
 		Matcher:         s.sys.MatcherKind().String(),
@@ -317,6 +329,14 @@ func (s *session) info(shard int, now time.Time) SessionInfo {
 		Requests:        s.requests,
 		Age:             now.Sub(s.created),
 	}
+	if s.trace != nil {
+		info.TraceSpans = s.trace.Len()
+		info.TraceTotal = s.trace.Total()
+		if sp, ok := s.trace.Last(); ok {
+			info.LastCycle = sp.Total()
+		}
+	}
+	return info
 }
 
 // wmeInfo converts one WME for the wire.

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseHistogram extracts one histogram family from an exposition dump:
+// the ordered (le, cumulative count) bucket pairs plus sum and count.
+func parseHistogram(t *testing.T, out, base, labels string) (les []string, cums []int64, sum float64, count int64) {
+	t.Helper()
+	bucketPrefix := base + "_bucket{"
+	if labels != "" {
+		bucketPrefix = base + "_bucket{" + labels + ","
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, bucketPrefix):
+			rest := strings.TrimPrefix(line, bucketPrefix)
+			le, tail, ok := strings.Cut(strings.TrimPrefix(rest, `le="`), `"} `)
+			if !ok {
+				t.Fatalf("malformed bucket line %q", line)
+			}
+			n, err := strconv.ParseInt(tail, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			les = append(les, le)
+			cums = append(cums, n)
+		case strings.HasPrefix(line, base+"_sum"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("sum line %q: %v", line, err)
+			}
+			sum = v
+		case strings.HasPrefix(line, base+"_count"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	return les, cums, sum, count
+}
+
+// TestHistogramExpositionIsCumulative checks the invariants a Prometheus
+// scraper relies on: every bucket carries an le label, bucket counts are
+// monotone non-decreasing, the +Inf bucket equals _count, and labelled
+// histograms merge le into the existing label set.
+func TestHistogramExpositionIsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "request latency", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+
+	les, cums, sum, count := parseHistogram(t, out, "req_seconds", "")
+	if want := []string{"0.001", "0.01", "0.1", "1", "+Inf"}; fmt.Sprint(les) != fmt.Sprint(want) {
+		t.Fatalf("le labels = %v, want %v", les, want)
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Errorf("bucket counts not cumulative: %v", cums)
+		}
+	}
+	if wantCums := []int64{1, 3, 4, 5, 7}; fmt.Sprint(cums) != fmt.Sprint(wantCums) {
+		t.Errorf("cumulative counts = %v, want %v", cums, wantCums)
+	}
+	if count != 7 || cums[len(cums)-1] != count {
+		t.Errorf("+Inf bucket %d vs count %d, want both 7", cums[len(cums)-1], count)
+	}
+	if sum != h.Sum() {
+		t.Errorf("exposed sum %g != %g", sum, h.Sum())
+	}
+}
+
+func TestLabelledHistogramMergesLeLabel(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`req_seconds{shard="3"}`, "request latency", []float64{0.01})
+	h.Observe(0.005)
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`req_seconds_bucket{shard="3",le="0.01"} 1`,
+		`req_seconds_bucket{shard="3",le="+Inf"} 1`,
+		`req_seconds_count{shard="3"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	les, cums, _, count := parseHistogram(t, out, "req_seconds", `shard="3"`)
+	if len(les) != 2 || cums[len(cums)-1] != count {
+		t.Errorf("labelled parse: les=%v cums=%v count=%d", les, cums, count)
+	}
+}
+
+// TestWriteTextDuringWrites races every mutation path against the
+// renderer; run under -race this verifies scrapes never tear registry
+// state, and the final exposition still parses.
+func TestWriteTextDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("lat_seconds", "latency", nil)
+	r.GaugeFunc("rate", "rate", func() float64 { return float64(c.Value()) })
+
+	var writers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 2000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%10) / 1000)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				r.WriteText(&b)
+				if !strings.Contains(b.String(), "# TYPE lat_seconds histogram") {
+					t.Error("scrape missing histogram family")
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-scraped
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	_, cums, _, count := parseHistogram(t, b.String(), "lat_seconds", "")
+	if count != 8000 || cums[len(cums)-1] != 8000 {
+		t.Errorf("final histogram count = %d, +Inf bucket = %d, want 8000", count, cums[len(cums)-1])
+	}
+}
