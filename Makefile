@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-all serve profile clean
+.PHONY: all build test race vet fmt-check check bench bench-all bench-compare bench-baseline serve profile clean
 
 all: build vet test
 
@@ -34,10 +34,23 @@ check: vet fmt-check test
 bench:
 	$(GO) test -json -run '^$$' -bench BenchmarkMissManners -benchmem . > BENCH_manners.json
 	$(GO) test -json -run '^$$' -bench BenchmarkServerThroughput -benchmem . > BENCH_server.json
+	$(GO) test -json -run '^$$' -bench BenchmarkPreteApply -benchmem . > BENCH_prete.json
 
 # bench-all runs every benchmark with human-readable output.
 bench-all:
 	$(GO) test -bench=. -benchmem .
+
+# bench-compare reruns the two tracked benchmarks and gates them
+# against the checked-in baselines in bench/baseline/ (>10% regression
+# on time or throughput fails; see cmd/benchcmp). Run bench-baseline to
+# accept current numbers as the new baseline.
+bench-compare: bench
+	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_manners.json BENCH_manners.json
+	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_server.json BENCH_server.json
+
+bench-baseline: bench
+	mkdir -p bench/baseline
+	cp BENCH_manners.json BENCH_server.json BENCH_prete.json bench/baseline/
 
 serve: build
 	$(GO) run ./cmd/psmd -addr :8080

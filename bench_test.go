@@ -25,6 +25,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/ops5"
 	"repro/internal/partition"
+	"repro/internal/prete"
 	"repro/internal/psm"
 	"repro/internal/rete"
 	"repro/internal/server"
@@ -479,6 +480,44 @@ func BenchmarkServerThroughput(b *testing.B) {
 		call("DELETE", "/sessions/"+id, nil, nil)
 	}
 	b.ReportMetric(float64(changes)/b.Elapsed().Seconds(), "wme-changes/s")
+}
+
+// BenchmarkPreteApply measures the parallel matcher's per-change cost
+// across worker counts (run with -benchmem: the allocation columns are
+// the tracked hot-path metric). Each iteration replays a fixed random
+// change script through a fresh matcher, so B/op and allocs/op cover
+// the whole activation path: scheduler submit/steal, join probes,
+// token-memory churn and conflict-set flush.
+func BenchmarkPreteApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	params := matchtest.IndexStressGenParams()
+	params.Productions = 40
+	prods := matchtest.RandomProgram(rng, params)
+	script := matchtest.RandomScript(rng, params, 60, 6)
+	var nChanges int
+	for _, batch := range script.Batches {
+		nChanges += len(batch)
+	}
+	counts := []int{1, 4, 16}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 && g != 16 {
+		counts = append(counts, g)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := prete.New(prods, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.OnInsert = func(*ops5.Instantiation) {}
+				m.OnRemove = func(*ops5.Instantiation) {}
+				for _, batch := range script.Batches {
+					m.Apply(cloneBatch(batch))
+				}
+			}
+			b.ReportMetric(float64(nChanges*b.N)/b.Elapsed().Seconds(), "wme-changes/s")
+		})
+	}
 }
 
 // BenchmarkMissManners runs the canonical join-heavy OPS5 benchmark

@@ -1,0 +1,203 @@
+// Command benchcmp compares two go-test-JSON benchmark records (the
+// BENCH_*.json files written by `make bench`) and fails when the new
+// run regresses the old by more than a threshold. It exists because
+// this repository tracks benchmark baselines in-tree and gates merges
+// on them (`make bench-compare`) without external tooling.
+//
+// Usage:
+//
+//	benchcmp [-threshold 10] old.json new.json
+//
+// Regressions are judged per benchmark, per metric:
+//
+//   - ns/op: higher is worse
+//   - metrics ending in "/s" (e.g. wme-changes/s): lower is worse
+//   - B/op and allocs/op are printed for visibility but only gate when
+//     -gate-allocs is set (allocation counts are deterministic in Go,
+//     but byte sizes can shift with map growth thresholds).
+//
+// Exit status: 0 when no gated metric regresses beyond the threshold,
+// 1 on regression, 2 on usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the go test -json event stream we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// resultLine matches one benchmark result after stream reassembly:
+// name, iteration count, then tab-separated "value unit" metric pairs.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// metricPair matches one "value unit" cell.
+var metricPair = regexp.MustCompile(`^([0-9.eE+-]+)\s+(\S+)$`)
+
+// parseFile reassembles benchmark result lines from a go-test-JSON file
+// and returns benchmark -> metric unit -> value. Benchmark names are
+// normalized by stripping the -N GOMAXPROCS suffix so records from
+// machines with different core counts still compare.
+func parseFile(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Result lines may be split across multiple output events
+	// ("BenchmarkFoo \t" in one, the numbers in the next), so
+	// concatenate all output first and split on real newlines.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	out := map[string]map[string]float64{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := trimProcSuffix(m[1])
+		metrics := map[string]float64{}
+		for _, cell := range strings.Split(m[3], "\t") {
+			pm := metricPair.FindStringSubmatch(strings.TrimSpace(cell))
+			if pm == nil {
+				continue
+			}
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				continue
+			}
+			metrics[pm[2]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops a trailing -N GOMAXPROCS suffix (Benchmark-8)
+// from top-level benchmark names. Sub-benchmark names keep theirs: a
+// trailing number there can be part of the case name (workers-16), and
+// single-CPU runs emit no suffix at all, so stripping would collide
+// distinct cases.
+func trimProcSuffix(name string) string {
+	if strings.ContainsRune(name, '/') {
+		return name
+	}
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// lowerIsBetter reports the regression direction for a metric unit.
+// The second return is whether the metric gates the comparison at all.
+func lowerIsBetter(unit string, gateAllocs bool) (lower, gated bool) {
+	switch {
+	case unit == "ns/op":
+		return true, true
+	case strings.HasSuffix(unit, "/s"):
+		return false, true
+	case unit == "allocs/op" || unit == "B/op":
+		return true, gateAllocs
+	default:
+		// Paper-model metrics (speedup, concurrency, ...) are recorded
+		// for the EXPERIMENTS tables, not gated here.
+		return false, false
+	}
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "allowed regression in percent")
+	gateAllocs := flag.Bool("gate-allocs", false, "also fail on allocs/op and B/op regressions")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-threshold pct] [-gate-allocs] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	compared := 0
+	for name, oldMetrics := range old {
+		curMetrics, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-40s missing from new run\n", name)
+			failed = true
+			continue
+		}
+		for unit, ov := range oldMetrics {
+			nv, ok := curMetrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			compared++
+			lower, gated := lowerIsBetter(unit, *gateAllocs)
+			deltaPct := (nv - ov) / ov * 100
+			worse := deltaPct
+			if !lower {
+				worse = -deltaPct
+			}
+			status := "ok"
+			if gated && worse > *threshold {
+				status = "REGRESSION"
+				failed = true
+			} else if !gated {
+				status = "info"
+			}
+			fmt.Printf("%-40s %-16s %14.4g -> %14.4g  %+7.2f%%  %s\n",
+				name, unit, ov, nv, deltaPct, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no comparable benchmark metrics found")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d metrics within %.0f%% threshold\n", compared, *threshold)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sample mimics a go-test-JSON stream whose benchmark result line is
+// split across two output events, as `go test -json` actually emits.
+const sample = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkMissManners","Output":"BenchmarkMissManners \t"}
+{"Action":"output","Package":"repro","Test":"BenchmarkMissManners","Output":"     558\t   2342632 ns/op\t 1822215 B/op\t   11896 allocs/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkServerThroughput","Output":"BenchmarkServerThroughput-8 \t"}
+{"Action":"output","Package":"repro","Test":"BenchmarkServerThroughput","Output":"     415\t   2577392 ns/op\t     55878 wme-changes/s\t  891811 B/op\t   13115 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFile(t *testing.T) {
+	got, err := parseFile(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manners, ok := got["BenchmarkMissManners"]
+	if !ok {
+		t.Fatalf("BenchmarkMissManners missing from %v", got)
+	}
+	if manners["ns/op"] != 2342632 || manners["allocs/op"] != 11896 {
+		t.Errorf("manners metrics = %v", manners)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	srv, ok := got["BenchmarkServerThroughput"]
+	if !ok {
+		t.Fatalf("BenchmarkServerThroughput missing from %v", got)
+	}
+	if srv["wme-changes/s"] != 55878 {
+		t.Errorf("server metrics = %v", srv)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo":              "BenchmarkFoo",
+		"BenchmarkFoo-8":            "BenchmarkFoo",
+		"BenchmarkFoo/workers-16":   "BenchmarkFoo/workers-16",
+		"BenchmarkFoo/workers-16-8": "BenchmarkFoo/workers-16-8",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := []struct {
+		unit         string
+		gateAllocs   bool
+		lower, gated bool
+	}{
+		{"ns/op", false, true, true},
+		{"wme-changes/s", false, false, true},
+		{"allocs/op", false, true, false},
+		{"allocs/op", true, true, true},
+		{"speedup", false, false, false},
+	}
+	for _, c := range cases {
+		lower, gated := lowerIsBetter(c.unit, c.gateAllocs)
+		if lower != c.lower || gated != c.gated {
+			t.Errorf("lowerIsBetter(%q, %v) = (%v, %v), want (%v, %v)",
+				c.unit, c.gateAllocs, lower, gated, c.lower, c.gated)
+		}
+	}
+}

@@ -53,6 +53,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = default, negative = none)")
 	maxWMEs := flag.Int("max-wmes", 0, "default per-session working-memory quota (0 = unlimited)")
 	maxCycles := flag.Int("max-cycles", 0, "default per-session cycles-per-run quota (0 = unlimited)")
+	workers := flag.Int("workers", 0, "default parallel-matcher workers per session (0 = GOMAXPROCS)")
+	steal := flag.Bool("steal", true, "enable work stealing in parallel-matcher schedulers")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	logFormat := flag.String("log-format", "text", "structured log format (text|json)")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
@@ -88,9 +90,11 @@ func main() {
 			MaxWMEs:             *maxWMEs,
 			MaxCyclesPerRequest: *maxCycles,
 		},
-		Logger:     logger,
-		TraceDepth: *traceDepth,
-		SlowCycle:  *slowCycle,
+		DefaultWorkers: *workers,
+		NoSteal:        !*steal,
+		Logger:         logger,
+		TraceDepth:     *traceDepth,
+		SlowCycle:      *slowCycle,
 	})
 	httpSrv := &http.Server{
 		Addr: *addr,

@@ -53,6 +53,7 @@ func main() {
 	batch := flag.Int("batch", 8, "working-memory changes per POST")
 	chunk := flag.Int("chunk", 64, "recognize-act cycles per run request")
 	matcher := flag.String("matcher", "", "matcher per session (rete, parallel-rete, treat, ...)")
+	workers := flag.Int("workers", 0, "parallel-matcher workers per session (0 = server default)")
 	jsonOut := flag.String("json", "", "write a machine-readable result summary to this file")
 	obsDemo := flag.Bool("obs", false, "finish with an observability walkthrough (trace, profile, archive)")
 	pprofOut := flag.String("pprof", "", "capture a 1s CPU profile from /debug/pprof/profile to this file")
@@ -104,7 +105,7 @@ func main() {
 			defer wg.Done()
 			p := params
 			p.Seed = params.Seed + int64(i)
-			st, err := replay(api, &lat, fmt.Sprintf("load-%03d", i), *matcher, p, *batch, *chunk)
+			st, err := replay(api, &lat, fmt.Sprintf("load-%03d", i), *matcher, *workers, p, *batch, *chunk)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -128,6 +129,8 @@ func main() {
 		float64(changes)/elapsed.Seconds(), float64(fired)/elapsed.Seconds())
 	fmt.Printf("request latency: p50 %v  p95 %v  p99 %v (%d requests)\n",
 		lat.percentile(50), lat.percentile(95), lat.percentile(99), len(lat.ds))
+	steals, parks := scrapeSchedCounters(base)
+	fmt.Printf("scheduler: %d steals, %d parks (parallel matchers only)\n", steals, parks)
 
 	if *jsonOut != "" {
 		if err := writeResults(*jsonOut, results{
@@ -140,6 +143,8 @@ func main() {
 			LatencyP50Seconds: lat.percentile(50).Seconds(),
 			LatencyP95Seconds: lat.percentile(95).Seconds(),
 			LatencyP99Seconds: lat.percentile(99).Seconds(),
+			Steals:            steals,
+			Parks:             parks,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "client: %v\n", err)
 			os.Exit(1)
@@ -182,6 +187,11 @@ type results struct {
 	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
 	LatencyP95Seconds float64 `json:"latency_p95_seconds"`
 	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+	// Steals and Parks echo the daemon's work-stealing scheduler
+	// counters (psmd_steals_total, psmd_sched_park_total); zero unless
+	// sessions use the parallel matcher.
+	Steals int64 `json:"steals"`
+	Parks  int64 `json:"parks"`
 }
 
 // writeResults writes the run summary as indented JSON.
@@ -297,14 +307,14 @@ func capturePprof(base, path string) error {
 // replay drives one session to completion and returns its final stats.
 // base is the versioned API base; every request's round-trip time is
 // recorded in lat.
-func replay(base string, lat *latencies, id, matcher string, p workload.MannersParams, batch, chunk int) (server.SessionResponse, error) {
+func replay(base string, lat *latencies, id, matcher string, workers int, p workload.MannersParams, batch, chunk int) (server.SessionResponse, error) {
 	var stats server.SessionResponse
 	wmes, err := workload.MannersWM(p)
 	if err != nil {
 		return stats, err
 	}
 	err = post(lat, base+"/sessions", server.CreateRequest{
-		ID: id, Program: workload.MissManners, Matcher: matcher,
+		ID: id, Program: workload.MissManners, Matcher: matcher, Workers: workers,
 	}, nil)
 	if err != nil {
 		return stats, err
@@ -440,6 +450,34 @@ func decode(resp *http.Response, out any) error {
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// scrapeSchedCounters reads the daemon's work-stealing scheduler
+// counters from /metrics (zero when absent or unreachable).
+func scrapeSchedCounters(base string) (steals, parks int64) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "psmd_steals_total":
+			steals = int64(v)
+		case "psmd_sched_park_total":
+			parks = int64(v)
+		}
+	}
+	return steals, parks
 }
 
 // printMetrics echoes the daemon's psmd_* counter lines.

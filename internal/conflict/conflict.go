@@ -194,10 +194,16 @@ func meaTag(in *ops5.Instantiation) int {
 	return 0
 }
 
-// sortedTagsDesc returns the instantiation's time tags sorted descending.
+// sortedTagsDesc returns the instantiation's time tags sorted
+// descending. Tag lists are a handful of entries, so a direct insertion
+// sort beats sort.Sort and skips its interface allocation.
 func sortedTagsDesc(in *ops5.Instantiation) []int {
 	tags := in.TimeTags()
-	sort.Sort(sort.Reverse(sort.IntSlice(tags)))
+	for i := 1; i < len(tags); i++ {
+		for j := i; j > 0 && tags[j] > tags[j-1]; j-- {
+			tags[j], tags[j-1] = tags[j-1], tags[j]
+		}
+	}
 	return tags
 }
 

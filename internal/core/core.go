@@ -89,6 +89,10 @@ type Options struct {
 	// Workers sets the parallel matcher's goroutine count (default
 	// GOMAXPROCS); ignored by the other matchers.
 	Workers int
+	// NoSteal disables the parallel matcher's work stealing (workers
+	// then only drain their own deques and the shared overflow list);
+	// ignored by the other matchers.
+	NoSteal bool
 	// Output receives write-action output (default: discarded).
 	Output io.Writer
 	// MaxCycles bounds Run (default: unbounded).
@@ -134,7 +138,7 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 		sys.net = net
 		m = netMatcher{net}
 	case ParallelRete:
-		pm, err := prete.New(prog.Productions, opts.Workers)
+		pm, err := prete.NewWithConfig(prog.Productions, prete.Config{Workers: opts.Workers, NoSteal: opts.NoSteal})
 		if err != nil {
 			return nil, err
 		}
@@ -246,15 +250,26 @@ func (m netMatcher) Indexed() engine.IndexReport {
 // preteMatcher adapts *prete.Matcher with its capabilities.
 type preteMatcher struct{ *prete.Matcher }
 
-// MatchStats reports the parallel matcher's work.
+// MatchStats reports the parallel matcher's work, including the
+// work-stealing scheduler's counters.
 func (m preteMatcher) MatchStats() engine.MatchStats {
 	s := m.Matcher.Stats()
-	return engine.MatchStats{
+	ms := engine.MatchStats{
 		Changes:         s.Changes,
 		Comparisons:     s.Comparisons,
 		ConflictInserts: s.ConflictInserts,
 		ConflictRemoves: s.ConflictRemoves,
+		Tasks:           s.Tasks,
+		Steals:          s.Steals,
+		Parks:           s.Parks,
 	}
+	if len(s.PerWorker) > 0 {
+		ms.Workers = make([]engine.WorkerStat, len(s.PerWorker))
+		for i, w := range s.PerWorker {
+			ms.Workers[i] = engine.WorkerStat{Executed: w.Executed, Stolen: w.Stolen, Parked: w.Parked}
+		}
+	}
+	return ms
 }
 
 // NodeProfile reports the parallel matcher's per-node work.

@@ -17,6 +17,26 @@ type MatchStats struct {
 	// ConflictInserts and ConflictRemoves count conflict-set deltas.
 	ConflictInserts int64
 	ConflictRemoves int64
+	// Tasks, Steals and Parks are scheduler counters, populated only by
+	// matchers with a work-stealing activation scheduler (the parallel
+	// Rete): activations executed, tasks moved between workers, and
+	// condvar waits. They decompose the paper's §6 scheduling overhead;
+	// zero for serial matchers.
+	Tasks  int64
+	Steals int64
+	Parks  int64
+	// Workers breaks the scheduler counters down per worker lane; nil
+	// for matchers without a scheduler.
+	Workers []WorkerStat
+}
+
+// WorkerStat is one scheduler lane's counters.
+type WorkerStat struct {
+	// Executed counts activations this lane ran; Stolen the tasks it
+	// took from other lanes; Parked its condvar waits.
+	Executed int64
+	Stolen   int64
+	Parked   int64
 }
 
 // IndexReport summarises a matcher's equality-join hash indexes.

@@ -289,7 +289,7 @@ func (e *Engine) EvalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops
 // in consumed.
 func (e *Engine) evalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops5.Change, error) {
 	var changes []ops5.Change
-	b := inst.Bindings.Clone()
+	b := inst.EvalBindings().Clone()
 	var resolve func(t ops5.RHSTerm) (ops5.Value, error)
 	resolve = func(t ops5.RHSTerm) (ops5.Value, error) {
 		switch {

@@ -1,0 +1,229 @@
+package matchtest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matchtest"
+	"repro/internal/ops5"
+	"repro/internal/prete"
+	"repro/internal/rete"
+)
+
+// replayRete runs a script through the serial Rete network and returns
+// the per-batch conflict-set key snapshots.
+func replayRete(t *testing.T, prods []*ops5.Production, script *matchtest.Script) [][]string {
+	t.Helper()
+	net, err := rete.Compile(prods)
+	if err != nil {
+		t.Fatalf("rete compile: %v", err)
+	}
+	tr := matchtest.NewTracker()
+	net.OnInsert = tr.Insert
+	net.OnRemove = tr.Remove
+	return matchtest.ReplayKeys(net, tr, script)
+}
+
+// replayPrete runs the same script through the parallel matcher.
+func replayPrete(t *testing.T, prods []*ops5.Production, script *matchtest.Script, cfg prete.Config) [][]string {
+	t.Helper()
+	m, err := prete.NewWithConfig(prods, cfg)
+	if err != nil {
+		t.Fatalf("prete new: %v", err)
+	}
+	tr := matchtest.NewTracker()
+	m.OnInsert = tr.Insert
+	m.OnRemove = tr.Remove
+	return matchtest.ReplayKeys(m, tr, script)
+}
+
+// TestDifferentialPreteVsRete is the parallel-vs-serial property test:
+// random change sequences replayed through both matchers must yield
+// identical conflict sets after every batch. Unlike the brute-force
+// cross-checks, the serial Rete is the oracle here, so the programs and
+// scripts can be much larger (brute force is exponential in CE count).
+func TestDifferentialPreteVsRete(t *testing.T) {
+	cases := []struct {
+		name   string
+		params matchtest.GenParams
+		cfg    prete.Config
+	}{
+		{"default-w4", matchtest.DefaultGenParams(), prete.Config{Workers: 4}},
+		{"index-stress-w8", matchtest.IndexStressGenParams(), prete.Config{Workers: 8}},
+		{"no-steal-w8", matchtest.IndexStressGenParams(), prete.Config{Workers: 8, NoSteal: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			params := tc.params
+			params.Productions = 16
+			for seed := int64(500); seed < 508; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				prods := matchtest.RandomProgram(rng, params)
+				script := matchtest.RandomScript(rng, params, 40, 12)
+				want := replayRete(t, prods, script)
+				got := replayPrete(t, prods, script, tc.cfg)
+				for b := range want {
+					if d := matchtest.Diff(want[b], got[b]); d != "" {
+						t.Fatalf("seed %d batch %d: prete diverges from rete:\n%s", seed, b, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzDifferentialPreteVsRete explores the same property from fuzzed
+// seeds and shape parameters: any (program, script) pair the generators
+// can produce must match between the serial and parallel matchers.
+func FuzzDifferentialPreteVsRete(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(8))
+	f.Add(int64(42), uint8(4), uint8(3), uint8(1))
+	f.Add(int64(7), uint8(2), uint8(4), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, maxCEs, values, workers uint8) {
+		params := matchtest.DefaultGenParams()
+		params.MaxCEs = 1 + int(maxCEs)%4
+		params.Values = 2 + int(values)%5
+		params.NegProb = 0.3
+		rng := rand.New(rand.NewSource(seed))
+		prods := matchtest.RandomProgram(rng, params)
+		script := matchtest.RandomScript(rng, params, 15, 8)
+		want := replayRete(t, prods, script)
+		got := replayPrete(t, prods, script, prete.Config{Workers: 1 + int(workers)%16})
+		for b := range want {
+			if d := matchtest.Diff(want[b], got[b]); d != "" {
+				t.Fatalf("seed %d batch %d: prete diverges from rete:\n%s", seed, b, d)
+			}
+		}
+	})
+}
+
+// skewedProgram returns a program whose activations concentrate on one
+// join (a goal joined against every block), so one worker's deque fills
+// while others idle — the load-imbalance shape work stealing exists to
+// fix.
+func skewedProgram(t testing.TB) []*ops5.Production {
+	t.Helper()
+	src := []string{`
+(p hot-pair
+    (goal ^type pick ^color <c>)
+    (block ^id <i> ^color <c>)
+    (block ^id <j> ^color <c>)
+  -->
+    (make out ^r 1))`, `
+(p cold
+    (marker ^id <m>)
+  -->
+    (make out ^r 2))`,
+	}
+	var prods []*ops5.Production
+	for i, s := range src {
+		p, err := ops5.ParseProduction(s)
+		if err != nil {
+			t.Fatalf("parse production %d: %v", i, err)
+		}
+		p.Order = i
+		prods = append(prods, p)
+	}
+	return prods
+}
+
+// skewedBatch builds one large insert batch for skewedProgram: a goal,
+// many same-colored blocks (quadratic hot-join work) and a few markers.
+func skewedBatch(blocks int) []ops5.Change {
+	var batch []ops5.Change
+	tag := 1
+	add := func(w *ops5.WME) {
+		w.TimeTag = tag
+		tag++
+		batch = append(batch, ops5.Change{Kind: ops5.Insert, WME: w})
+	}
+	add(ops5.NewWME("goal", "type", "pick", "color", "red"))
+	for i := 0; i < blocks; i++ {
+		add(ops5.NewWME("block", "id", i, "color", "red"))
+	}
+	for i := 0; i < 4; i++ {
+		add(ops5.NewWME("marker", "id", i))
+	}
+	return batch
+}
+
+// TestStealsUnderSkewedWorkload asserts the scheduler counters surface
+// real stealing: a skewed batch on many workers must record steals, and
+// the per-worker executed counts must sum to the task total.
+func TestStealsUnderSkewedWorkload(t *testing.T) {
+	prods := skewedProgram(t)
+	m, err := prete.NewWithConfig(prods, prete.Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := matchtest.NewTracker()
+	m.OnInsert = tr.Insert
+	m.OnRemove = tr.Remove
+	m.Apply(skewedBatch(64))
+
+	st := m.Stats()
+	if st.Tasks == 0 {
+		t.Fatal("no tasks executed")
+	}
+	if st.Steals == 0 {
+		t.Errorf("skewed workload on %d workers recorded no steals (tasks=%d)", m.Workers(), st.Tasks)
+	}
+	if len(st.PerWorker) != 8 {
+		t.Fatalf("PerWorker has %d lanes, want 8", len(st.PerWorker))
+	}
+	var executed, stolen, parked int64
+	for _, ws := range st.PerWorker {
+		executed += ws.Executed
+		stolen += ws.Stolen
+		parked += ws.Parked
+	}
+	if executed != st.Tasks {
+		t.Errorf("per-worker executed sums to %d, want Tasks=%d", executed, st.Tasks)
+	}
+	if stolen != st.Steals {
+		t.Errorf("per-worker stolen sums to %d, want Steals=%d", stolen, st.Steals)
+	}
+	if parked != st.Parks {
+		t.Errorf("per-worker parked sums to %d, want Parks=%d", parked, st.Parks)
+	}
+
+	// The conflict set must be right regardless of who ran what:
+	// hot-pair matches every ordered red (i, j) pair incl. i == j, and
+	// cold matches each marker.
+	if got, want := len(tr.Keys()), 64*64+4; got != want {
+		t.Errorf("conflict set size = %d, want %d", got, want)
+	}
+}
+
+// TestNoStealDrainsViaOverflow pins the NoSteal mode: same result, no
+// steals recorded.
+func TestNoStealDrainsViaOverflow(t *testing.T) {
+	prods := skewedProgram(t)
+	m, err := prete.NewWithConfig(prods, prete.Config{Workers: 8, NoSteal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := matchtest.NewTracker()
+	m.OnInsert = tr.Insert
+	m.OnRemove = tr.Remove
+	m.Apply(skewedBatch(32))
+	st := m.Stats()
+	if st.Steals != 0 {
+		t.Errorf("NoSteal matcher recorded %d steals", st.Steals)
+	}
+	if got, want := len(tr.Keys()), 32*32+4; got != want {
+		t.Errorf("conflict set size = %d, want %d", got, want)
+	}
+}
+
+// Example-shaped sanity check that the differential harness catches
+// divergence (guards the test itself): perturbing one snapshot key must
+// produce a non-empty diff.
+func TestDifferentialHarnessDetectsDivergence(t *testing.T) {
+	a := []string{"p0[1,2]", "p1[3]"}
+	b := []string{"p0[1,2]", fmt.Sprintf("p1[%d]", 4)}
+	if matchtest.Diff(a, b) == "" {
+		t.Fatal("diff failed to flag divergent snapshots")
+	}
+}

@@ -236,6 +236,27 @@ func RandomScript(rng *rand.Rand, p GenParams, batches, maxBatch int) *Script {
 	return s
 }
 
+// ApplyMatcher is the minimal surface shared by every incremental
+// matcher in this repository: apply one batch of WM changes and report
+// conflict-set deltas through previously wired callbacks.
+type ApplyMatcher interface {
+	Apply(changes []ops5.Change)
+}
+
+// ReplayKeys drives a matcher through a script and snapshots the
+// tracker's sorted conflict-set keys after every batch. The matcher's
+// insert/remove callbacks must already be wired to tr. Two matchers
+// replaying the same script must produce identical snapshot sequences —
+// the differential property the cross-matcher tests assert.
+func ReplayKeys(m ApplyMatcher, tr *Tracker, s *Script) [][]string {
+	out := make([][]string, 0, len(s.Batches))
+	for _, batch := range s.Batches {
+		m.Apply(batch)
+		out = append(out, tr.Keys())
+	}
+	return out
+}
+
 // BruteForceKeys computes the reference conflict set for a WM snapshot.
 func BruteForceKeys(prods []*ops5.Production, wmes []*ops5.WME) []string {
 	var keys []string

@@ -168,13 +168,40 @@ func AlphaPass(ce *CondElement, w *WME) bool {
 // Instantiation is a satisfied production: the rule plus the WMEs matched
 // by its positive condition elements, in LHS order. Negated CEs
 // contribute no WME. It also carries the consistent variable bindings so
-// the RHS can be evaluated.
+// the RHS can be evaluated; matchers may leave Bindings nil and let
+// EvalBindings recompute them at fire time (most instantiations enter
+// the conflict set and leave without ever firing, so deferring the
+// binding walk keeps it off the match hot path).
 type Instantiation struct {
 	Production *Production
 	// WMEs holds one element per LHS condition element; entries for
 	// negated CEs are nil.
 	WMEs     []*WME
 	Bindings Bindings
+
+	// key caches the canonical identity computed by Key. Instantiations
+	// are immutable, and every conflict-set operation keys on it.
+	key string
+}
+
+// EvalBindings returns the instantiation's variable bindings, computing
+// (and caching) them by walking the LHS when the matcher deferred them.
+// Negated CEs bind nothing an RHS can use, so only positive CEs are
+// walked — the same recomputation Rete terminals used to do eagerly.
+func (in *Instantiation) EvalBindings() Bindings {
+	if in.Bindings == nil {
+		b := Bindings{}
+		for i, ce := range in.Production.LHS {
+			if ce.Negated || in.WMEs[i] == nil {
+				continue
+			}
+			if nb, ok := MatchCE(ce, in.WMEs[i], b); ok {
+				b = nb
+			}
+		}
+		in.Bindings = b
+	}
+	return in.Bindings
 }
 
 // TimeTags returns the time tags of the matched (positive) WMEs in LHS
@@ -191,40 +218,43 @@ func (in *Instantiation) TimeTags() []int {
 
 // Key returns a canonical identity string: production name plus the
 // positive-CE time tags in order. Two instantiations with equal keys are
-// the same instantiation.
+// the same instantiation. The string is built once and cached — the
+// conflict set keys every insert, remove and contains on it.
 func (in *Instantiation) Key() string {
-	key := in.Production.Name
+	if in.key != "" {
+		return in.key
+	}
+	buf := make([]byte, 0, len(in.Production.Name)+8*len(in.WMEs))
+	buf = append(buf, in.Production.Name...)
 	for _, w := range in.WMEs {
 		if w != nil {
-			key += "|" + itoa(w.TimeTag)
+			buf = append(buf, '|')
+			buf = appendInt(buf, w.TimeTag)
 		} else {
-			key += "|-"
+			buf = append(buf, '|', '-')
 		}
 	}
-	return key
+	in.key = string(buf)
+	return in.key
 }
 
-// itoa is a tiny positive-int formatter avoiding strconv import churn.
-func itoa(n int) string {
+// appendInt appends the decimal form of n to buf without allocating.
+func appendInt(buf []byte, n int) []byte {
 	if n == 0 {
-		return "0"
+		return append(buf, '0')
 	}
-	neg := n < 0
-	if neg {
+	if n < 0 {
+		buf = append(buf, '-')
 		n = -n
 	}
-	var buf [24]byte
-	i := len(buf)
+	var tmp [24]byte
+	i := len(tmp)
 	for n > 0 {
 		i--
-		buf[i] = byte('0' + n%10)
+		tmp[i] = byte('0' + n%10)
 		n /= 10
 	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	return append(buf, tmp[i:]...)
 }
 
 // SatisfyBruteForce computes every instantiation of production p against

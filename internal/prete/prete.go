@@ -19,6 +19,12 @@
 //     the same memory contents via distinct nodes, and multiple working
 //     memory changes are all processed in parallel (§4, the two
 //     relaxations over naive node parallelism).
+//   - Activations are dispatched by a per-worker work-stealing
+//     scheduler (sched.go) standing in for the paper's hardware task
+//     scheduler, and the per-activation path is allocation-free: join
+//     keys and token identities are uint64 hashes (shared with the
+//     serial matcher's indexes), memory entries are pooled, and
+//     conflict-set deltas batch per worker until the flush merge.
 //   - Within one Apply batch, activations may arrive at a node out of
 //     order (a token's deletion may be processed before its insertion
 //     reaches a downstream node). Memories therefore use counted
@@ -30,10 +36,8 @@
 package prete
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -58,6 +62,21 @@ type task struct {
 	wme  *ops5.WME   // right activations
 }
 
+// emit is one output of an activation: a token headed for the node's
+// downstream inputs and terminals.
+type emit struct {
+	tok *rete.Token
+	dir ops5.ChangeKind
+}
+
+// pendingDelta is one un-merged conflict-set delta, batched per worker
+// during a batch and merged (and only then instantiated) at flush.
+type pendingDelta struct {
+	term *rete.Terminal
+	tok  *rete.Token
+	dir  ops5.ChangeKind
+}
+
 // tokenEntry is a counted multiset entry for a token. For not-nodes,
 // matches tracks the number of matching right WMEs.
 type tokenEntry struct {
@@ -66,14 +85,26 @@ type tokenEntry struct {
 	matches int
 }
 
-// tokenSet is a counted token multiset keyed by the WME time-tag list.
-type tokenSet map[string]*tokenEntry
+// tokenSet is a counted token multiset, chained under the token's
+// identity hash (rete.TokenIDHash is not injective, so chains are
+// re-verified with EqualTo).
+type tokenSet map[uint64][]*tokenEntry
 
 // wmeEntry is a counted multiset entry for a right-memory WME.
 type wmeEntry struct {
 	wme   *ops5.WME
 	count int
 }
+
+// tokenEntryPool and wmeEntryPool recycle memory entries so the
+// activation hot path allocates nothing for the common
+// insert-then-delete churn of the recognize-act cycle. Entries are
+// reset on Get and stripped of references before Put; an entry is never
+// read after the drop that pools it (callers capture the counts they
+// need first).
+var tokenEntryPool = sync.Pool{New: func() any { return new(tokenEntry) }}
+
+var wmeEntryPool = sync.Pool{New: func() any { return new(wmeEntry) }}
 
 // stripes is the number of lock stripes per indexed node's memories.
 const stripes = 16
@@ -85,12 +116,12 @@ const stripes = 16
 // lock makes the update-memory-and-scan-opposite-bucket step atomic,
 // while activations with different keys proceed in parallel on other
 // stripes. A node with no equality tests has a single shard with
-// everything under the empty key, which degenerates to the old
+// everything under key zero, which degenerates to the old
 // whole-node lock.
 type bucketShard struct {
 	mu    sync.Mutex
-	left  map[string]tokenSet
-	right map[string]map[int]*wmeEntry // join key -> time tag -> entry
+	left  map[uint64]tokenSet
+	right map[uint64]map[int]*wmeEntry // join key -> time tag -> entry
 }
 
 // pnode mirrors one rete two-input node, owning private copies of its
@@ -100,10 +131,10 @@ type pnode struct {
 	id    int
 	kind  rete.JoinKind
 	tests func(*rete.Token, *ops5.WME) bool
-	// leftKey/rightKey compute a task's join key; nil on nodes with no
-	// equality tests (every task then uses the empty key, stripe 0).
-	leftKey  func(*rete.Token) string
-	rightKey func(*ops5.WME) string
+	// leftHash/rightHash compute a task's join-key hash; nil on nodes
+	// with no equality tests (every task then uses key zero, stripe 0).
+	leftHash  func(*rete.Token) uint64
+	rightHash func(*ops5.WME) uint64
 
 	shards []bucketShard
 
@@ -121,41 +152,42 @@ type pnode struct {
 	terminals  []*rete.Terminal
 }
 
-// key computes a task's join key on this node.
-func (n *pnode) key(t task) string {
-	if n.leftKey == nil {
-		return ""
+// key computes a task's join-key hash on this node.
+func (n *pnode) key(t task) uint64 {
+	if n.leftHash == nil {
+		return 0
 	}
 	if t.side == rightSide {
-		return n.rightKey(t.wme)
+		return n.rightHash(t.wme)
 	}
-	return n.leftKey(t.tok)
+	return n.leftHash(t.tok)
 }
 
-// shardOf maps a join key to its lock stripe.
-func (n *pnode) shardOf(key string) *bucketShard {
+// shardOf maps a join-key hash to its lock stripe. The key is already
+// an FNV-1a hash; folding the high bits keeps the stripe choice
+// sensitive to more than the low bits.
+func (n *pnode) shardOf(key uint64) *bucketShard {
 	if len(n.shards) == 1 {
 		return &n.shards[0]
 	}
-	h := uint32(2166136261) // FNV-1a
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return &n.shards[h%uint32(len(n.shards))]
-}
-
-func tokenKey(t *rete.Token) string {
-	parts := make([]string, len(t.WMEs))
-	for i, w := range t.WMEs {
-		parts[i] = fmt.Sprint(w.TimeTag)
-	}
-	return strings.Join(parts, ",")
+	key ^= key >> 33
+	return &n.shards[key%uint64(len(n.shards))]
 }
 
 // match applies the node's compiled join tests.
 func (n *pnode) match(tok *rete.Token, w *ops5.WME) bool {
 	return n.tests(tok, w)
+}
+
+// WorkerStat is one scheduler lane's counters: activations it executed,
+// tasks it stole from other lanes, and times it parked on the condvar.
+// Together they decompose the paper's §6 scheduling overhead — executed
+// skew shows load imbalance, stolen shows how much the scheduler moved
+// to fix it, parked counts the synchronisation stalls that remained.
+type WorkerStat struct {
+	Executed int64
+	Stolen   int64
+	Parked   int64
 }
 
 // Stats reports work done by the parallel matcher.
@@ -174,54 +206,68 @@ type Stats struct {
 	// ConflictInserts and ConflictRemoves count flushed deltas.
 	ConflictInserts int64
 	ConflictRemoves int64
+	// Steals and Parks total the per-worker scheduler counters.
+	Steals int64
+	Parks  int64
+	// PerWorker breaks the scheduler counters down by lane.
+	PerWorker []WorkerStat
+}
+
+// Config configures a parallel matcher.
+type Config struct {
+	// Workers is the scheduler lane count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// NoSteal disables work stealing: an idle worker then only drains
+	// its own deque and the shared overflow list. Useful for measuring
+	// what stealing buys (the paper's §6 load-balance decomposition).
+	NoSteal bool
 }
 
 // Matcher is the parallel Rete matcher. It satisfies engine.Matcher.
 type Matcher struct {
-	net     *rete.Network
-	nodes   map[*rete.JoinNode]*pnode
-	roots   map[*rete.AlphaMem][]*pnode // alpha memory -> right-input nodes
-	workers int
+	net   *rete.Network
+	nodes map[*rete.JoinNode]*pnode
+	roots map[*rete.AlphaMem][]*pnode // alpha memory -> right-input nodes
+	sched *scheduler
 
 	// OnInsert and OnRemove receive conflict-set deltas at the end of
 	// each Apply batch, on the calling goroutine.
 	OnInsert func(*ops5.Instantiation)
 	OnRemove func(*ops5.Instantiation)
 
-	mu sync.Mutex // guards the delta buffer
-	// tasks, cancellations and comparisons are atomic counters (hot path).
-	tasks         atomic.Int64
+	// cancellations and comparisons are atomic counters (hot path).
 	cancellations atomic.Int64
 	comparisons   atomic.Int64
-	batches       int
-	changes       int64
-	confIns       int64
-	confRem       int64
-	// deltas accumulates net conflict-set changes within a batch.
-	deltas map[string]*delta
-}
 
-type delta struct {
-	inst *ops5.Instantiation
-	n    int
+	mu       sync.Mutex // guards the batch-level counters below
+	batches  int
+	changes  int64
+	confIns  int64
+	confRem  int64
+	flushBuf []pendingDelta // flush scratch, reused across batches
 }
 
 // New compiles the productions and builds the parallel node graph.
 // workers <= 0 selects GOMAXPROCS workers.
 func New(prods []*ops5.Production, workers int) (*Matcher, error) {
+	return NewWithConfig(prods, Config{Workers: workers})
+}
+
+// NewWithConfig is New with full scheduler configuration.
+func NewWithConfig(prods []*ops5.Production, cfg Config) (*Matcher, error) {
 	net, err := rete.Compile(prods)
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := &Matcher{
-		net:     net,
-		nodes:   make(map[*rete.JoinNode]*pnode),
-		roots:   make(map[*rete.AlphaMem][]*pnode),
-		workers: workers,
-		deltas:  make(map[string]*delta),
+		net:   net,
+		nodes: make(map[*rete.JoinNode]*pnode),
+		roots: make(map[*rete.AlphaMem][]*pnode),
+		sched: newScheduler(workers, !cfg.NoSteal),
 	}
 	for _, j := range net.Joins() {
 		pn := &pnode{
@@ -231,13 +277,13 @@ func New(prods []*ops5.Production, workers int) (*Matcher, error) {
 		}
 		nshards := 1
 		if eq, _ := rete.SplitJoinTests(j.Tests); len(eq) > 0 {
-			pn.leftKey, pn.rightKey = rete.JoinKeyFuncs(eq)
+			pn.leftHash, pn.rightHash = rete.JoinHashFuncs(eq)
 			nshards = stripes
 		}
 		pn.shards = make([]bucketShard, nshards)
 		for i := range pn.shards {
-			pn.shards[i].left = make(map[string]tokenSet)
-			pn.shards[i].right = make(map[string]map[int]*wmeEntry)
+			pn.shards[i].left = make(map[uint64]tokenSet)
+			pn.shards[i].right = make(map[uint64]map[int]*wmeEntry)
 		}
 		m.nodes[j] = pn
 	}
@@ -250,11 +296,13 @@ func New(prods []*ops5.Production, workers int) (*Matcher, error) {
 	}
 	// Prime nodes fed by the dummy top with the empty token. These
 	// joins have no earlier CE to bind variables, hence no equality
-	// tests and a single shard.
+	// tests, a single shard, and join key zero.
 	for _, j := range net.DummyTop().Joins {
 		pn := m.nodes[j]
 		empty := &rete.Token{}
-		pn.shards[0].left[""] = tokenSet{tokenKey(empty): &tokenEntry{tok: empty, count: 1}}
+		pn.shards[0].left[0] = tokenSet{
+			rete.TokenIDHash(empty): {&tokenEntry{tok: empty, count: 1}},
+		}
 		if j.Kind == rete.JoinNegative {
 			// matches is computed lazily against an initially empty
 			// right memory: zero.
@@ -271,10 +319,13 @@ func New(prods []*ops5.Production, workers int) (*Matcher, error) {
 // Network exposes the underlying compiled network (for statistics).
 func (m *Matcher) Network() *rete.Network { return m.net }
 
+// Workers returns the scheduler lane count.
+func (m *Matcher) Workers() int { return len(m.sched.workers) }
+
 // Stats returns a snapshot of the work counters.
 func (m *Matcher) Stats() Stats {
-	return Stats{
-		Tasks:           m.tasks.Load(),
+	m.mu.Lock()
+	st := Stats{
 		Cancellations:   m.cancellations.Load(),
 		Batches:         m.batches,
 		Changes:         m.changes,
@@ -282,6 +333,21 @@ func (m *Matcher) Stats() Stats {
 		ConflictInserts: m.confIns,
 		ConflictRemoves: m.confRem,
 	}
+	m.mu.Unlock()
+	st.PerWorker = make([]WorkerStat, len(m.sched.workers))
+	for i := range m.sched.workers {
+		w := &m.sched.workers[i]
+		ws := WorkerStat{
+			Executed: w.executed.Load(),
+			Stolen:   w.stolen.Load(),
+			Parked:   w.parked.Load(),
+		}
+		st.PerWorker[i] = ws
+		st.Tasks += ws.Executed
+		st.Steals += ws.Stolen
+		st.Parks += ws.Parked
+	}
+	return st
 }
 
 // IndexInfo summarises the hash-bucketed node memories.
@@ -296,12 +362,14 @@ type IndexInfo struct {
 	MaxBucket int
 }
 
-// IndexInfo reports current bucket occupancy. It briefly takes every
-// stripe lock, so it should not be called from inside Apply.
+// IndexInfo reports current bucket occupancy. It takes each stripe lock
+// in turn — never more than one at a time — so it is safe to call
+// concurrently with Apply; the numbers are then a point-in-time sample
+// of a moving target, not a consistent snapshot.
 func (m *Matcher) IndexInfo() IndexInfo {
 	var info IndexInfo
 	for _, pn := range m.nodes {
-		if pn.leftKey != nil {
+		if pn.leftHash != nil {
 			info.IndexedNodes++
 		} else {
 			info.FallbackNodes++
@@ -311,8 +379,12 @@ func (m *Matcher) IndexInfo() IndexInfo {
 			sh.mu.Lock()
 			for _, ts := range sh.left {
 				info.Buckets++
-				if len(ts) > info.MaxBucket {
-					info.MaxBucket = len(ts)
+				n := 0
+				for _, chain := range ts {
+					n += len(chain)
+				}
+				if n > info.MaxBucket {
+					info.MaxBucket = n
 				}
 			}
 			for _, wb := range sh.right {
@@ -350,7 +422,7 @@ func (m *Matcher) NodeProfile() []rete.NodeProfEntry {
 				PairsEmitted: pn.prof.emitted.Load(),
 			},
 		}
-		if pn.leftKey != nil {
+		if pn.leftHash != nil {
 			e.IndexedProbes = acts
 		}
 		out = append(out, e)
@@ -359,103 +431,78 @@ func (m *Matcher) NodeProfile() []rete.NodeProfEntry {
 	return out
 }
 
-// queue is an unbounded work queue with completion tracking.
-type queue struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
-	items       []task
-	outstanding int
-}
-
-func newQueue() *queue {
-	q := &queue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *queue) push(t task) {
-	q.mu.Lock()
-	q.items = append(q.items, t)
-	q.outstanding++
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// pop blocks until a task is available or all work is finished.
-func (q *queue) pop() (task, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && q.outstanding > 0 {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return task{}, false
-	}
-	t := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	return t, true
-}
-
-// done marks one popped task complete.
-func (q *queue) done() {
-	q.mu.Lock()
-	q.outstanding--
-	finished := q.outstanding == 0
-	q.mu.Unlock()
-	if finished {
-		q.cond.Broadcast()
-	}
-}
-
 // Apply processes a batch of WM changes in parallel and flushes the net
 // conflict-set deltas through OnInsert/OnRemove before returning.
 func (m *Matcher) Apply(changes []ops5.Change) {
-	q := newQueue()
+	s := m.sched
 	// Dispatch every change through the (read-only) constant-test
 	// network; each alpha hit becomes one right activation per
-	// successor node. All changes are injected up front: the paper's
-	// "multiple changes to working memory are processed in parallel".
+	// successor node. All changes are injected up front, seeded
+	// round-robin across the worker deques: the paper's "multiple
+	// changes to working memory are processed in parallel".
+	seeded := 0
 	for _, ch := range changes {
 		mems, _ := m.net.MatchAlphas(ch.WME)
 		for _, am := range mems {
 			for _, pn := range m.roots[am] {
-				q.push(task{node: pn, side: rightSide, dir: ch.Kind, wme: ch.WME})
+				s.submit(seeded%len(s.workers), task{node: pn, side: rightSide, dir: ch.Kind, wme: ch.WME})
+				seeded++
 			}
 		}
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < m.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				t, ok := q.pop()
-				if !ok {
-					return
-				}
-				m.run(t, q)
-				q.done()
-			}
-		}()
+	if seeded > 0 {
+		var wg sync.WaitGroup
+		for i := range s.workers {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				m.workerLoop(wi)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	m.flush()
+	m.mu.Lock()
 	m.batches++
 	m.changes += int64(len(changes))
+	m.mu.Unlock()
 }
 
-// run executes one node activation, pushing downstream activations.
-// Only the task's own join-key bucket (and its lock stripe) is
+// workerLoop is one scheduler lane's run loop for a single Apply batch:
+// drain the own deque LIFO, then steal or take overflow, then park. The
+// worker that retires the batch's last activation wakes every parked
+// lane and all loops return.
+func (m *Matcher) workerLoop(wi int) {
+	s := m.sched
+	w := &s.workers[wi]
+	for {
+		t, ok := w.dq.popTail()
+		if !ok {
+			t, ok = s.findWork(wi)
+		}
+		if !ok {
+			if !s.park(wi) {
+				return
+			}
+			continue
+		}
+		m.run(t, wi)
+		w.executed.Add(1)
+		if s.outstanding.Add(-1) == 0 {
+			s.wakeAll()
+			return
+		}
+	}
+}
+
+// run executes one node activation, pushing downstream activations onto
+// the executing worker's deque and batching conflict deltas on the
+// worker. Only the task's own join-key bucket (and its lock stripe) is
 // touched: a matching pair always shares the key, so the opposite
 // bucket under the same stripe lock is the complete candidate set.
-func (m *Matcher) run(t task, q *queue) {
-	m.tasks.Add(1)
-
-	type emit struct {
-		tok *rete.Token
-		dir ops5.ChangeKind
-	}
-	var emits []emit
+func (m *Matcher) run(t task, wi int) {
+	w := &m.sched.workers[wi]
+	emits := w.emits[:0]
 
 	n := t.node
 	key := n.key(t)
@@ -468,13 +515,15 @@ func (m *Matcher) run(t task, q *queue) {
 			m.cancelled()
 			break
 		}
-		for _, e := range sh.left[key] {
-			if e.count <= 0 {
-				continue
-			}
-			tested++
-			if n.match(e.tok, t.wme) {
-				emits = append(emits, emit{tok: e.tok.Extend(t.wme), dir: t.dir})
+		for _, chain := range sh.left[key] {
+			for _, e := range chain {
+				if e.count <= 0 {
+					continue
+				}
+				tested++
+				if n.match(e.tok, t.wme) {
+					emits = append(emits, emit{tok: e.tok.Extend(t.wme), dir: t.dir})
+				}
 			}
 		}
 	case t.side == rightSide && n.kind == rete.JoinNegative:
@@ -482,24 +531,26 @@ func (m *Matcher) run(t task, q *queue) {
 			m.cancelled()
 			break
 		}
-		for _, e := range sh.left[key] {
-			if e.count <= 0 {
-				continue
-			}
-			tested++
-			if !n.match(e.tok, t.wme) {
-				continue
-			}
-			switch t.dir {
-			case ops5.Insert:
-				e.matches++
-				if e.matches == 1 {
-					emits = append(emits, emit{tok: e.tok, dir: ops5.Delete})
+		for _, chain := range sh.left[key] {
+			for _, e := range chain {
+				if e.count <= 0 {
+					continue
 				}
-			case ops5.Delete:
-				e.matches--
-				if e.matches == 0 {
-					emits = append(emits, emit{tok: e.tok, dir: ops5.Insert})
+				tested++
+				if !n.match(e.tok, t.wme) {
+					continue
+				}
+				switch t.dir {
+				case ops5.Insert:
+					e.matches++
+					if e.matches == 1 {
+						emits = append(emits, emit{tok: e.tok, dir: ops5.Delete})
+					}
+				case ops5.Delete:
+					e.matches--
+					if e.matches == 0 {
+						emits = append(emits, emit{tok: e.tok, dir: ops5.Insert})
+					}
 				}
 			}
 		}
@@ -522,10 +573,11 @@ func (m *Matcher) run(t task, q *queue) {
 		case ops5.Insert:
 			e := sh.leftEntry(key, t.tok)
 			e.count++
-			if e.count == 0 {
-				sh.dropLeft(key, t.tok)
+			c := e.count
+			if c == 0 {
+				sh.dropLeft(key, t.tok) // e is pooled; do not touch it again
 			}
-			if e.count <= 0 {
+			if c <= 0 {
 				m.cancelled()
 				break // annihilated by an earlier delete
 			}
@@ -549,7 +601,7 @@ func (m *Matcher) run(t task, q *queue) {
 			present := e.count > 0
 			e.count--
 			if e.count == 0 {
-				sh.dropLeft(key, t.tok)
+				sh.dropLeft(key, t.tok) // e is pooled; do not touch it again
 			}
 			if !present {
 				m.cancelled()
@@ -572,17 +624,18 @@ func (m *Matcher) run(t task, q *queue) {
 
 	for _, e := range emits {
 		for _, dn := range n.downstream {
-			q.push(task{node: dn, side: leftSide, dir: e.dir, tok: e.tok})
+			m.sched.submit(wi, task{node: dn, side: leftSide, dir: e.dir, tok: e.tok})
 		}
 		for _, term := range n.terminals {
-			m.conflictDelta(term, e.tok, e.dir)
+			w.pending = append(w.pending, pendingDelta{term: term, tok: e.tok, dir: e.dir})
 		}
 	}
+	w.emits = emits[:0]
 }
 
-// bucket returns the right bucket for a join key, creating it when
+// rightBucket returns the right bucket for a join key, creating it when
 // missing. Caller holds the stripe lock.
-func (sh *bucketShard) rightBucket(key string) map[int]*wmeEntry {
+func (sh *bucketShard) rightBucket(key uint64) map[int]*wmeEntry {
 	b := sh.right[key]
 	if b == nil {
 		b = make(map[int]*wmeEntry)
@@ -592,26 +645,48 @@ func (sh *bucketShard) rightBucket(key string) map[int]*wmeEntry {
 }
 
 // leftEntry returns the counted entry for a token in a key's bucket,
-// creating bucket and entry when missing. Caller holds the stripe lock.
-func (sh *bucketShard) leftEntry(key string, tok *rete.Token) *tokenEntry {
+// creating bucket and entry (from the pool) when missing. Caller holds
+// the stripe lock.
+func (sh *bucketShard) leftEntry(key uint64, tok *rete.Token) *tokenEntry {
 	ts := sh.left[key]
 	if ts == nil {
 		ts = tokenSet{}
 		sh.left[key] = ts
 	}
-	tk := tokenKey(tok)
-	e := ts[tk]
-	if e == nil {
-		e = &tokenEntry{tok: tok}
-		ts[tk] = e
+	th := rete.TokenIDHash(tok)
+	for _, e := range ts[th] {
+		if e.tok.EqualTo(tok) {
+			return e
+		}
 	}
+	e := tokenEntryPool.Get().(*tokenEntry)
+	e.tok, e.count, e.matches = tok, 0, 0
+	ts[th] = append(ts[th], e)
 	return e
 }
 
-// dropLeft removes a token's entry, reclaiming the bucket when empty.
-func (sh *bucketShard) dropLeft(key string, tok *rete.Token) {
+// dropLeft removes a token's entry, returning it to the pool and
+// reclaiming the bucket when empty. The entry must not be used after
+// this call.
+func (sh *bucketShard) dropLeft(key uint64, tok *rete.Token) {
 	ts := sh.left[key]
-	delete(ts, tokenKey(tok))
+	th := rete.TokenIDHash(tok)
+	chain := ts[th]
+	for i, e := range chain {
+		if e.tok.EqualTo(tok) {
+			last := len(chain) - 1
+			chain[i] = chain[last]
+			chain[last] = nil
+			if last == 0 {
+				delete(ts, th)
+			} else {
+				ts[th] = chain[:last]
+			}
+			e.tok = nil
+			tokenEntryPool.Put(e)
+			break
+		}
+	}
 	if len(ts) == 0 {
 		delete(sh.left, key)
 	}
@@ -619,20 +694,22 @@ func (sh *bucketShard) dropLeft(key string, tok *rete.Token) {
 
 // updateRight applies a counted right-memory update, reporting whether
 // the operation was annihilated by an earlier opposite operation.
-func (sh *bucketShard) updateRight(key string, t task) (cancelled bool) {
+func (sh *bucketShard) updateRight(key uint64, t task) (cancelled bool) {
 	b := sh.rightBucket(key)
 	e := b[t.wme.TimeTag]
 	if e == nil {
-		e = &wmeEntry{wme: t.wme}
+		e = wmeEntryPool.Get().(*wmeEntry)
+		e.wme, e.count = t.wme, 0
 		b[t.wme.TimeTag] = e
 	}
 	switch t.dir {
 	case ops5.Insert:
 		e.count++
-		if e.count == 0 {
+		c := e.count
+		if c == 0 {
 			sh.dropRight(key, t.wme.TimeTag)
 		}
-		if e.count <= 0 {
+		if c <= 0 {
 			return true
 		}
 	case ops5.Delete:
@@ -648,9 +725,14 @@ func (sh *bucketShard) updateRight(key string, t task) (cancelled bool) {
 	return false
 }
 
-// dropRight removes a WME's entry, reclaiming the bucket when empty.
-func (sh *bucketShard) dropRight(key string, tag int) {
+// dropRight removes a WME's entry, returning it to the pool and
+// reclaiming the bucket when empty.
+func (sh *bucketShard) dropRight(key uint64, tag int) {
 	b := sh.right[key]
+	if e := b[tag]; e != nil {
+		e.wme = nil
+		wmeEntryPool.Put(e)
+	}
 	delete(b, tag)
 	if len(b) == 0 {
 		delete(sh.right, key)
@@ -658,15 +740,16 @@ func (sh *bucketShard) dropRight(key string, tag int) {
 }
 
 // updateLeft applies a counted left-memory update for positive nodes.
-func (sh *bucketShard) updateLeft(key string, t task) (cancelled bool) {
+func (sh *bucketShard) updateLeft(key uint64, t task) (cancelled bool) {
 	e := sh.leftEntry(key, t.tok)
 	switch t.dir {
 	case ops5.Insert:
 		e.count++
-		if e.count == 0 {
+		c := e.count
+		if c == 0 {
 			sh.dropLeft(key, t.tok)
 		}
-		if e.count <= 0 {
+		if c <= 0 {
 			return true
 		}
 	case ops5.Delete:
@@ -686,53 +769,70 @@ func (m *Matcher) cancelled() {
 	m.cancellations.Add(1)
 }
 
-// conflictDelta accumulates a counted conflict-set change.
-func (m *Matcher) conflictDelta(term *rete.Terminal, tok *rete.Token, dir ops5.ChangeKind) {
-	inst := term.Instantiate(tok)
-	key := inst.Key()
-	m.mu.Lock()
-	d := m.deltas[key]
-	if d == nil {
-		d = &delta{inst: inst}
-		m.deltas[key] = d
+// deltaLess orders pending deltas by (terminal, token identity) so that
+// the flush merge can group equal instantiations with one sorted pass.
+// Equal elements (same terminal, same time-tag list) are exactly the
+// deltas that merge.
+func deltaLess(a, b pendingDelta) bool {
+	if a.term.ID != b.term.ID {
+		return a.term.ID < b.term.ID
 	}
-	if dir == ops5.Insert {
-		d.n++
-	} else {
-		d.n--
+	aw, bw := a.tok.WMEs, b.tok.WMEs
+	if len(aw) != len(bw) {
+		return len(aw) < len(bw)
 	}
-	m.mu.Unlock()
+	for i := range aw {
+		if aw[i].TimeTag != bw[i].TimeTag {
+			return aw[i].TimeTag < bw[i].TimeTag
+		}
+	}
+	return false
 }
 
-// flush applies the net conflict deltas in a deterministic order.
+// flush merges the workers' batched deltas and applies the net changes
+// in a deterministic order. Instantiations are built only for the net
+// survivors — insert/delete churn within a batch never materialises
+// one.
 func (m *Matcher) flush() {
-	m.mu.Lock()
-	keys := make([]string, 0, len(m.deltas))
-	for k, d := range m.deltas {
-		if d.n != 0 {
-			keys = append(keys, k)
+	buf := m.flushBuf[:0]
+	for wi := range m.sched.workers {
+		w := &m.sched.workers[wi]
+		buf = append(buf, w.pending...)
+		w.pending = w.pending[:0]
+	}
+	sort.Slice(buf, func(i, j int) bool { return deltaLess(buf[i], buf[j]) })
+
+	var ins, rem int64
+	for i := 0; i < len(buf); {
+		j, net := i, 0
+		for ; j < len(buf) && !deltaLess(buf[i], buf[j]); j++ {
+			if buf[j].dir == ops5.Insert {
+				net++
+			} else {
+				net--
+			}
 		}
+		switch {
+		case net > 0:
+			ins++
+			if m.OnInsert != nil {
+				m.OnInsert(buf[i].term.Instantiate(buf[i].tok))
+			}
+		case net < 0:
+			rem++
+			if m.OnRemove != nil {
+				m.OnRemove(buf[i].term.Instantiate(buf[i].tok))
+			}
+		}
+		i = j
 	}
-	sort.Strings(keys)
-	pending := make([]*delta, len(keys))
-	for i, k := range keys {
-		pending[i] = m.deltas[k]
-	}
-	m.deltas = make(map[string]*delta)
+	m.mu.Lock()
+	m.confIns += ins
+	m.confRem += rem
 	m.mu.Unlock()
 
-	for _, d := range pending {
-		switch {
-		case d.n > 0:
-			m.confIns++
-			if m.OnInsert != nil {
-				m.OnInsert(d.inst)
-			}
-		case d.n < 0:
-			m.confRem++
-			if m.OnRemove != nil {
-				m.OnRemove(d.inst)
-			}
-		}
+	for i := range buf {
+		buf[i] = pendingDelta{} // release token references
 	}
+	m.flushBuf = buf[:0]
 }

@@ -1,0 +1,311 @@
+package prete
+
+// This file is the software stand-in for the PSM's hardware task
+// scheduler (§5). The paper attributes much of the 1.93x "lost factor"
+// between nominal and true speedup (§6) to scheduling and
+// synchronisation overhead, and argues parallel Rete only pays off when
+// dispatching one node activation costs about one bus cycle. A single
+// shared queue — the previous design — serialises every push and pop on
+// one mutex and is exactly the bottleneck the paper warns about.
+//
+// The scheduler here keeps one bounded deque per worker:
+//
+//   - A worker pushes the activations it generates onto its own deque
+//     tail and pops from the tail (LIFO), so a token's downstream
+//     activations run depth-first on the producing worker while their
+//     inputs are cache-hot. No lock is contended in steady state.
+//   - A worker whose deque runs dry steals the older half of a random
+//     victim's deque from the head (steal-half, FIFO end) — the classic
+//     work-stealing split that moves large, stale subtrees to idle
+//     workers while the victim keeps its hot tail.
+//   - Deque overflow spills to a shared overflow list; it is drained
+//     after steals fail and before parking.
+//   - Only when every deque and the overflow list drain does a worker
+//     park on the shared condvar; pushers signal it only when sleepers
+//     are registered, so the hot path pays one atomic load. An
+//     outstanding-task count provides termination: the worker that
+//     retires the last activation broadcasts batch completion.
+//
+// Per-worker executed/stolen/parked counters make the paper's
+// scheduling-overhead decomposition a measurable series (exported via
+// Stats, engine.MatchStats and psmd's /metrics).
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// deqCap bounds each worker-local deque. Tasks are small (five words),
+// so 256 slots keep a worker's window under a few KB while still
+// letting steal-half move meaningful chunks of work.
+const deqCap = 256
+
+// wdeque is one worker's bounded ring deque. The owner pushes and pops
+// at the tail; thieves take from the head. A mutex per deque is cheap
+// here: the owner's lock is uncontended unless a thief is active, and
+// activations do 50-100 instructions of work per lock acquisition.
+type wdeque struct {
+	mu   sync.Mutex
+	buf  [deqCap]task
+	head int // index of the oldest task (steal end)
+	n    int // population
+}
+
+// pushTail adds a task at the tail, reporting false when full.
+func (d *wdeque) pushTail(t task) bool {
+	d.mu.Lock()
+	if d.n == deqCap {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[(d.head+d.n)%deqCap] = t
+	d.n++
+	d.mu.Unlock()
+	return true
+}
+
+// popTail removes the newest task (owner side, LIFO).
+func (d *wdeque) popTail() (task, bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	d.n--
+	i := (d.head + d.n) % deqCap
+	t := d.buf[i]
+	d.buf[i] = task{} // release token/WME references
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealHalf removes the older half of the deque (at least one task,
+// from the head) into out, returning the count taken.
+func (d *wdeque) stealHalf(out []task) int {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	k := (d.n + 1) / 2
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = d.buf[d.head]
+		d.buf[d.head] = task{}
+		d.head = (d.head + 1) % deqCap
+	}
+	d.n -= k
+	d.mu.Unlock()
+	return k
+}
+
+// size reads the population under the deque lock (parking re-check).
+func (d *wdeque) size() int {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	return n
+}
+
+// worker is one scheduler lane: its deque, its counters, and the
+// owner-only scratch buffers that keep the activation hot path free of
+// per-task allocations.
+type worker struct {
+	dq wdeque
+
+	// executed/stolen/parked are the per-worker scheduler counters
+	// (atomic: Stats may snapshot them mid-batch).
+	executed atomic.Int64
+	stolen   atomic.Int64
+	parked   atomic.Int64
+
+	// emits is the owner-only scratch buffer for one activation's
+	// outputs; pending batches the worker's conflict-set deltas until
+	// the flush merge. Both retain capacity across batches.
+	emits   []emit
+	pending []pendingDelta
+
+	// rng drives victim selection (xorshift; seeded per worker).
+	rng uint32
+}
+
+// nextRand steps the worker's xorshift32 generator.
+func (w *worker) nextRand() uint32 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	w.rng = x
+	return x
+}
+
+// scheduler owns the workers, the overflow list and the parking state
+// for one Matcher. It persists across Apply batches so deques, scratch
+// buffers and counters are reused.
+type scheduler struct {
+	workers []worker
+	steal   bool
+
+	// outstanding counts submitted-but-unretired tasks; the worker that
+	// takes it to zero ends the batch.
+	outstanding atomic.Int64
+
+	overflow struct {
+		mu    sync.Mutex
+		items []task
+	}
+
+	// Parking: a worker that finds no work registers in sleepers and
+	// waits on cond; pushers signal only when sleepers > 0, so pushes
+	// pay one atomic load when everyone is busy.
+	parkMu   sync.Mutex
+	cond     *sync.Cond
+	sleepers atomic.Int32
+}
+
+func newScheduler(workers int, steal bool) *scheduler {
+	s := &scheduler{workers: make([]worker, workers), steal: steal}
+	s.cond = sync.NewCond(&s.parkMu)
+	for i := range s.workers {
+		s.workers[i].rng = uint32(i)*2654435761 + 1
+	}
+	return s
+}
+
+// submit enqueues a task on worker wi's deque (spilling to overflow
+// when full) and wakes a sleeper if any worker is parked.
+func (s *scheduler) submit(wi int, t task) {
+	s.outstanding.Add(1)
+	if !s.workers[wi].dq.pushTail(t) {
+		s.spill(t)
+	}
+	if s.sleepers.Load() > 0 {
+		s.parkMu.Lock()
+		if s.steal {
+			// Any woken worker can reach the task by stealing.
+			s.cond.Signal()
+		} else {
+			// Without stealing only the deque's owner can run the task,
+			// and Signal might wake some other worker that would just go
+			// back to sleep — wake everyone.
+			s.cond.Broadcast()
+		}
+		s.parkMu.Unlock()
+	}
+}
+
+// spill pushes a task onto the shared overflow list.
+func (s *scheduler) spill(t task) {
+	s.overflow.mu.Lock()
+	s.overflow.items = append(s.overflow.items, t)
+	s.overflow.mu.Unlock()
+}
+
+// popOverflow takes one task from the shared overflow list.
+func (s *scheduler) popOverflow() (task, bool) {
+	s.overflow.mu.Lock()
+	n := len(s.overflow.items)
+	if n == 0 {
+		s.overflow.mu.Unlock()
+		return task{}, false
+	}
+	t := s.overflow.items[n-1]
+	s.overflow.items[n-1] = task{}
+	s.overflow.items = s.overflow.items[:n-1]
+	s.overflow.mu.Unlock()
+	return t, true
+}
+
+// findWork is the slow path for a worker whose own deque is empty:
+// steal half of a random victim's deque, else drain overflow.
+func (s *scheduler) findWork(wi int) (task, bool) {
+	w := &s.workers[wi]
+	if s.steal && len(s.workers) > 1 {
+		var buf [deqCap/2 + 1]task
+		off := int(w.nextRand()) % len(s.workers)
+		if off < 0 {
+			off = -off
+		}
+		for i := 0; i < len(s.workers); i++ {
+			vi := off + i
+			if vi >= len(s.workers) {
+				vi -= len(s.workers)
+			}
+			if vi == wi {
+				continue
+			}
+			k := s.workers[vi].dq.stealHalf(buf[:])
+			if k == 0 {
+				continue
+			}
+			w.stolen.Add(int64(k))
+			for j := 1; j < k; j++ {
+				if !w.dq.pushTail(buf[j]) {
+					s.spill(buf[j])
+				}
+			}
+			return buf[0], true
+		}
+	}
+	return s.popOverflow()
+}
+
+// usableWork reports whether worker wi could obtain a task right now:
+// its own deque, the overflow list, or (with stealing on) any victim.
+func (s *scheduler) usableWork(wi int) bool {
+	if s.workers[wi].dq.size() > 0 {
+		return true
+	}
+	s.overflow.mu.Lock()
+	n := len(s.overflow.items)
+	s.overflow.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	if s.steal {
+		for i := range s.workers {
+			if i != wi && s.workers[i].dq.size() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// park blocks worker wi until work appears or the batch completes,
+// returning false on completion.
+func (s *scheduler) park(wi int) bool {
+	w := &s.workers[wi]
+	s.parkMu.Lock()
+	for {
+		// Register as a sleeper BEFORE the final work re-check. A submit
+		// that then loads sleepers == 0 is ordered before this
+		// registration, so its push is visible to the usableWork scan
+		// below; a submit that loads sleepers > 0 signals under parkMu
+		// and cannot fire between the scan and the Wait. Either way the
+		// wakeup is not lost.
+		s.sleepers.Add(1)
+		if s.outstanding.Load() == 0 {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
+			return false
+		}
+		if s.usableWork(wi) {
+			s.sleepers.Add(-1)
+			s.parkMu.Unlock()
+			return true
+		}
+		w.parked.Add(1)
+		s.cond.Wait()
+		s.sleepers.Add(-1)
+	}
+}
+
+// wakeAll broadcasts batch completion to every parked worker.
+func (s *scheduler) wakeAll() {
+	s.parkMu.Lock()
+	s.cond.Broadcast()
+	s.parkMu.Unlock()
+}

@@ -267,7 +267,11 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 			tested++
 			if j.evalJoin(tok, w) {
 				emitted++
-				n.betaActivate(j.Out, tok.Extend(w), ctx, seq)
+				if ctx.dir == ops5.Insert {
+					n.betaInsert(j.Out, tok.Extend(w), ctx, seq)
+				} else {
+					n.betaDeleteExt(j.Out, tok, w, ctx, seq)
+				}
 			}
 		}
 		n.Stats.TokenComparisons += int64(tested)
@@ -342,7 +346,7 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 				if dir == ops5.Insert {
 					n.betaInsert(j.Out, tok.Extend(w), ctx, seq)
 				} else {
-					n.betaDelete(j.Out, tok.Extend(w), ctx, seq)
+					n.betaDeleteExt(j.Out, tok, w, ctx, seq)
 				}
 			}
 		}
@@ -467,12 +471,23 @@ func (n *Network) betaDelete(bm *BetaMem, tok *Token, ctx *applyCtx, parent int6
 	}
 }
 
-// betaActivate dispatches on direction.
-func (n *Network) betaActivate(bm *BetaMem, tok *Token, ctx *applyCtx, parent int64) {
-	if ctx.dir == ops5.Insert {
-		n.betaInsert(bm, tok, ctx, parent)
-	} else {
-		n.betaDelete(bm, tok, ctx, parent)
+// betaDeleteExt removes the token formed by base plus w and propagates
+// the removal using the stored token, so the delete path never
+// materialises an extended token (see BetaMem.removeExt).
+func (n *Network) betaDeleteExt(bm *BetaMem, base *Token, w *ops5.WME, ctx *applyCtx, parent int64) {
+	tok, ok := bm.removeExt(base, w)
+	if !ok {
+		n.Stats.Anomalies++
+		return
+	}
+	for _, ix := range bm.indexes {
+		ix.remove(tok)
+	}
+	for _, j := range bm.Joins {
+		n.leftActivate(j, tok, ops5.Delete, ctx, parent)
+	}
+	for _, t := range bm.Terminals {
+		n.terminalActivate(t, tok, ops5.Delete, ctx, parent)
 	}
 }
 

@@ -11,12 +11,13 @@ import (
 // each two-input node's tests becomes a join key; the node's opposite
 // memories maintain map[key]bucket alongside their slices, and
 // activations probe the matching bucket instead of scanning the whole
-// memory. The serial matcher keys buckets by an allocation-free uint64
-// hash (ops5.HashValue); the parallel matcher uses the string encoding
-// from JoinKeyFuncs (ops5.AppendValueKey). Both encodings are
-// Equal-consistent but not injective, so every candidate drawn from a
-// bucket is still re-verified with the node's full test chain: a key
-// collision can only widen a bucket, never fabricate or lose a match.
+// memory. Both the serial matcher and the parallel matcher's
+// lock-striped buckets key on the allocation-free uint64 hash
+// (JoinHashFuncs over ops5.HashValue); JoinKeyFuncs keeps the readable
+// string encoding for diagnostics. Both encodings are Equal-consistent
+// but not injective, so every candidate drawn from a bucket is still
+// re-verified with the node's full test chain: a key collision can only
+// widen a bucket, never fabricate or lose a match.
 // Nodes with no equality tests (pure predicate joins) keep the linear
 // scan; indexed not-nodes keep their count semantics but store the
 // left records keyed by join key.
@@ -60,11 +61,14 @@ func JoinKeyFuncs(eq []JoinTest) (leftKey func(*Token) string, rightKey func(*op
 	return leftKey, rightKey
 }
 
-// joinHashFuncs is the allocation-free counterpart of JoinKeyFuncs: the
+// JoinHashFuncs is the allocation-free counterpart of JoinKeyFuncs: the
 // returned functions fold the key columns into a uint64 with
 // ops5.HashValue. A (token, WME) pair passing every equality test
-// always produces leftHash == rightHash.
-func joinHashFuncs(eq []JoinTest) (leftHash func(*Token) uint64, rightHash func(*ops5.WME) uint64) {
+// always produces leftHash == rightHash. The hash is Equal-consistent
+// but not injective, so callers (this package's indexes and the parallel
+// matcher's lock-striped buckets) re-verify bucket candidates with the
+// node's full test chain.
+func JoinHashFuncs(eq []JoinTest) (leftHash func(*Token) uint64, rightHash func(*ops5.WME) uint64) {
 	tests := append([]JoinTest(nil), eq...)
 	leftHash = func(tok *Token) uint64 {
 		h := ops5.HashSeed
@@ -287,7 +291,7 @@ func (n *Network) prepare() {
 		if len(eq) == 0 {
 			continue
 		}
-		j.leftHash, j.rightHash = joinHashFuncs(eq)
+		j.leftHash, j.rightHash = JoinHashFuncs(eq)
 		j.rightIdx = j.Right.indexFor(eq)
 		j.leftIdx = j.Left.indexFor(eq)
 		if j.Kind == JoinNegative {

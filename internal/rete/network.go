@@ -241,17 +241,29 @@ type BetaMem struct {
 // order — into a uint64 map key for O(1) structural lookup. The hash is
 // not injective, so lookups re-verify candidates with EqualTo.
 func tokenIDHash(tok *Token) uint64 {
-	const prime = 1099511628211
 	h := ops5.HashSeed
 	for _, w := range tok.WMEs {
-		bits := uint64(w.TimeTag)
-		for i := 0; i < 4; i++ {
-			h = (h ^ (bits & 0xffff)) * prime
-			bits >>= 16
-		}
+		h = hashTag(h, w.TimeTag)
 	}
 	return h
 }
+
+// hashTag folds one time tag into an identity hash.
+func hashTag(h uint64, tag int) uint64 {
+	const prime = 1099511628211
+	bits := uint64(tag)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (bits & 0xffff)) * prime
+		bits >>= 16
+	}
+	return h
+}
+
+// TokenIDHash is the exported token identity hash used by the parallel
+// matcher to key its counted token multisets. Equal tokens (same WME
+// sequence) always hash equal; collisions are possible, so callers
+// re-verify candidates with EqualTo.
+func TokenIDHash(tok *Token) uint64 { return tokenIDHash(tok) }
 
 // insert appends tok, recording its position under its identity key
 // once the memory is large enough that linear removal would cost more
@@ -303,6 +315,53 @@ func (bm *BetaMem) remove(tok *Token) bool {
 		return true
 	}
 	return false
+}
+
+// removeExt deletes the token formed by base's WMEs plus w without
+// materialising it, returning the stored token so the caller can
+// propagate the removal downstream. It is the delete-path counterpart of
+// insert(base.Extend(w)) and saves one token allocation per removal.
+func (bm *BetaMem) removeExt(base *Token, w *ops5.WME) (*Token, bool) {
+	if bm.pos == nil {
+		for i, t := range bm.Tokens {
+			if extEqual(t, base, w) {
+				bm.swapRemove(i)
+				return t, true
+			}
+		}
+		return nil, false
+	}
+	key := hashTag(tokenIDHash(base), w.TimeTag)
+	bucket := bm.pos[key]
+	for bi, i := range bucket {
+		t := bm.Tokens[i]
+		if !extEqual(t, base, w) {
+			continue
+		}
+		bucket[bi] = bucket[len(bucket)-1]
+		if len(bucket) == 1 {
+			delete(bm.pos, key)
+		} else {
+			bm.pos[key] = bucket[:len(bucket)-1]
+		}
+		bm.swapRemove(i)
+		return t, true
+	}
+	return nil, false
+}
+
+// extEqual reports whether t equals base extended by w.
+func extEqual(t, base *Token, w *ops5.WME) bool {
+	n := len(base.WMEs)
+	if len(t.WMEs) != n+1 || t.WMEs[n] != w {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if t.WMEs[i] != base.WMEs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // swapRemove deletes Tokens[i] by moving the last token into the hole
@@ -429,23 +488,16 @@ type liveInst struct {
 	inst *ops5.Instantiation
 }
 
-// Instantiate builds the instantiation for a complete token, recomputing
-// variable bindings by walking the LHS.
+// Instantiate builds the instantiation for a complete token. Variable
+// bindings are deferred: most instantiations enter and leave the
+// conflict set without firing, so the LHS binding walk happens lazily in
+// ops5.Instantiation.EvalBindings only when the RHS is evaluated.
 func (t *Terminal) Instantiate(tok *Token) *ops5.Instantiation {
 	wmes := make([]*ops5.WME, len(t.Production.LHS))
 	for pos, lhsIdx := range t.posIndex {
 		wmes[lhsIdx] = tok.WMEs[pos]
 	}
-	b := ops5.Bindings{}
-	for i, ce := range t.Production.LHS {
-		if ce.Negated || wmes[i] == nil {
-			continue
-		}
-		if nb, ok := ops5.MatchCE(ce, wmes[i], b); ok {
-			b = nb
-		}
-	}
-	return &ops5.Instantiation{Production: t.Production, WMEs: wmes, Bindings: b}
+	return &ops5.Instantiation{Production: t.Production, WMEs: wmes}
 }
 
 // Network is a compiled Rete network over a fixed set of productions.

@@ -28,6 +28,7 @@ type CreateRequest struct {
 	Matcher         string `json:"matcher,omitempty"`
 	Strategy        string `json:"strategy,omitempty"`
 	Workers         int    `json:"workers,omitempty"`
+	NoSteal         bool   `json:"no_steal,omitempty"`
 	ParallelFirings int    `json:"parallel_firings,omitempty"`
 	MaxWMEs         int    `json:"max_wmes,omitempty"`
 	MaxCycles       int    `json:"max_cycles_per_request,omitempty"`
@@ -146,12 +147,25 @@ type WireProfileNode struct {
 	CostShare     float64  `json:"cost_share"`
 }
 
-// WireMatchStats summarises whole-matcher work in a profile.
+// WireMatchStats summarises whole-matcher work in a profile. The
+// scheduler fields (tasks/steals/parks/workers) are present only for
+// the parallel matcher.
 type WireMatchStats struct {
-	Changes         int64 `json:"changes"`
-	Comparisons     int64 `json:"comparisons"`
-	ConflictInserts int64 `json:"conflict_inserts"`
-	ConflictRemoves int64 `json:"conflict_removes"`
+	Changes         int64            `json:"changes"`
+	Comparisons     int64            `json:"comparisons"`
+	ConflictInserts int64            `json:"conflict_inserts"`
+	ConflictRemoves int64            `json:"conflict_removes"`
+	Tasks           int64            `json:"tasks,omitempty"`
+	Steals          int64            `json:"steals,omitempty"`
+	Parks           int64            `json:"parks,omitempty"`
+	Workers         []WireWorkerStat `json:"workers,omitempty"`
+}
+
+// WireWorkerStat is one scheduler lane's counters on the wire.
+type WireWorkerStat struct {
+	Executed int64 `json:"executed"`
+	Stolen   int64 `json:"stolen"`
+	Parked   int64 `json:"parked"`
 }
 
 // WireIndex summarises a matcher's hash-index state in a profile.
@@ -373,6 +387,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) error {
 		Matcher:         req.Matcher,
 		Strategy:        req.Strategy,
 		Workers:         req.Workers,
+		NoSteal:         req.NoSteal,
 		ParallelFirings: req.ParallelFirings,
 		Quota:           Quota{MaxWMEs: req.MaxWMEs, MaxCyclesPerRequest: req.MaxCycles},
 	})
@@ -530,12 +545,21 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) error {
 		out.Nodes[i] = wireProfileNode(n, res.TotalCost)
 	}
 	if res.MatchStats != nil {
-		out.MatchStats = &WireMatchStats{
+		ms := &WireMatchStats{
 			Changes:         res.MatchStats.Changes,
 			Comparisons:     res.MatchStats.Comparisons,
 			ConflictInserts: res.MatchStats.ConflictInserts,
 			ConflictRemoves: res.MatchStats.ConflictRemoves,
+			Tasks:           res.MatchStats.Tasks,
+			Steals:          res.MatchStats.Steals,
+			Parks:           res.MatchStats.Parks,
 		}
+		for _, ws := range res.MatchStats.Workers {
+			ms.Workers = append(ms.Workers, WireWorkerStat{
+				Executed: ws.Executed, Stolen: ws.Stolen, Parked: ws.Parked,
+			})
+		}
+		out.MatchStats = ms
 	}
 	if res.Index != nil {
 		out.Index = &WireIndex{

@@ -30,6 +30,12 @@ type Config struct {
 	RetryAfter time.Duration
 	// DefaultQuota applies to sessions that do not set their own.
 	DefaultQuota Quota
+	// DefaultWorkers is the parallel-matcher worker count for sessions
+	// that do not set their own (0 = GOMAXPROCS).
+	DefaultWorkers int
+	// NoSteal disables work stealing in every session's parallel
+	// matcher (sessions cannot override; for overhead experiments).
+	NoSteal bool
 	// Logger receives structured request and slow-cycle logs (default:
 	// discard).
 	Logger *slog.Logger
@@ -64,6 +70,8 @@ type Server struct {
 	wmeChanges   *stats.Counter
 	firings      *stats.Counter
 	cycles       *stats.Counter
+	steals       *stats.Counter
+	parks        *stats.Counter
 	matchSeconds *stats.Histogram
 	runSeconds   *stats.Histogram
 	queueDepth   []*stats.Gauge
@@ -101,6 +109,10 @@ func New(cfg Config) *Server {
 			"working-memory changes processed (submitted and fired)"),
 		firings: r.Counter("psmd_firings_total", "production firings"),
 		cycles:  r.Counter("psmd_cycles_total", "recognize-act cycles executed"),
+		steals: r.Counter("psmd_steals_total",
+			"parallel-matcher activations moved between workers by stealing"),
+		parks: r.Counter("psmd_sched_park_total",
+			"parallel-matcher worker parks (condvar waits for work)"),
 		matchSeconds: r.Histogram("psmd_match_seconds",
 			"latency of one change batch through the matcher", nil),
 		runSeconds: r.Histogram("psmd_run_seconds",
@@ -220,6 +232,12 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("s-%06d", s.nextID.Add(1))
 	}
+	if spec.Workers == 0 {
+		spec.Workers = s.cfg.DefaultWorkers
+	}
+	if s.cfg.NoSteal {
+		spec.NoSteal = true
+	}
 	sess, err := newSession(spec, s.cfg.DefaultQuota, time.Now())
 	if err != nil {
 		return SessionInfo{}, err
@@ -286,6 +304,9 @@ func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (Appl
 		}
 		s.matchSeconds.Observe(time.Since(t0).Seconds())
 		s.wmeChanges.Add(int64(res.Applied))
+		st, pk := sess.schedDeltas()
+		s.steals.Add(st)
+		s.parks.Add(pk)
 		return res, nil
 	})
 }
@@ -317,6 +338,9 @@ func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunRe
 		s.cycles.Add(int64(n))
 		s.firings.Add(int64(eng.Fired - firedBefore))
 		s.wmeChanges.Add(int64(eng.TotalChanges - changesBefore))
+		st, pk := sess.schedDeltas()
+		s.steals.Add(st)
+		s.parks.Add(pk)
 		if err != nil && !errors.Is(err, engine.ErrCycleLimit) {
 			return RunResult{}, err
 		}

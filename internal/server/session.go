@@ -51,8 +51,11 @@ type CreateSpec struct {
 	// Strategy selects conflict resolution ("lex" default, or "mea").
 	Strategy string
 	// Workers sets the parallel matcher's goroutine count (parallel
-	// rete only; 0 = GOMAXPROCS).
+	// rete only; 0 = the server default, else GOMAXPROCS).
 	Workers int
+	// NoSteal disables the parallel matcher's work stealing (parallel
+	// rete only).
+	NoSteal bool
 	// ParallelFirings fires up to N non-conflicting instantiations per
 	// cycle (default 1).
 	ParallelFirings int
@@ -77,6 +80,12 @@ type session struct {
 
 	// requests counts every operation routed to this session.
 	requests int64
+
+	// lastSteals and lastParks remember the matcher's cumulative
+	// scheduler counters at the previous schedDeltas call, so the
+	// server-wide counters can be advanced by per-request deltas.
+	lastSteals int64
+	lastParks  int64
 }
 
 // ChangeOp names a working-memory change submitted over the API.
@@ -241,6 +250,7 @@ func newSession(spec CreateSpec, defaultQuota Quota, now time.Time) (*session, e
 		Matcher:         kind,
 		Strategy:        strategy,
 		Workers:         spec.Workers,
+		NoSteal:         spec.NoSteal,
 		ParallelFirings: spec.ParallelFirings,
 	})
 	if err != nil {
@@ -308,6 +318,20 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// schedDeltas returns the growth of the session matcher's steal and
+// park counters since the previous call, owned-goroutine only. Both are
+// zero for matchers without a work-stealing scheduler.
+func (s *session) schedDeltas() (steals, parks int64) {
+	ms, ok := s.sys.Engine.MatcherStats()
+	if !ok {
+		return 0, 0
+	}
+	steals = ms.Steals - s.lastSteals
+	parks = ms.Parks - s.lastParks
+	s.lastSteals, s.lastParks = ms.Steals, ms.Parks
+	return steals, parks
 }
 
 // info snapshots the session, owned-goroutine only.
