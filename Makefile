@@ -10,10 +10,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent layers: the sharded service, the parallel
-# matcher, and the engine's context-aware run loop.
+# RACE_PKGS is the one list of race-tested packages — the concurrent
+# layers: the sharded service, the parallel matcher, the engine's
+# context-aware run loop, and the durability layer's fsync ticker.
+# Both `race` and `check` use it, so the two can never disagree.
+RACE_PKGS = ./internal/server/... ./internal/prete/... ./internal/engine ./internal/durable/...
+
 race:
-	$(GO) test -race ./internal/server/... ./internal/prete ./internal/engine
+	$(GO) test -race $(RACE_PKGS)
 
 vet:
 	$(GO) vet ./...
@@ -24,10 +28,8 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 # check is the pre-merge gate: vet, gofmt, the full suite, and
-# race-mode runs of the lock-striped parallel matcher and the sharded
-# service.
-check: vet fmt-check test
-	$(GO) test -race ./internal/prete/... ./internal/server/...
+# race-mode runs of the concurrent layers (RACE_PKGS).
+check: vet fmt-check test race
 
 # bench runs the tier-1 headline benchmarks and records each as a
 # go test -json stream, for before/after comparisons across changes.

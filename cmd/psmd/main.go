@@ -8,6 +8,13 @@
 //	psmd -addr :8080 -shards 8 -queue 256 -timeout 10s
 //	psmd -addr :8080 -max-wmes 100000 -max-cycles 10000
 //	psmd -addr :8080 -log-format json -slow-cycle 50ms
+//	psmd -addr :8080 -data-dir /var/lib/psmd -fsync interval
+//
+// With -data-dir set, every session keeps a write-ahead log and
+// periodic snapshots on disk; a crash or restart recovers all sessions
+// with identical working memory and conflict sets (see
+// internal/durable). SIGTERM drains in-flight requests, takes a final
+// snapshot of every session, and exits.
 //
 // Endpoints (see internal/server/http.go for the wire formats):
 //
@@ -41,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -61,6 +69,10 @@ func main() {
 	slowCycle := flag.Duration("slow-cycle", 0, "log any recognize-act cycle slower than this (0 = disabled)")
 	traceDepth := flag.Int("trace-depth", 0, "cycle spans retained per session (0 = default)")
 	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof")
+	dataDir := flag.String("data-dir", "", "make sessions durable (WAL + snapshots) under this directory; recover them at startup")
+	fsyncMode := flag.String("fsync", "always", "WAL sync policy: always|interval|never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync=interval")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "checkpoint a session after this many WAL records (<0 = never automatically)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n", os.Args[0])
 		flag.PrintDefaults()
@@ -81,6 +93,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
 		os.Exit(2)
 	}
+	fsync, err := durable.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Shards:     *shards,
@@ -95,6 +112,10 @@ func main() {
 		Logger:         logger,
 		TraceDepth:     *traceDepth,
 		SlowCycle:      *slowCycle,
+		DataDir:        *dataDir,
+		Fsync:          fsync,
+		FsyncInterval:  *fsyncInterval,
+		SnapshotEvery:  *snapshotEvery,
 	})
 	httpSrv := &http.Server{
 		Addr: *addr,
@@ -107,7 +128,8 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "pprof", !*noPprof,
-		"slow_cycle", *slowCycle, "log_format", *logFormat)
+		"slow_cycle", *slowCycle, "log_format", *logFormat,
+		"data_dir", *dataDir, "fsync", fsync.String())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

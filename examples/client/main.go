@@ -21,6 +21,12 @@
 // with an in-process server the request log (JSON, with trace IDs) goes
 // to stderr. -pprof FILE captures a short CPU profile from
 // /debug/pprof/profile.
+//
+// With -durable-demo the run finishes with a crash/restart
+// walkthrough: an in-process durable server (WAL + snapshots under
+// -data-dir, or a temp dir) runs part of a workload, is abandoned
+// without shutdown, and a second server recovers the session with
+// identical state before resuming it to completion.
 package main
 
 import (
@@ -57,6 +63,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable result summary to this file")
 	obsDemo := flag.Bool("obs", false, "finish with an observability walkthrough (trace, profile, archive)")
 	pprofOut := flag.String("pprof", "", "capture a 1s CPU profile from /debug/pprof/profile to this file")
+	durableDemo := flag.Bool("durable-demo", false, "finish with a crash/restart durability walkthrough (in-process servers only)")
+	dataDir := flag.String("data-dir", "", "data directory for -durable-demo (default: a temp dir, removed afterwards)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "client: unexpected argument %q\n", flag.Arg(0))
@@ -167,6 +175,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *durableDemo {
+		if err := runDurableDemo(*dataDir, *matcher); err != nil {
+			fmt.Fprintf(os.Stderr, "client: durable demo: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if len(failed) > 0 {
 		os.Exit(1)
 	}
@@ -271,6 +285,113 @@ func runObsDemo(base, api, matcher string) error {
 	}
 	fmt.Printf("  after delete: trace still served, evicted=%v, %d spans archived\n",
 		tr.Evicted, len(tr.Spans))
+	return nil
+}
+
+// runDurableDemo walks the durability surface with two in-process
+// servers sharing one data directory: the first creates a session,
+// loads working memory, and runs part of the workload before being
+// abandoned without shutdown (a simulated kill -9 — with fsync=always
+// the WAL is already on disk); the second recovers the session from
+// snapshot + WAL replay, shows that working memory and the conflict
+// set survived intact, forces a checkpoint through the snapshot
+// endpoint, and runs the workload to completion.
+func runDurableDemo(dataDir, matcher string) error {
+	const id = "crash-probe"
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "psmd-durable-demo-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
+	lat := &latencies{}
+	p := workload.DefaultMannersParams()
+	p.Guests = 6
+	wmes, err := workload.MannersWM(p)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{DataDir: dataDir} // fsync defaults to always
+
+	fmt.Printf("\ndurability walkthrough (session %s, data dir %s):\n", id, dataDir)
+
+	// Life 1: create, load, run a few cycles, then "crash".
+	srv1 := server.New(cfg)
+	ts1 := httptest.NewServer(srv1.Handler())
+	api1 := ts1.URL + server.APIVersion
+	err = post(lat, api1+"/sessions", server.CreateRequest{
+		ID: id, Program: workload.MissManners, Matcher: matcher,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	req := server.ChangesRequest{}
+	for _, w := range wmes {
+		req.Changes = append(req.Changes, server.WireChange{
+			Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+		})
+	}
+	if err := post(lat, api1+"/sessions/"+id+"/changes", req, nil); err != nil {
+		return err
+	}
+	if err := post(lat, api1+"/sessions/"+id+"/run", server.RunRequest{Cycles: 8}, nil); err != nil {
+		return err
+	}
+	var before server.SessionResponse
+	if err := get(lat, api1+"/sessions/"+id, &before); err != nil {
+		return err
+	}
+	fmt.Printf("  before crash: cycles=%d fired=%d wm=%d conflicts=%d wal_seq=%d\n",
+		before.Cycles, before.Fired, before.WMSize, before.ConflictSize, before.WALSeq)
+	// Abandon srv1 without Close: no drain, no final snapshot. The
+	// session now exists only as manifest + snapshot + WAL tail.
+	ts1.Close()
+	fmt.Println("  ... server killed without shutdown ...")
+
+	// Life 2: a new server on the same directory recovers the session.
+	srv2 := server.New(cfg)
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	api2 := ts2.URL + server.APIVersion
+
+	var after server.SessionResponse
+	if err := get(lat, api2+"/sessions/"+id, &after); err != nil {
+		return err
+	}
+	fmt.Printf("  recovered:    cycles=%d fired=%d wm=%d conflicts=%d (replayed %d wal records)\n",
+		after.Cycles, after.Fired, after.WMSize, after.ConflictSize, after.ReplayedRecords)
+	if !after.Recovered {
+		return fmt.Errorf("session %s did not report recovered=true", id)
+	}
+	if after.Cycles != before.Cycles || after.Fired != before.Fired ||
+		after.WMSize != before.WMSize || after.ConflictSize != before.ConflictSize {
+		return fmt.Errorf("recovered state diverged: before=%+v after=%+v", before, after)
+	}
+
+	var snap server.SnapshotResponse
+	if err := post(lat, api2+"/sessions/"+id+"/snapshot", struct{}{}, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("  checkpoint:   seq=%d, %d wmes, %d bytes on disk\n", snap.Seq, snap.WMEs, snap.Bytes)
+
+	for {
+		var run server.RunResponse
+		if err := post(lat, api2+"/sessions/"+id+"/run", server.RunRequest{Cycles: 64}, &run); err != nil {
+			return err
+		}
+		if run.Halted || run.Quiesced {
+			break
+		}
+	}
+	var final server.SessionResponse
+	if err := get(lat, api2+"/sessions/"+id, &final); err != nil {
+		return err
+	}
+	fmt.Printf("  resumed to completion: cycles=%d fired=%d wm=%d halted=%v\n",
+		final.Cycles, final.Fired, final.WMSize, final.Halted)
 	return nil
 }
 

@@ -101,6 +101,31 @@ func (s *Set) Remove(in *ops5.Instantiation) {
 	delete(s.items, in.Key())
 }
 
+// MarkFired sets the refraction flag on the entry with the given key
+// (as produced by Instantiation.Key). Marking an absent key is a no-op.
+// Crash recovery (internal/durable) replays selection decisions through
+// this, so a recovered set refuses to re-fire exactly the
+// instantiations the original run already fired.
+func (s *Set) MarkFired(key string) {
+	if e, ok := s.items[key]; ok {
+		e.fired = true
+	}
+}
+
+// FiredKeys returns the keys of the instantiations still in the set
+// whose refraction flag is set, sorted for determinism. Snapshots
+// persist these alongside working memory.
+func (s *Set) FiredKeys() []string {
+	var keys []string
+	for k, e := range s.items {
+		if e.fired {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Contains reports whether an identical instantiation is in the set.
 func (s *Set) Contains(in *ops5.Instantiation) bool {
 	_, ok := s.items[in.Key()]

@@ -100,6 +100,11 @@ type Options struct {
 	// ParallelFirings fires up to N non-conflicting instantiations per
 	// cycle (default 1).
 	ParallelFirings int
+	// NoInitialWM skips loading the program's top-level (make ...)
+	// forms, leaving working memory empty. Crash recovery
+	// (internal/durable) builds systems this way and then restores a
+	// snapshot — the snapshot already contains the post-load state.
+	NoInitialWM bool
 }
 
 // System is a ready-to-run production system.
@@ -179,7 +184,9 @@ func NewSystemFromProgram(prog *ops5.Program, opts Options) (*System, error) {
 	e.MaxCycles = opts.MaxCycles
 	e.ParallelFirings = opts.ParallelFirings
 	sys.Engine = e
-	e.Load(prog.InitialWM)
+	if !opts.NoInitialWM {
+		e.Load(prog.InitialWM)
+	}
 	return sys, nil
 }
 

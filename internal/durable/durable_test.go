@@ -1,0 +1,563 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/workload"
+)
+
+// newManners builds a Miss Manners system. Recovery targets are built
+// with noInitialWM (the snapshot holds the post-load state).
+func newManners(t *testing.T, matcher core.MatcherKind, noInitialWM bool) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(workload.MissManners, core.Options{
+		Matcher: matcher, NoInitialWM: noInitialWM,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+// mannersWM generates the deterministic guest list every run shares.
+func mannersWM(t *testing.T) []*ops5.WME {
+	t.Helper()
+	p := workload.DefaultMannersParams()
+	p.Guests = 6
+	wmes, err := workload.MannersWM(p)
+	if err != nil {
+		t.Fatalf("MannersWM: %v", err)
+	}
+	return wmes
+}
+
+// stateString renders everything recovery promises to reproduce —
+// working memory with time tags, the tag counter, the conflict set in
+// LEX order, refraction marks, and the engine counters — as one string,
+// so differential tests can assert byte-identity.
+func stateString(e *engine.Engine) string {
+	var b strings.Builder
+	wmes := e.WM.Elements()
+	sort.Slice(wmes, func(i, j int) bool { return wmes[i].TimeTag < wmes[j].TimeTag })
+	for _, w := range wmes {
+		b.WriteString(w.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "next-tag %d\n", e.WM.NextTag())
+	for _, in := range e.CS.Instantiations() {
+		b.WriteString(in.Key())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "fired %v\n", e.CS.FiredKeys())
+	fmt.Fprintf(&b, "counters %d %d %d %v\n", e.Cycles, e.Fired, e.TotalChanges, e.Halted)
+	return b.String()
+}
+
+// referenceRun executes the workload uninterrupted, capturing the
+// engine state after every committed batch. states[i] is the state a
+// recovery must reproduce after replaying WAL record i+1; final is the
+// state at halt.
+func referenceRun(t *testing.T, matcher core.MatcherKind, wmes []*ops5.WME) (states []string, final string) {
+	t.Helper()
+	sys := newManners(t, matcher, false)
+	sys.Engine.Sink = func([]ops5.Change, []string) {
+		states = append(states, stateString(sys.Engine))
+	}
+	sys.Engine.Load(wmes)
+	stepToEnd(t, sys.Engine)
+	return states, stateString(sys.Engine)
+}
+
+// stepToEnd runs recognize-act cycles until quiescence or halt.
+func stepToEnd(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if i > 10_000 {
+			t.Fatal("workload did not terminate")
+		}
+		ok, err := e.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// crashRun drives a durable session until exactly stopAfter WAL records
+// are committed, then abandons the log without Close — the on-disk
+// state is what a kill -9 leaves behind (fsync=always: every
+// acknowledged record is synced).
+func crashRun(t *testing.T, dir string, matcher core.MatcherKind, wmes []*ops5.WME, stopAfter, snapEvery int) {
+	t.Helper()
+	sys := newManners(t, matcher, false)
+	l, err := Create(dir, []byte(`{"program":"manners"}`), sys.Engine, Options{
+		Fsync: FsyncAlways, SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	records := 0
+	sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := l.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+		records++
+	}
+	sys.Engine.Load(wmes)
+	for records < stopAfter {
+		ok, err := sys.Engine.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if records != stopAfter {
+		t.Fatalf("run committed %d records, wanted to crash at %d", records, stopAfter)
+	}
+}
+
+// TestRecoverDifferential is the core crash-consistency check: run N
+// cycles, kill mid-stream at several points, recover, and require the
+// working memory and conflict set to be byte-identical to an
+// uninterrupted run — then resume the recovered session to completion
+// and require the final states to match too.
+func TestRecoverDifferential(t *testing.T) {
+	wmes := mannersWM(t)
+	for _, matcher := range []core.MatcherKind{core.SerialRete, core.TREAT} {
+		states, final := referenceRun(t, matcher, wmes)
+		if len(states) < 8 {
+			t.Fatalf("reference run too short: %d records", len(states))
+		}
+		crashPoints := []int{1, 3, len(states) / 2, len(states)}
+		for _, snapEvery := range []int{0, 1, 4} {
+			for _, crashAt := range crashPoints {
+				name := fmt.Sprintf("%s/snap=%d/crash=%d", matcher, snapEvery, crashAt)
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					crashRun(t, dir, matcher, wmes, crashAt, snapEvery)
+
+					rsys := newManners(t, matcher, true)
+					rlog, stats, err := Recover(dir, rsys.Engine, Options{Fsync: FsyncAlways})
+					if err != nil {
+						t.Fatalf("Recover: %v", err)
+					}
+					defer rlog.Close()
+					if stats.Truncated {
+						t.Fatalf("clean WAL reported truncation at %d", stats.TruncatedAt)
+					}
+					if got, want := stateString(rsys.Engine), states[crashAt-1]; got != want {
+						t.Fatalf("recovered state diverged from reference:\n--- got ---\n%s--- want ---\n%s", got, want)
+					}
+					seq, snapSeq, _, _ := rlog.Stats()
+					if seq != int64(crashAt) {
+						t.Fatalf("recovered seq %d, want %d", seq, crashAt)
+					}
+					if stats.Replayed != seq-snapSeq {
+						t.Fatalf("replayed %d records, want %d (seq %d, snapshot %d)",
+							stats.Replayed, seq-snapSeq, seq, snapSeq)
+					}
+
+					// The recovered session must be a full citizen: keep
+					// logging, run to completion, and still match the
+					// uninterrupted run — and still be recoverable.
+					rsys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+						if err := rlog.Append(ch, fk); err != nil {
+							t.Errorf("Append after recovery: %v", err)
+						}
+					}
+					stepToEnd(t, rsys.Engine)
+					if got := stateString(rsys.Engine); got != final {
+						t.Fatalf("resumed run diverged at halt:\n--- got ---\n%s--- want ---\n%s", got, final)
+					}
+					r2 := newManners(t, matcher, true)
+					r2log, _, err := Recover(dir, r2.Engine, Options{})
+					if err != nil {
+						t.Fatalf("second Recover: %v", err)
+					}
+					defer r2log.Close()
+					if got := stateString(r2.Engine); got != final {
+						t.Fatalf("second recovery diverged at halt:\n--- got ---\n%s--- want ---\n%s", got, final)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRecoverTruncatedWAL injects the faults a crash mid-append leaves
+// behind — a torn tail, a corrupted record, trailing garbage — and
+// checks recovery truncates to the last intact record instead of
+// failing, landing exactly on a state the uninterrupted run passed
+// through.
+func TestRecoverTruncatedWAL(t *testing.T) {
+	wmes := mannersWM(t)
+	states, final := referenceRun(t, core.SerialRete, wmes)
+	const crashAt = 6
+	walPath := func(dir string) string { return filepath.Join(dir, walFile) }
+
+	cases := []struct {
+		name      string
+		mutate    func(t *testing.T, path string)
+		wantState int // index into states after recovery
+	}{
+		{"tail cut mid-record", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}, crashAt - 2}, // last record torn: its batch was never acknowledged
+		{"last record corrupted", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 0x40 // flip a payload bit: CRC mismatch
+			if err := os.WriteFile(path, data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}, crashAt - 2},
+		{"garbage tail", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+				t.Fatal(err)
+			}
+		}, crashAt - 1}, // all committed records intact
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			crashRun(t, dir, core.SerialRete, wmes, crashAt, 0)
+			tc.mutate(t, walPath(dir))
+
+			rsys := newManners(t, core.SerialRete, true)
+			rlog, stats, err := Recover(dir, rsys.Engine, Options{})
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if !stats.Truncated {
+				t.Fatal("recovery did not report the torn tail")
+			}
+			if got, want := stateString(rsys.Engine), states[tc.wantState]; got != want {
+				t.Fatalf("recovered state diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if fi, err := os.Stat(walPath(dir)); err != nil || fi.Size() != stats.TruncatedAt {
+				t.Fatalf("WAL size %v (err %v), want truncated to %d", fi.Size(), err, stats.TruncatedAt)
+			}
+			rlog.Close()
+
+			// The truncated WAL is now clean: a second recovery sees no
+			// fault, and the session resumes to the reference final state
+			// (the lost cycle re-executes deterministically).
+			r2 := newManners(t, core.SerialRete, true)
+			r2log, stats2, err := Recover(dir, r2.Engine, Options{Fsync: FsyncAlways})
+			if err != nil {
+				t.Fatalf("second Recover: %v", err)
+			}
+			defer r2log.Close()
+			if stats2.Truncated {
+				t.Fatal("second recovery still sees a torn tail")
+			}
+			r2.Engine.Sink = func(ch []ops5.Change, fk []string) {
+				if err := r2log.Append(ch, fk); err != nil {
+					t.Errorf("Append: %v", err)
+				}
+			}
+			stepToEnd(t, r2.Engine)
+			if got := stateString(r2.Engine); got != final {
+				t.Fatalf("resumed run diverged at halt:\n--- got ---\n%s--- want ---\n%s", got, final)
+			}
+		})
+	}
+}
+
+// TestRecoverSkipsSnapshotCoveredRecords simulates a crash in the
+// window between the snapshot rename and the WAL truncate: the WAL
+// still holds records the snapshot already covers. Replay must skip
+// them by sequence number, not apply them twice.
+func TestRecoverSkipsSnapshotCoveredRecords(t *testing.T) {
+	wmes := mannersWM(t)
+	states, final := referenceRun(t, core.SerialRete, wmes)
+	const crashAt = 5
+
+	dir := t.TempDir()
+	sys := newManners(t, core.SerialRete, false)
+	l, err := Create(dir, []byte(`{}`), sys.Engine, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	records := 0
+	sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := l.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+		records++
+	}
+	sys.Engine.Load(wmes)
+	for records < crashAt {
+		if ok, err := sys.Engine.Step(); err != nil || !ok {
+			t.Fatalf("Step: ok=%v err=%v", ok, err)
+		}
+	}
+	walPath := filepath.Join(dir, walFile)
+	preSnapshot, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Undo the truncate the snapshot performed, as if the crash hit
+	// first; then kill the session.
+	if err := os.WriteFile(walPath, preSnapshot, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rsys := newManners(t, core.SerialRete, true)
+	rlog, stats, err := Recover(dir, rsys.Engine, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rlog.Close()
+	if stats.SnapshotSeq != crashAt || stats.Replayed != 0 {
+		t.Fatalf("snapshot seq %d replayed %d, want %d and 0", stats.SnapshotSeq, stats.Replayed, crashAt)
+	}
+	if got, want := stateString(rsys.Engine), states[crashAt-1]; got != want {
+		t.Fatalf("recovered state diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Resume: new records land after the dead ones in the same file; a
+	// later recovery must skip the dead prefix and replay the live tail.
+	rsys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := rlog.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+	}
+	stepToEnd(t, rsys.Engine)
+	r2 := newManners(t, core.SerialRete, true)
+	r2log, stats2, err := Recover(dir, r2.Engine, Options{})
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	defer r2log.Close()
+	if stats2.Replayed == 0 {
+		t.Fatal("second recovery replayed nothing; live tail lost")
+	}
+	if got := stateString(r2.Engine); got != final {
+		t.Fatalf("second recovery diverged at halt:\n--- got ---\n%s--- want ---\n%s", got, final)
+	}
+}
+
+// TestRunContextCancelSnapshotConsistent cancels RunContext mid-run and
+// checks the session lands on a batch boundary: the context is only
+// checked between cycles, so a snapshot taken right after cancellation
+// recovers byte-identically, and the resumed run still reaches the
+// reference final state. (Exercises the engine's cancellation contract
+// end to end through the durability layer.)
+func TestRunContextCancelSnapshotConsistent(t *testing.T) {
+	wmes := mannersWM(t)
+	_, final := referenceRun(t, core.SerialRete, wmes)
+
+	dir := t.TempDir()
+	sys := newManners(t, core.SerialRete, false)
+	l, err := Create(dir, []byte(`{}`), sys.Engine, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	records := 0
+	sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := l.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+		if records++; records == 5 {
+			cancel() // mid-run: cycles are still pending
+		}
+	}
+	sys.Engine.Load(wmes)
+	if _, err := sys.Engine.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext: %v, want context.Canceled", err)
+	}
+	if sys.Engine.Halted {
+		t.Fatal("cancellation must not halt the session")
+	}
+	interrupted := stateString(sys.Engine)
+	if _, err := l.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after cancel: %v", err)
+	}
+
+	rsys := newManners(t, core.SerialRete, true)
+	rlog, _, err := Recover(dir, rsys.Engine, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rlog.Close()
+	if got := stateString(rsys.Engine); got != interrupted {
+		t.Fatalf("recovered state differs from the cancelled session:\n--- got ---\n%s--- want ---\n%s", got, interrupted)
+	}
+	rsys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := rlog.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+	}
+	if _, err := rsys.Engine.RunContext(context.Background(), 0); err != nil {
+		t.Fatalf("resumed RunContext: %v", err)
+	}
+	if got := stateString(rsys.Engine); got != final {
+		t.Fatalf("resumed run diverged at halt:\n--- got ---\n%s--- want ---\n%s", got, final)
+	}
+}
+
+// TestAutoSnapshotBoundsWAL checks SnapshotEvery checkpoints inline and
+// resets the WAL tail, so replay work at recovery stays bounded.
+func TestAutoSnapshotBoundsWAL(t *testing.T) {
+	wmes := mannersWM(t)
+	states, _ := referenceRun(t, core.SerialRete, wmes)
+	const crashAt, snapEvery = 8, 3
+
+	dir := t.TempDir()
+	crashRun(t, dir, core.SerialRete, wmes, crashAt, snapEvery)
+	rsys := newManners(t, core.SerialRete, true)
+	rlog, stats, err := Recover(dir, rsys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rlog.Close()
+	if stats.SnapshotSeq != 6 || stats.Replayed != 2 {
+		t.Fatalf("snapshot seq %d replayed %d, want 6 and 2 (SnapshotEvery=%d)",
+			stats.SnapshotSeq, stats.Replayed, snapEvery)
+	}
+	if got, want := stateString(rsys.Engine), states[crashAt-1]; got != want {
+		t.Fatalf("recovered state diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFsyncPolicies runs a clean close/recover round trip under every
+// sync policy (interval and never rely on Close syncing the tail).
+func TestFsyncPolicies(t *testing.T) {
+	wmes := mannersWM(t)
+	states, _ := referenceRun(t, core.SerialRete, wmes)
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			sys := newManners(t, core.SerialRete, false)
+			l, err := Create(dir, []byte(`{}`), sys.Engine, Options{
+				Fsync: policy, FsyncInterval: 5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			records := 0
+			sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+				if err := l.Append(ch, fk); err != nil {
+					t.Errorf("Append: %v", err)
+				}
+				records++
+			}
+			sys.Engine.Load(wmes)
+			for records < 4 {
+				if ok, err := sys.Engine.Step(); err != nil || !ok {
+					t.Fatalf("Step: ok=%v err=%v", ok, err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			rsys := newManners(t, core.SerialRete, true)
+			rlog, _, err := Recover(dir, rsys.Engine, Options{Fsync: policy})
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			defer rlog.Close()
+			if got, want := stateString(rsys.Engine), states[3]; got != want {
+				t.Fatalf("recovered state diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		got, err := ParseFsyncPolicy(policy.String())
+		if err != nil || got != policy {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", policy.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("ParseFsyncPolicy accepted an unknown policy")
+	}
+}
+
+func TestCreateGuards(t *testing.T) {
+	dir := t.TempDir()
+	sys := newManners(t, core.SerialRete, false)
+	if _, err := Create(dir, []byte(`{broken`), sys.Engine, Options{}); err == nil {
+		t.Fatal("Create accepted an invalid manifest")
+	}
+	l, err := Create(dir, []byte(`{"id":"a"}`), sys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer l.Close()
+	if _, err := Create(dir, []byte(`{"id":"b"}`), sys.Engine, Options{}); err == nil {
+		t.Fatal("Create reused a directory that already holds a session")
+	}
+}
+
+func TestSessionDirsAndManifest(t *testing.T) {
+	dataDir := t.TempDir()
+	if dirs, err := SessionDirs(filepath.Join(dataDir, "missing")); err != nil || dirs != nil {
+		t.Fatalf("missing data dir: dirs=%v err=%v", dirs, err)
+	}
+	manifest := []byte(`{"id":"s-1"}`)
+	sys := newManners(t, core.SerialRete, false)
+	l, err := Create(filepath.Join(dataDir, "aa"), manifest, sys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer l.Close()
+	// A stray non-session directory must be ignored.
+	if err := os.MkdirAll(filepath.Join(dataDir, "zz-stray"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := SessionDirs(dataDir)
+	if err != nil {
+		t.Fatalf("SessionDirs: %v", err)
+	}
+	if len(dirs) != 1 || dirs[0] != filepath.Join(dataDir, "aa") {
+		t.Fatalf("SessionDirs = %v", dirs)
+	}
+	got, err := ReadManifest(dirs[0])
+	if err != nil || string(got) != string(manifest) {
+		t.Fatalf("ReadManifest = %q, %v", got, err)
+	}
+	// Remove deletes the directory so the session cannot resurrect.
+	if err := l.Remove(); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if dirs, _ := SessionDirs(dataDir); len(dirs) != 0 {
+		t.Fatalf("session survived Remove: %v", dirs)
+	}
+}

@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/ops5"
+)
+
+// RecoverStats reports what a recovery did.
+type RecoverStats struct {
+	// SnapshotSeq is the WAL sequence the loaded snapshot captured.
+	SnapshotSeq int64
+	// Replayed is the number of WAL records applied after the snapshot.
+	Replayed int64
+	// Truncated reports that the WAL ended in a torn or corrupt record,
+	// which was cut at TruncatedAt (a byte offset). Expected after a
+	// crash mid-append; the lost record was never acknowledged.
+	Truncated   bool
+	TruncatedAt int64
+}
+
+// Recover rebuilds a session's engine state from its durable directory:
+// load the latest snapshot (restoring working memory with original time
+// tags, matcher memories, conflict set and refraction marks), then
+// replay the WAL tail through the engine's apply path. The WAL is
+// truncated at the first torn or corrupt record — the tail of a
+// crashed append — rather than failing the whole session. The engine
+// must be freshly constructed with an empty working memory (use
+// core.Options.NoInitialWM; the snapshot already contains the
+// program's initial state).
+func Recover(dir string, eng *engine.Engine, opts Options) (*Log, RecoverStats, error) {
+	var stats RecoverStats
+	snap, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, stats, err
+	}
+	wmes := make([]*ops5.WME, len(snap.WMEs))
+	for i, sw := range snap.WMEs {
+		wmes[i] = &ops5.WME{TimeTag: sw.Tag, Class: sw.Class, Attrs: decodeAttrs(sw.Attrs)}
+	}
+	if err := eng.Restore(wmes, snap.NextTag, snap.FiredKeys); err != nil {
+		return nil, stats, fmt.Errorf("durable: restore snapshot: %w", err)
+	}
+	eng.Cycles, eng.Fired = snap.Cycles, snap.Fired
+	eng.TotalChanges, eng.Halted = snap.TotalChanges, snap.Halted
+	stats.SnapshotSeq = snap.Seq
+
+	seq, err := replayWAL(filepath.Join(dir, walFile), eng, snap.Seq, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	l, err := newLog(dir, eng, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	l.seq, l.snapSeq = seq, snap.Seq
+	l.records = seq - snap.Seq
+	if fi, statErr := os.Stat(filepath.Join(dir, walFile)); statErr == nil {
+		l.walBytes = fi.Size()
+	}
+	l.recovered, l.replayed = true, stats.Replayed
+	return l, stats, nil
+}
+
+// readSnapshot loads and decodes a snapshot file.
+func readSnapshot(path string) (snapshot, error) {
+	var snap snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("durable: decode snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// replayWAL applies every decodable record after snapSeq to the engine,
+// in order, and truncates the file at the first record that is torn,
+// corrupt, out of sequence, or inconsistent with the rebuilt state. It
+// returns the last applied sequence.
+func replayWAL(path string, eng *engine.Engine, snapSeq int64, stats *RecoverStats) (int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	seq := snapSeq
+	var offset int64
+	for {
+		payload, err := readFrame(f)
+		if err == io.EOF {
+			return seq, nil
+		}
+		recLen := int64(headerSize + len(payload))
+		if err == nil {
+			var rec record
+			if jsonErr := json.Unmarshal(payload, &rec); jsonErr != nil {
+				err = errTornRecord
+			} else if rec.Seq <= snapSeq {
+				// A crash between snapshot rename and WAL truncate
+				// leaves records the snapshot already covers; skip.
+				offset += recLen
+				continue
+			} else if rec.Seq != seq+1 {
+				err = errTornRecord // gap: history after this is unusable
+			} else if applyErr := applyRecord(eng, rec); applyErr != nil {
+				err = errTornRecord
+			} else {
+				seq = rec.Seq
+				offset += recLen
+				stats.Replayed++
+				continue
+			}
+		}
+		// First undecodable or inconsistent record: everything from
+		// here on was never acknowledged as durable. Cut it off so the
+		// next append starts at a clean boundary.
+		stats.Truncated, stats.TruncatedAt = true, offset
+		if err := f.Truncate(offset); err != nil {
+			return seq, fmt.Errorf("durable: truncate torn WAL: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return seq, err
+		}
+		return seq, nil
+	}
+}
+
+// applyRecord replays one record: the change batch through the engine,
+// then the counters (absolute values) and refraction marks.
+func applyRecord(eng *engine.Engine, rec record) error {
+	changes, err := decodeChanges(rec.Changes)
+	if err != nil {
+		return err
+	}
+	if err := eng.Replay(changes, rec.FiredKeys); err != nil {
+		return err
+	}
+	eng.Cycles, eng.Fired = rec.Cycles, rec.Fired
+	eng.TotalChanges, eng.Halted = rec.TotalChanges, rec.Halted
+	return nil
+}

@@ -1,0 +1,74 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WAL record framing: every record is
+//
+//	[4 bytes little-endian payload length][4 bytes IEEE CRC32 of payload][payload]
+//
+// A crash can tear the tail of the file anywhere — a partial header, a
+// partial payload, or a payload whose CRC no longer matches. Recovery
+// treats the first such record as the end of history and truncates the
+// file there; everything before it was written (and, under
+// -fsync=always, synced) completely.
+
+// headerSize is the framing overhead per record.
+const headerSize = 8
+
+// maxRecordSize bounds a single record so a corrupt length field cannot
+// drive recovery into a multi-gigabyte allocation.
+const maxRecordSize = 1 << 28
+
+// errTornRecord reports a record that ends (or stops making sense)
+// before its framing says it should — the expected shape of the last
+// record written during a crash.
+var errTornRecord = errors.New("durable: torn record")
+
+// appendFrame frames payload and writes it to w, returning the number
+// of bytes written.
+func appendFrame(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > maxRecordSize {
+		return 0, fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), maxRecordSize)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return headerSize + len(payload), nil
+}
+
+// readFrame reads one framed record from r. It returns errTornRecord
+// when the stream ends mid-record or the CRC fails, and io.EOF at a
+// clean record boundary.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTornRecord
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxRecordSize {
+		return nil, errTornRecord
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTornRecord
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errTornRecord
+	}
+	return payload, nil
+}

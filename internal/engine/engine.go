@@ -34,6 +34,15 @@ type Matcher interface {
 	Apply(changes []ops5.Change)
 }
 
+// ChangeLogSink receives every change batch the engine commits —
+// external applies, initial loads and recognize-act act phases alike —
+// after working memory has assigned time tags and the matcher has run.
+// firedKeys holds the conflict-set keys Select marked fired during the
+// cycle that produced the batch (nil for external applies); together
+// the two streams are a complete log of the session's evolution, which
+// is what internal/durable persists for crash recovery.
+type ChangeLogSink func(changes []ops5.Change, firedKeys []string)
+
 // Engine drives the recognize-act cycle.
 type Engine struct {
 	WM      *wm.Memory
@@ -67,6 +76,10 @@ type Engine struct {
 	// RunContext refreshes it from the context's trace ID; services
 	// hosting the engine set it directly on paths without a context.
 	TraceID string
+	// Sink, when set, observes every committed change batch (see
+	// ChangeLogSink). The key collection in Step runs only while a sink
+	// is installed, so the unlogged hot path pays nothing.
+	Sink ChangeLogSink
 
 	// funcs holds host functions invokable with (call name args...).
 	funcs map[string]CallFunc
@@ -116,11 +129,11 @@ func (e *Engine) Load(wmes []*ops5.WME) {
 // this and EvalRHS instead of Step.
 func (e *Engine) ApplyChanges(changes []ops5.Change) {
 	if e.OnCycle == nil || len(changes) == 0 {
-		e.applyBatch(changes)
+		e.applyBatch(changes, nil)
 		return
 	}
 	start := time.Now()
-	e.applyBatch(changes)
+	e.applyBatch(changes, nil)
 	e.OnCycle(obs.CycleSpan{
 		TraceID: e.TraceID, Kind: obs.SpanApply, Cycle: e.Cycles,
 		Start: start, Match: time.Since(start), Changes: len(changes),
@@ -129,18 +142,24 @@ func (e *Engine) ApplyChanges(changes []ops5.Change) {
 }
 
 // applyBatch commits changes to working memory (assigning tags) and then
-// runs the matcher.
-func (e *Engine) applyBatch(changes []ops5.Change) {
-	if len(changes) == 0 {
+// runs the matcher. firedKeys carries the cycle's refraction marks to
+// the change-log sink.
+func (e *Engine) applyBatch(changes []ops5.Change, firedKeys []string) {
+	if len(changes) == 0 && len(firedKeys) == 0 {
 		return
 	}
-	if _, err := e.WM.Apply(changes); err != nil {
-		// Working-memory errors indicate an engine bug (removing a WME
-		// twice); they are surfaced loudly rather than silently skipped.
-		panic(fmt.Sprintf("engine: %v", err))
+	if len(changes) > 0 {
+		if _, err := e.WM.Apply(changes); err != nil {
+			// Working-memory errors indicate an engine bug (removing a WME
+			// twice); they are surfaced loudly rather than silently skipped.
+			panic(fmt.Sprintf("engine: %v", err))
+		}
+		e.Matcher.Apply(changes)
+		e.TotalChanges += len(changes)
 	}
-	e.Matcher.Apply(changes)
-	e.TotalChanges += len(changes)
+	if e.Sink != nil {
+		e.Sink(changes, firedKeys)
+	}
 }
 
 // Step runs one recognize-act cycle: select (up to ParallelFirings)
@@ -161,6 +180,7 @@ func (e *Engine) Step() (bool, error) {
 		spanStart = time.Now()
 	}
 	var batch []ops5.Change
+	var firedKeys []string         // refraction marks for the change-log sink
 	consumed := make(map[int]bool) // time tags removed this cycle
 	fired := 0
 	for fired < limit {
@@ -173,6 +193,12 @@ func (e *Engine) Step() (bool, error) {
 		}
 		if inst == nil {
 			break
+		}
+		if e.Sink != nil {
+			// Select marked the instantiation fired whether or not it
+			// ends up firing below (a consumed-WME skip still burns its
+			// refraction), so the log must record every selection.
+			firedKeys = append(firedKeys, inst.Key())
 		}
 		if usesConsumed(inst, consumed) {
 			// Another firing this cycle removed one of its WMEs; in
@@ -206,7 +232,7 @@ func (e *Engine) Step() (bool, error) {
 	if observe {
 		phase = time.Now()
 	}
-	e.applyBatch(batch)
+	e.applyBatch(batch, firedKeys)
 	if observe {
 		e.OnCycle(obs.CycleSpan{
 			TraceID: e.TraceID, Kind: obs.SpanCycle, Cycle: e.Cycles,
@@ -269,6 +295,77 @@ func (e *Engine) RunContext(ctx context.Context, maxCycles int) (int, error) {
 			return e.Cycles - start, nil
 		}
 	}
+}
+
+// Restore primes a freshly constructed engine (empty working memory,
+// empty conflict set) with a recovered snapshot: elements re-enter
+// working memory with their original time tags, the matcher processes
+// them as one insert batch (rebuilding its memories and the conflict
+// set), and the recorded refraction marks are re-applied. The change-log
+// sink is deliberately not invoked — recovery must not re-log state the
+// snapshot already holds. Counter fields (Cycles, Fired, TotalChanges,
+// Halted) are the caller's to restore; they are plain exported fields.
+func (e *Engine) Restore(wmes []*ops5.WME, nextTag int, firedKeys []string) error {
+	if e.WM.Size() != 0 {
+		return errors.New("engine: restore into non-empty working memory")
+	}
+	if err := e.WM.Restore(wmes, nextTag); err != nil {
+		return err
+	}
+	if len(wmes) > 0 {
+		changes := make([]ops5.Change, len(wmes))
+		for i, w := range wmes {
+			changes[i] = ops5.Change{Kind: ops5.Insert, WME: w}
+		}
+		e.Matcher.Apply(changes)
+	}
+	for _, k := range firedKeys {
+		e.CS.MarkFired(k)
+	}
+	return nil
+}
+
+// Replay re-applies one logged change batch during crash recovery:
+// inserts are committed through the normal apply path (working memory
+// re-assigns the same tags it assigned originally — assignment is
+// deterministic — and the recorded tags cross-check that), deletes are
+// resolved to the live elements by tag (matchers remove by pointer
+// identity), and the batch's refraction marks are re-applied after the
+// matcher runs. Unlike applyBatch, corruption surfaces as an error
+// rather than a panic, so recovery can stop cleanly at a bad record.
+func (e *Engine) Replay(changes []ops5.Change, firedKeys []string) error {
+	resolved := make([]ops5.Change, len(changes))
+	nextTag := e.WM.NextTag()
+	for i, ch := range changes {
+		switch ch.Kind {
+		case ops5.Insert:
+			if ch.WME.TimeTag != nextTag {
+				return fmt.Errorf("engine: replayed insert tag %d, working memory would assign %d",
+					ch.WME.TimeTag, nextTag)
+			}
+			nextTag++
+			resolved[i] = ch
+		case ops5.Delete:
+			live, ok := e.WM.Get(ch.WME.TimeTag)
+			if !ok {
+				return fmt.Errorf("engine: replayed delete of absent tag %d", ch.WME.TimeTag)
+			}
+			resolved[i] = ops5.Change{Kind: ops5.Delete, WME: live}
+		default:
+			return fmt.Errorf("engine: replayed unknown change kind %d", ch.Kind)
+		}
+	}
+	if len(resolved) > 0 {
+		if _, err := e.WM.Apply(resolved); err != nil {
+			return fmt.Errorf("engine: replay: %w", err)
+		}
+		e.Matcher.Apply(resolved)
+		e.TotalChanges += len(resolved)
+	}
+	for _, k := range firedKeys {
+		e.CS.MarkFired(k)
+	}
+	return nil
 }
 
 // EvalRHS evaluates a production's actions against an instantiation and

@@ -1,0 +1,215 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// crashableServer starts a durable server whose HTTP listener can be
+// dropped without shutting the server down — the moral equivalent of
+// kill -9 for recovery tests (fsync=always: every acknowledged record
+// is already on disk).
+func crashableServer(t *testing.T, cfg server.Config) (*client, func()) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	return newClient(t, ts), ts.Close
+}
+
+// TestServerCrashRecovery kills a durable server mid-workload and
+// checks a fresh server on the same data directory serves the same
+// sessions with identical working memory, conflict sets and counters.
+func TestServerCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := server.Config{Shards: 2, DataDir: dataDir}
+
+	// Life 1: one named and one auto-ID session, run partway.
+	c1, crash := crashableServer(t, cfg)
+	var sess, auto server.SessionResponse
+	c1.must("POST", "/sessions", server.CreateRequest{
+		ID: "counter", Program: counterSrc, Matcher: "rete",
+	}, &sess, http.StatusCreated)
+	if !sess.Durable {
+		t.Fatalf("session on a durable server not durable: %+v", sess)
+	}
+	c1.must("POST", "/sessions", server.CreateRequest{Program: counterSrc}, &auto, http.StatusCreated)
+	c1.must("POST", "/sessions/counter/changes", server.ChangesRequest{Changes: []server.WireChange{
+		{Op: "assert", Class: "counter", Attrs: map[string]any{"n": 0.0, "limit": 5.0}},
+	}}, nil, http.StatusOK)
+	c1.must("POST", "/sessions/counter/run", server.RunRequest{Cycles: 3}, nil, http.StatusOK)
+
+	var before server.SessionResponse
+	var beforeWM []server.WireWME
+	var beforeCS []server.WireInst
+	c1.must("GET", "/sessions/counter", nil, &before, http.StatusOK)
+	c1.must("GET", "/sessions/counter/wm", nil, &beforeWM, http.StatusOK)
+	c1.must("GET", "/sessions/counter/conflicts", nil, &beforeCS, http.StatusOK)
+	if before.WALSeq == 0 {
+		t.Fatalf("no WAL records before crash: %+v", before)
+	}
+	crash()
+
+	// Life 2: recovery must reproduce both sessions exactly.
+	_, c2 := newTestServer(t, cfg)
+	var list []server.SessionResponse
+	c2.must("GET", "/sessions", nil, &list, http.StatusOK)
+	if len(list) != 2 {
+		t.Fatalf("recovered %d sessions, want 2: %+v", len(list), list)
+	}
+	var after server.SessionResponse
+	var afterWM []server.WireWME
+	var afterCS []server.WireInst
+	c2.must("GET", "/sessions/counter", nil, &after, http.StatusOK)
+	c2.must("GET", "/sessions/counter/wm", nil, &afterWM, http.StatusOK)
+	c2.must("GET", "/sessions/counter/conflicts", nil, &afterCS, http.StatusOK)
+	if !after.Recovered || after.ReplayedRecords == 0 {
+		t.Fatalf("session not marked recovered: %+v", after)
+	}
+	if after.Cycles != before.Cycles || after.Fired != before.Fired ||
+		after.WMSize != before.WMSize || after.ConflictSize != before.ConflictSize ||
+		after.TotalChanges != before.TotalChanges || after.Productions != before.Productions {
+		t.Fatalf("recovered stats diverged:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if !reflect.DeepEqual(afterWM, beforeWM) {
+		t.Fatalf("recovered WM diverged:\nbefore %+v\nafter  %+v", beforeWM, afterWM)
+	}
+	if !reflect.DeepEqual(afterCS, beforeCS) {
+		t.Fatalf("recovered conflict set diverged:\nbefore %+v\nafter  %+v", beforeCS, afterCS)
+	}
+
+	resp, err := http.Get(c2.raw + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "psmd_recovered_sessions 2") {
+		t.Errorf("/metrics missing psmd_recovered_sessions 2:\n%s", raw)
+	}
+
+	// Auto-assigned IDs must not collide with recovered ones.
+	var auto2 server.SessionResponse
+	c2.must("POST", "/sessions", server.CreateRequest{Program: counterSrc}, &auto2, http.StatusCreated)
+	if auto2.ID == auto.ID {
+		t.Fatalf("new auto ID %q collides with recovered session", auto2.ID)
+	}
+
+	// The forced checkpoint endpoint resets the WAL tail.
+	var snap server.SnapshotResponse
+	c2.must("POST", "/sessions/counter/snapshot", nil, &snap, http.StatusOK)
+	if snap.SessionID != "counter" || snap.Seq != after.WALSeq || snap.WMEs != after.WMSize {
+		t.Fatalf("snapshot response %+v (session stats %+v)", snap, after)
+	}
+	var checked server.SessionResponse
+	c2.must("GET", "/sessions/counter", nil, &checked, http.StatusOK)
+	if checked.SnapshotSeq != snap.Seq || checked.WALRecords != 0 {
+		t.Fatalf("stats after checkpoint: %+v", checked)
+	}
+
+	// The recovered session still runs to the same halt as an
+	// uninterrupted one (6 cycles total for limit 5).
+	var run server.RunResponse
+	c2.must("POST", "/sessions/counter/run", server.RunRequest{Cycles: 100}, &run, http.StatusOK)
+	var final server.SessionResponse
+	c2.must("GET", "/sessions/counter", nil, &final, http.StatusOK)
+	if !final.Halted || final.Cycles != 6 || final.Fired != 6 {
+		t.Fatalf("resumed session final stats: %+v", final)
+	}
+
+	// Deleting a session removes its durable state for good.
+	c2.must("DELETE", "/sessions/"+auto.ID, nil, nil, http.StatusNoContent)
+	dirs, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 { // counter + auto2
+		t.Fatalf("%d session dirs after delete, want 2", len(dirs))
+	}
+}
+
+// TestServerGracefulShutdownSnapshots checks Close drains every session
+// with a final snapshot, so the next start replays no WAL records.
+func TestServerGracefulShutdownSnapshots(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := server.Config{Shards: 1, DataDir: dataDir}
+
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	c := newClient(t, ts)
+	c.must("POST", "/sessions", server.CreateRequest{ID: "counter", Program: counterSrc}, nil, http.StatusCreated)
+	c.must("POST", "/sessions/counter/changes", server.ChangesRequest{Changes: []server.WireChange{
+		{Op: "assert", Class: "counter", Attrs: map[string]any{"n": 0.0, "limit": 5.0}},
+	}}, nil, http.StatusOK)
+	c.must("POST", "/sessions/counter/run", server.RunRequest{Cycles: 2}, nil, http.StatusOK)
+	var before server.SessionResponse
+	c.must("GET", "/sessions/counter", nil, &before, http.StatusOK)
+	ts.Close()
+	srv.Close() // graceful: final snapshot per session
+
+	_, c2 := newTestServer(t, cfg)
+	var after server.SessionResponse
+	c2.must("GET", "/sessions/counter", nil, &after, http.StatusOK)
+	if !after.Recovered || after.ReplayedRecords != 0 {
+		t.Fatalf("graceful restart should recover from snapshot alone: %+v", after)
+	}
+	if after.Cycles != before.Cycles || after.WMSize != before.WMSize ||
+		after.ConflictSize != before.ConflictSize {
+		t.Fatalf("recovered stats diverged:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestServerRecoversTornWAL cuts the WAL mid-record before restart; the
+// session must come back at the last intact batch, not fail.
+func TestServerRecoversTornWAL(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := server.Config{Shards: 1, DataDir: dataDir}
+
+	c1, crash := crashableServer(t, cfg)
+	c1.must("POST", "/sessions", server.CreateRequest{ID: "counter", Program: counterSrc}, nil, http.StatusCreated)
+	c1.must("POST", "/sessions/counter/changes", server.ChangesRequest{Changes: []server.WireChange{
+		{Op: "assert", Class: "counter", Attrs: map[string]any{"n": 0.0, "limit": 5.0}},
+	}}, nil, http.StatusOK)
+	var beforeCut server.SessionResponse
+	c1.must("GET", "/sessions/counter", nil, &beforeCut, http.StatusOK)
+	c1.must("POST", "/sessions/counter/run", server.RunRequest{Cycles: 1}, nil, http.StatusOK)
+	crash()
+
+	// Tear the tail of the single session's WAL: the run's record is cut
+	// mid-frame, as if the crash hit during that write.
+	dirs, err := os.ReadDir(dataDir)
+	if err != nil || len(dirs) != 1 {
+		t.Fatalf("session dirs: %v err=%v", dirs, err)
+	}
+	walPath := filepath.Join(dataDir, dirs[0].Name(), "wal.log")
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2 := newTestServer(t, cfg)
+	var after server.SessionResponse
+	c2.must("GET", "/sessions/counter", nil, &after, http.StatusOK)
+	if !after.Recovered {
+		t.Fatalf("session not recovered: %+v", after)
+	}
+	if after.Cycles != beforeCut.Cycles || after.WMSize != beforeCut.WMSize {
+		t.Fatalf("torn-WAL recovery should land on the pre-run state:\nwant %+v\ngot  %+v", beforeCut, after)
+	}
+	// The lost cycle simply re-executes.
+	var run server.RunResponse
+	c2.must("POST", "/sessions/counter/run", server.RunRequest{Cycles: 100}, &run, http.StatusOK)
+	if !run.Halted {
+		t.Fatalf("resumed run did not halt: %+v", run)
+	}
+}

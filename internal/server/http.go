@@ -106,6 +106,24 @@ type SessionResponse struct {
 	TraceSpans      int     `json:"trace_spans"`
 	TraceTotal      int64   `json:"trace_total"`
 	LastCycleSecs   float64 `json:"last_cycle_seconds,omitempty"`
+	// Durability: present when the server runs with -data-dir.
+	Durable         bool   `json:"durable,omitempty"`
+	Recovered       bool   `json:"recovered,omitempty"`
+	ReplayedRecords int64  `json:"replayed_records,omitempty"`
+	WALSeq          int64  `json:"wal_seq,omitempty"`
+	SnapshotSeq     int64  `json:"snapshot_seq,omitempty"`
+	WALRecords      int64  `json:"wal_records,omitempty"`
+	WALBytes        int64  `json:"wal_bytes,omitempty"`
+	WALError        string `json:"wal_error,omitempty"`
+}
+
+// SnapshotResponse reports a forced checkpoint
+// (POST /v1/sessions/{id}/snapshot).
+type SnapshotResponse struct {
+	SessionID string `json:"session_id"`
+	Seq       int64  `json:"seq"`
+	Bytes     int    `json:"bytes"`
+	WMEs      int    `json:"wmes"`
 }
 
 // WireSpan is one engine step on the wire (phase durations in seconds).
@@ -233,6 +251,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) 
 //	GET    /v1/sessions/{id}/wm        working memory (?class= filters)
 //	GET    /v1/sessions/{id}/trace     recent cycle spans (survives deletion)
 //	GET    /v1/sessions/{id}/profile   hot-node profile (?top= truncates)
+//	POST   /v1/sessions/{id}/snapshot  force a durable checkpoint
 //	GET    /metrics                    serving metrics, text exposition
 //	GET    /statusz                    human-readable session table
 //	GET    /healthz                    liveness
@@ -289,6 +308,7 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	api("GET /sessions/{id}/wm", s.handleWM)
 	api("GET /sessions/{id}/trace", s.handleTrace)
 	api("GET /sessions/{id}/profile", s.handleProfile)
+	api("POST /sessions/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.registry.WriteText(w)
@@ -471,6 +491,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	info, err := s.Snapshot(r.Context(), id)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, SnapshotResponse{
+		SessionID: id, Seq: info.Seq, Bytes: info.Bytes, WMEs: info.WMEs,
+	})
+}
+
 func (s *Server) handleConflicts(w http.ResponseWriter, r *http.Request) error {
 	insts, err := s.Conflicts(r.Context(), r.PathValue("id"))
 	if err != nil {
@@ -646,6 +677,10 @@ func sessionResponse(in SessionInfo) SessionResponse {
 		Halted: in.Halted, Requests: in.Requests, AgeSeconds: in.Age.Seconds(),
 		TraceSpans: in.TraceSpans, TraceTotal: in.TraceTotal,
 		LastCycleSecs: in.LastCycle.Seconds(),
+		Durable:       in.Durable, Recovered: in.Recovered,
+		ReplayedRecords: in.ReplayedRecords,
+		WALSeq:          in.WALSeq, SnapshotSeq: in.SnapshotSeq,
+		WALRecords: in.WALRecords, WALBytes: in.WALBytes, WALError: in.WALError,
 	}
 }
 

@@ -2,18 +2,23 @@ package server
 
 import (
 	"context"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/ops5"
 	"repro/internal/server/stats"
 )
 
@@ -45,6 +50,21 @@ type Config struct {
 	// SlowCycle logs any recognize-act cycle whose phases sum past this
 	// threshold, dumping the offending span (0 = disabled).
 	SlowCycle time.Duration
+	// DataDir, when set, makes sessions durable: each gets a
+	// write-ahead log and periodic snapshots under this directory
+	// (internal/durable), and the server recovers every session found
+	// there at startup.
+	DataDir string
+	// Fsync selects the WAL sync policy for durable sessions (default
+	// always).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the background sync period under the interval
+	// policy (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery checkpoints a durable session after this many WAL
+	// records, bounding replay work at recovery (default 1024; <0
+	// disables automatic snapshots).
+	SnapshotEvery int
 }
 
 // Server hosts sessions across a fixed pool of engine shards.
@@ -75,6 +95,12 @@ type Server struct {
 	matchSeconds *stats.Histogram
 	runSeconds   *stats.Histogram
 	queueDepth   []*stats.Gauge
+
+	// Durability metrics (zero-valued but present even when -data-dir
+	// is unset, so dashboards never miss the series).
+	walBytes        *stats.Counter
+	snapshotSeconds *stats.Histogram
+	recovered       *stats.Counter
 }
 
 // New starts a server: one goroutine per shard, draining its mailbox.
@@ -117,6 +143,12 @@ func New(cfg Config) *Server {
 			"latency of one change batch through the matcher", nil),
 		runSeconds: r.Histogram("psmd_run_seconds",
 			"latency of one run-cycles request", nil),
+		walBytes: r.Counter("psmd_wal_bytes_total",
+			"bytes appended to session write-ahead logs"),
+		snapshotSeconds: r.Histogram("psmd_snapshot_seconds",
+			"latency of one durable-session snapshot", nil),
+		recovered: r.Counter("psmd_recovered_sessions",
+			"sessions recovered from durable state at startup"),
 	}
 	r.GaugeFunc("psmd_uptime_seconds", "seconds since server start", func() float64 {
 		return time.Since(s.start).Seconds()
@@ -141,6 +173,14 @@ func New(cfg Config) *Server {
 		s.shards[i] = newShard(i, s, cfg.QueueDepth)
 		s.queueDepth[i] = r.Gauge(fmt.Sprintf("psmd_shard_queue_depth{shard=%q}", fmt.Sprint(i)),
 			"requests queued per shard mailbox")
+	}
+	// Recover durable sessions before any shard goroutine starts: the
+	// session maps are still single-threaded here, so recovered
+	// sessions register without dispatching.
+	if cfg.DataDir != "" {
+		s.recoverSessions()
+	}
+	for i := range s.shards {
 		s.wg.Add(1)
 		go func(sh *shard) {
 			defer s.wg.Done()
@@ -150,12 +190,118 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// durableOpts builds the per-session durable options, routing append
+// and snapshot observations into the serving metrics.
+func (s *Server) durableOpts() durable.Options {
+	every := s.cfg.SnapshotEvery
+	if every == 0 {
+		every = 1024
+	} else if every < 0 {
+		every = 0
+	}
+	return durable.Options{
+		Fsync:         s.cfg.Fsync,
+		FsyncInterval: s.cfg.FsyncInterval,
+		SnapshotEvery: every,
+		ObserveAppend: func(bytes int) { s.walBytes.Add(int64(bytes)) },
+		ObserveSnapshot: func(d time.Duration, bytes int) {
+			s.snapshotSeconds.Observe(d.Seconds())
+		},
+	}
+}
+
+// sessionDir maps a session ID onto its durable directory. IDs are
+// arbitrary API strings, so the path component is hex-encoded.
+func (s *Server) sessionDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, hex.EncodeToString([]byte(id)))
+}
+
+// attachDurable installs the session's change-log sink: every batch the
+// engine commits lands in the WAL. Append failures degrade durability,
+// not service — the first one is logged, the session keeps running.
+func (s *Server) attachDurable(sess *session, log *durable.Log) {
+	sess.log = log
+	sess.sys.Engine.Sink = func(changes []ops5.Change, firedKeys []string) {
+		if err := log.Append(changes, firedKeys); err != nil && !sess.walErrLogged {
+			sess.walErrLogged = true
+			s.logger.Warn("wal append failed; session no longer durable",
+				"session", sess.id, "err", err)
+		}
+	}
+}
+
+// recoverSessions rebuilds every session found under DataDir: manifest
+// → compile (without the program's initial working memory) → snapshot
+// restore → WAL replay. A directory that fails to recover is logged
+// and skipped; it never takes the server down.
+func (s *Server) recoverSessions() {
+	dirs, err := durable.SessionDirs(s.cfg.DataDir)
+	if err != nil {
+		s.logger.Error("durable recovery: list sessions", "data_dir", s.cfg.DataDir, "err", err)
+		return
+	}
+	var maxAuto int64
+	for _, dir := range dirs {
+		sess, rstats, err := s.recoverSession(dir)
+		if err != nil {
+			s.logger.Error("durable recovery failed; skipping session", "dir", dir, "err", err)
+			continue
+		}
+		sh := s.shardFor(sess.id)
+		sh.sessions[sess.id] = sess
+		s.sessions.Add(1)
+		s.recovered.Inc()
+		// Keep server-assigned IDs from colliding with recovered ones.
+		var n int64
+		if _, err := fmt.Sscanf(sess.id, "s-%06d", &n); err == nil && n > maxAuto {
+			maxAuto = n
+		}
+		s.logger.Info("session recovered",
+			"session", sess.id, "shard", sh.id,
+			"snapshot_seq", rstats.SnapshotSeq, "replayed", rstats.Replayed,
+			"wal_truncated", rstats.Truncated,
+			"wm_size", sess.sys.WM.Size(), "conflicts", sess.sys.CS.Len())
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= maxAuto || s.nextID.CompareAndSwap(cur, maxAuto) {
+			return
+		}
+	}
+}
+
+// recoverSession rebuilds one session from its durable directory.
+func (s *Server) recoverSession(dir string) (*session, durable.RecoverStats, error) {
+	manifest, err := durable.ReadManifest(dir)
+	if err != nil {
+		return nil, durable.RecoverStats{}, err
+	}
+	var spec CreateSpec
+	if err := json.Unmarshal(manifest, &spec); err != nil {
+		return nil, durable.RecoverStats{}, fmt.Errorf("decode manifest: %w", err)
+	}
+	sess, err := newSession(spec, s.cfg.DefaultQuota, time.Now(), true)
+	if err != nil {
+		return nil, durable.RecoverStats{}, fmt.Errorf("recompile program: %w", err)
+	}
+	log, rstats, err := durable.Recover(dir, sess.sys.Engine, s.durableOpts())
+	if err != nil {
+		return nil, rstats, err
+	}
+	sess.trace = obs.NewRing(s.cfg.TraceDepth)
+	sess.sys.Engine.OnCycle = s.observeCycle(sess)
+	s.attachDurable(sess, log)
+	return sess, rstats, nil
+}
+
 // Registry exposes the serving metrics (for /metrics and tests).
 func (s *Server) Registry() *stats.Registry { return s.registry }
 
 // Close stops every shard goroutine and waits for in-flight requests to
 // drain. Queued requests still execute; new dispatches fail with
-// ErrServerClosed.
+// ErrServerClosed. Durable sessions then take a final snapshot and
+// close their logs — the graceful-shutdown path behind psmd's SIGTERM
+// handling, so a clean restart replays no WAL at all.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -168,6 +314,21 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Shard goroutines have exited; session maps are single-threaded
+	// again (same license Close has always used).
+	for _, sh := range s.shards {
+		for _, sess := range sh.sessions {
+			if sess.log == nil {
+				continue
+			}
+			if _, err := sess.log.Snapshot(); err != nil {
+				s.logger.Error("final snapshot failed", "session", sess.id, "err", err)
+			}
+			if err := sess.log.Close(); err != nil {
+				s.logger.Error("wal close failed", "session", sess.id, "err", err)
+			}
+		}
+	}
 }
 
 // shardFor maps a session ID onto its owning shard.
@@ -238,7 +399,7 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 	if s.cfg.NoSteal {
 		spec.NoSteal = true
 	}
-	sess, err := newSession(spec, s.cfg.DefaultQuota, time.Now())
+	sess, err := newSession(spec, s.cfg.DefaultQuota, time.Now(), false)
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -248,10 +409,39 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 		if _, dup := sh.sessions[spec.ID]; dup {
 			return SessionInfo{}, fmt.Errorf("%w: %q", ErrSessionExists, spec.ID)
 		}
+		if s.cfg.DataDir != "" {
+			// The manifest records the fully defaulted spec, so a
+			// restart under different server flags reproduces the
+			// session exactly as created.
+			manifest, err := json.Marshal(spec)
+			if err != nil {
+				return SessionInfo{}, err
+			}
+			log, err := durable.Create(s.sessionDir(spec.ID), manifest, sess.sys.Engine, s.durableOpts())
+			if err != nil {
+				return SessionInfo{}, fmt.Errorf("server: create durable log: %w", err)
+			}
+			s.attachDurable(sess, log)
+		}
 		sh.sessions[spec.ID] = sess
 		s.sessions.Add(1)
 		s.wmeChanges.Add(int64(sess.sys.TotalChanges)) // initial (make ...) forms
 		return sess.info(sh.id, time.Now()), nil
+	})
+}
+
+// Snapshot forces a durable checkpoint of one session: the WAL resets
+// and recovery restarts from the state at this moment.
+func (s *Server) Snapshot(ctx context.Context, id string) (durable.SnapshotInfo, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (durable.SnapshotInfo, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return durable.SnapshotInfo{}, err
+		}
+		if sess.log == nil {
+			return durable.SnapshotInfo{}, badReqf("server: session %q is not durable (start psmd with -data-dir)", id)
+		}
+		return sess.log.Snapshot()
 	})
 }
 
@@ -269,7 +459,9 @@ func (s *Server) observeCycle(sess *session) func(obs.CycleSpan) {
 }
 
 // DeleteSession removes a session. Its trace window moves to the
-// archive so /trace keeps answering for recently evicted sessions.
+// archive so /trace keeps answering for recently evicted sessions, and
+// its durable state is deleted — a deleted session must not resurrect
+// at the next restart.
 func (s *Server) DeleteSession(ctx context.Context, id string) error {
 	return s.dispatch(ctx, id, func(sh *shard) error {
 		sess, ok := sh.sessions[id]
@@ -282,6 +474,15 @@ func (s *Server) DeleteSession(ctx context.Context, id string) error {
 			Total:     sess.trace.Total(),
 			Spans:     sess.trace.Snapshot(),
 		})
+		if sess.log != nil {
+			sess.sys.Engine.Sink = nil
+			if err := sess.log.Close(); err != nil {
+				s.logger.Warn("wal close on delete", "session", id, "err", err)
+			}
+			if err := sess.log.Remove(); err != nil {
+				s.logger.Warn("durable state removal", "session", id, "err", err)
+			}
+		}
 		delete(sh.sessions, id)
 		s.sessions.Add(-1)
 		return nil

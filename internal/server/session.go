@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/ops5"
 )
@@ -86,6 +87,12 @@ type session struct {
 	// server-wide counters can be advanced by per-request deltas.
 	lastSteals int64
 	lastParks  int64
+
+	// log is the session's durable state (nil when the server runs
+	// without -data-dir). walErrLogged throttles the append-failure
+	// warning to once per session.
+	log          *durable.Log
+	walErrLogged bool
 }
 
 // ChangeOp names a working-memory change submitted over the API.
@@ -160,6 +167,19 @@ type SessionInfo struct {
 	TraceSpans int
 	TraceTotal int64
 	LastCycle  time.Duration
+	// Durable reports whether the session has a write-ahead log;
+	// Recovered that this incarnation was rebuilt from disk, replaying
+	// ReplayedRecords WAL records past its snapshot. WALSeq /
+	// SnapshotSeq / WALRecords / WALBytes describe the live log, and
+	// WALError carries the first append failure (durability degraded).
+	Durable         bool
+	Recovered       bool
+	ReplayedRecords int64
+	WALSeq          int64
+	SnapshotSeq     int64
+	WALRecords      int64
+	WALBytes        int64
+	WALError        string
 }
 
 // InstInfo describes one conflict-set instantiation.
@@ -226,8 +246,10 @@ func badReqf(format string, args ...any) error {
 // newSession compiles a CreateSpec into a live session. It runs on the
 // caller's goroutine (program compilation is the expensive part and
 // must not serialize a shard); ownership passes to the shard when the
-// session is registered.
-func newSession(spec CreateSpec, defaultQuota Quota, now time.Time) (*session, error) {
+// session is registered. noInitialWM builds the system with an empty
+// working memory — the crash-recovery path, where the snapshot being
+// restored already contains the program's initial state.
+func newSession(spec CreateSpec, defaultQuota Quota, now time.Time, noInitialWM bool) (*session, error) {
 	kind := core.SerialRete
 	if spec.Matcher != "" {
 		var err error
@@ -252,6 +274,7 @@ func newSession(spec CreateSpec, defaultQuota Quota, now time.Time) (*session, e
 		Workers:         spec.Workers,
 		NoSteal:         spec.NoSteal,
 		ParallelFirings: spec.ParallelFirings,
+		NoInitialWM:     noInitialWM,
 	})
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
@@ -358,6 +381,14 @@ func (s *session) info(shard int, now time.Time) SessionInfo {
 		info.TraceTotal = s.trace.Total()
 		if sp, ok := s.trace.Last(); ok {
 			info.LastCycle = sp.Total()
+		}
+	}
+	if s.log != nil {
+		info.Durable = true
+		info.Recovered, info.ReplayedRecords = s.log.Recovered()
+		info.WALSeq, info.SnapshotSeq, info.WALRecords, info.WALBytes = s.log.Stats()
+		if err := s.log.Err(); err != nil {
+			info.WALError = err.Error()
 		}
 	}
 	return info

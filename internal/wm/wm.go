@@ -86,6 +86,37 @@ func (m *Memory) OfClass(class string) []*ops5.WME {
 	return out
 }
 
+// Restore primes an empty memory with recovered elements that keep
+// their original time tags (gaps included), and sets the tag counter so
+// subsequent insertions continue the original sequence. It is the
+// snapshot-load path of crash recovery (internal/durable); Apply remains
+// the only mutation path afterwards.
+func (m *Memory) Restore(wmes []*ops5.WME, nextTag int) error {
+	if len(m.byTag) != 0 {
+		return fmt.Errorf("wm: restore into non-empty memory (%d elements)", len(m.byTag))
+	}
+	for _, w := range wmes {
+		if w.TimeTag <= 0 || w.TimeTag >= nextTag {
+			return fmt.Errorf("wm: restored tag %d outside [1,%d)", w.TimeTag, nextTag)
+		}
+		if _, dup := m.byTag[w.TimeTag]; dup {
+			return fmt.Errorf("wm: duplicate restored tag %d", w.TimeTag)
+		}
+		m.byTag[w.TimeTag] = w
+		cls := m.byClass[w.Class]
+		if cls == nil {
+			cls = make(map[int]*ops5.WME)
+			m.byClass[w.Class] = cls
+		}
+		cls[w.TimeTag] = w
+	}
+	if nextTag < 1 {
+		return fmt.Errorf("wm: restored next tag %d < 1", nextTag)
+	}
+	m.nextTag = nextTag
+	return nil
+}
+
 // Apply applies a batch of changes to the stored state: inserts assign
 // fresh tags; deletes remove by the WME's tag. It returns the changes
 // with insert WMEs carrying their assigned tags (the same slice,
