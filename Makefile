@@ -12,9 +12,11 @@ test:
 
 # RACE_PKGS is the one list of race-tested packages — the concurrent
 # layers: the sharded service, the parallel matcher, the engine's
-# context-aware run loop, and the durability layer's fsync ticker.
+# context-aware run loop, the durability layer's fsync ticker, and the
+# cluster subsystem (heartbeats, WAL shipping, failover) with its
+# in-process multi-node integration tests.
 # Both `race` and `check` use it, so the two can never disagree.
-RACE_PKGS = ./internal/server/... ./internal/prete/... ./internal/engine ./internal/durable/...
+RACE_PKGS = ./internal/server/... ./internal/prete/... ./internal/engine ./internal/durable/... ./internal/cluster/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)

@@ -31,11 +31,26 @@
 //	GET    /metrics                 serving metrics, text exposition
 //	GET    /statusz                 human-readable session table
 //	GET    /healthz                 liveness
+//	GET    /readyz                  readiness (503 while recovering or draining)
+//	GET    /v1/cluster/status       membership, sessions, replication lag (cluster mode)
 //	GET    /debug/pprof/...         runtime profiles (disable with -no-pprof)
 //
 // Every request carries a trace ID (X-Request-Id header, generated when
 // absent) that is echoed in the response, logged on the request line,
 // and attached to the recognize-act cycle spans the request drives.
+//
+// Cluster mode (see internal/cluster): give every node an identity and
+// the full static peer list, and sessions place themselves across the
+// fleet by consistent hashing, replicate their WALs to followers, and
+// fail over when a node dies:
+//
+//	psmd -addr :8080 -data-dir /var/lib/psmd \
+//	     -node a -peers a=http://10.0.0.1:8080,b=http://10.0.0.2:8080,c=http://10.0.0.3:8080 \
+//	     -replicas 2 -forward
+//
+// SIGTERM on a cluster node drains: it stops accepting new work
+// (/readyz turns 503), hands every live session to its ring successor
+// with a final snapshot, and exits without dropping state.
 package main
 
 import (
@@ -48,10 +63,17 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// version identifies the build on -version, /metrics (psmd_build_info)
+// and /v1/cluster/status. Overridable at link time:
+//
+//	go build -ldflags "-X main.version=1.2.3" ./cmd/psmd
+var version = "0.6.0-dev"
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -73,11 +95,21 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL sync policy: always|interval|never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync=interval")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "checkpoint a session after this many WAL records (<0 = never automatically)")
+	nodeID := flag.String("node", "", "this node's ID in the cluster (requires -peers)")
+	peersFlag := flag.String("peers", "", "static cluster membership: comma-separated id=url pairs including this node")
+	replicas := flag.Int("replicas", 2, "copies of each session (owner + followers) in cluster mode")
+	forward := flag.Bool("forward", false, "proxy misrouted requests to the owner instead of answering 307")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("psmd %s %s\n", version, cluster.GoVersion())
+		return
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "psmd: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
@@ -99,7 +131,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	// Cluster mode: the node is built first so the server can announce
+	// session lifecycle to it (the Replicator hooks), and started after
+	// the server exists to heartbeat and ship over it.
+	var node *cluster.Node
+	if *peersFlag != "" || *nodeID != "" {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+			os.Exit(2)
+		}
+		if *nodeID == "" || len(peers) == 0 {
+			fmt.Fprintln(os.Stderr, "psmd: cluster mode needs both -node and -peers")
+			os.Exit(2)
+		}
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "psmd: cluster mode needs -data-dir (replicas are durable state)")
+			os.Exit(2)
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:      *nodeID,
+			Peers:     peers,
+			Replicas:  *replicas,
+			Forward:   *forward,
+			Heartbeat: *heartbeat,
+			Logger:    logger,
+			Version:   version,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := server.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
@@ -116,20 +181,35 @@ func main() {
 		Fsync:          fsync,
 		FsyncInterval:  *fsyncInterval,
 		SnapshotEvery:  *snapshotEvery,
-	})
-	httpSrv := &http.Server{
-		Addr: *addr,
-		Handler: srv.HandlerWith(server.HandlerConfig{
-			RequestTimeout: *timeout,
-			DisablePprof:   *noPprof,
-		}),
 	}
+	if node != nil {
+		cfg.Replicator = node
+	}
+	srv := server.New(cfg)
+	srv.Registry().Gauge(fmt.Sprintf("psmd_build_info{version=%q,go=%q,node=%q}",
+		version, cluster.GoVersion(), *nodeID),
+		"build identity; constant 1").Set(1)
+	if node != nil {
+		if err := node.Start(srv); err != nil {
+			fmt.Fprintf(os.Stderr, "psmd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	handler := srv.HandlerWith(server.HandlerConfig{
+		RequestTimeout: *timeout,
+		DisablePprof:   *noPprof,
+	})
+	if node != nil {
+		handler = node.Handler(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "pprof", !*noPprof,
 		"slow_cycle", *slowCycle, "log_format", *logFormat,
-		"data_dir", *dataDir, "fsync", fsync.String())
+		"data_dir", *dataDir, "fsync", fsync.String(),
+		"version", version, "node", *nodeID)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -142,12 +222,21 @@ func main() {
 		os.Exit(1)
 	case sig := <-sigCh:
 		logger.Info("draining", "signal", sig.String(), "budget", *drain)
+		// Readiness flips first so load balancers stop sending work,
+		// then in-flight requests finish, then (cluster mode) every
+		// live session is pushed to its ring successor, and only then
+		// does the server close — a clean exit loses nothing.
+		srv.SetDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown failed", "err", err)
 			srv.Close()
 			os.Exit(1)
+		}
+		if node != nil {
+			node.Drain(ctx)
+			node.Stop()
 		}
 		srv.Close()
 	}

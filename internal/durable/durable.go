@@ -177,6 +177,11 @@ type Log struct {
 	closed    bool
 	stop      chan struct{} // interval ticker shutdown
 	done      chan struct{}
+
+	// onRecord, when set, observes every appended record's framed bytes
+	// in append order — the WAL-shipping tee (internal/cluster). Invoked
+	// under mu, so it must be quick and non-blocking.
+	onRecord func(seq int64, framed []byte)
 }
 
 // Create initialises durable state for a brand-new session: the
@@ -329,12 +334,18 @@ func (l *Log) Append(changes []ops5.Change, firedKeys []string) error {
 		l.mu.Unlock()
 		return err
 	}
-	n, err := appendFrame(l.wal, payload)
+	frame, err := frameRecord(payload)
 	if err != nil {
 		l.err = err
 		l.mu.Unlock()
 		return err
 	}
+	if _, err := l.wal.Write(frame); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	n := len(frame)
 	if l.opts.Fsync == FsyncAlways {
 		if err := l.wal.Sync(); err != nil {
 			l.err = err
@@ -347,6 +358,11 @@ func (l *Log) Append(changes []ops5.Change, firedKeys []string) error {
 	l.seq++
 	l.records++
 	l.walBytes += int64(n)
+	if l.onRecord != nil {
+		// The frame was marshalled fresh for this append, so ownership
+		// passes to the observer.
+		l.onRecord(l.seq, frame)
+	}
 	snapshotDue := l.opts.SnapshotEvery > 0 && l.records >= int64(l.opts.SnapshotEvery)
 	l.mu.Unlock()
 
@@ -408,6 +424,36 @@ func (l *Log) Snapshot() (SnapshotInfo, error) {
 		l.opts.ObserveSnapshot(time.Since(t0), info.Bytes)
 	}
 	return info, nil
+}
+
+// SetOnRecord installs (or clears, with nil) the record observer: fn
+// receives every subsequently appended record's sequence number and
+// framed bytes, in append order. It is the tee point for WAL shipping —
+// fn runs with the log's lock held, so it must be quick and must not
+// call back into the log.
+func (l *Log) SetOnRecord(fn func(seq int64, framed []byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onRecord = fn
+}
+
+// ExportState checkpoints the session and returns the bytes a replica
+// needs to mirror it from scratch: the manifest, the fresh snapshot
+// payload, and the WAL sequence the snapshot captures. Records with
+// greater sequence numbers layered on top reconstruct every later
+// state. Runs on the owning goroutine, like Snapshot.
+func (l *Log) ExportState() (manifest, snap []byte, seq int64, err error) {
+	info, err := l.Snapshot()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if manifest, err = os.ReadFile(filepath.Join(l.dir, manifestFile)); err != nil {
+		return nil, nil, 0, err
+	}
+	if snap, err = os.ReadFile(filepath.Join(l.dir, snapshotFile)); err != nil {
+		return nil, nil, 0, err
+	}
+	return manifest, snap, info.Seq, nil
 }
 
 // Close syncs and closes the WAL. The caller snapshots first if it

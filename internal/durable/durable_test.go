@@ -561,3 +561,63 @@ func TestSessionDirsAndManifest(t *testing.T) {
 		t.Fatalf("session survived Remove: %v", dirs)
 	}
 }
+
+// TestRecoverSnapshotEmptyWAL covers the state a crash leaves right
+// after a snapshot truncated the WAL (and the state WAL shipping
+// installs on a freshly caught-up standby): a snapshot plus a
+// zero-length WAL. Recovery must restore the snapshot and replay
+// nothing.
+func TestRecoverSnapshotEmptyWAL(t *testing.T) {
+	wmes := mannersWM(t)
+	dir := t.TempDir()
+	sys := newManners(t, core.SerialRete, false)
+	l, err := Create(dir, []byte(`{"program":"manners"}`), sys.Engine, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := l.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+	}
+	sys.Engine.Load(wmes)
+	stepToEnd(t, sys.Engine)
+	want := stateString(sys.Engine)
+	if _, err := l.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Abandon without Close: the snapshot just truncated the WAL, so
+	// the on-disk state is snapshot + zero-length wal.log.
+	if fi, err := os.Stat(filepath.Join(dir, walFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal.log size = %v, err = %v; want zero-length file", fi, err)
+	}
+
+	rsys := newManners(t, core.SerialRete, true)
+	rlog, stats, err := Recover(dir, rsys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rlog.Close()
+	if stats.Replayed != 0 || stats.Truncated {
+		t.Fatalf("stats = %+v, want 0 replayed, no truncation", stats)
+	}
+	if got := stateString(rsys.Engine); got != want {
+		t.Fatalf("recovered state diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// A missing WAL (deleted between snapshot and crash is impossible,
+	// but an operator copying snapshot-only state is not) behaves the
+	// same way.
+	if err := os.Remove(filepath.Join(dir, walFile)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newManners(t, core.SerialRete, true)
+	r2log, _, err := Recover(dir, r2.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Recover without wal.log: %v", err)
+	}
+	defer r2log.Close()
+	if got := stateString(r2.Engine); got != want {
+		t.Fatalf("recovered state diverged with missing WAL:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,241 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ops5"
+)
+
+// shipRun drives a Manners session with the onRecord tee feeding frames
+// into the returned slice (one framed record per committed batch),
+// exactly the stream the cluster shipper sees.
+func shipRun(t *testing.T, dir string) (l *Log, frames [][]byte, final string) {
+	t.Helper()
+	sys := newManners(t, core.SerialRete, false)
+	l, err := Create(dir, []byte(`{"program":"manners"}`), sys.Engine, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	l.SetOnRecord(func(seq int64, framed []byte) {
+		frames = append(frames, framed)
+	})
+	sys.Engine.Sink = func(ch []ops5.Change, fk []string) {
+		if err := l.Append(ch, fk); err != nil {
+			t.Errorf("Append: %v", err)
+		}
+	}
+	sys.Engine.Load(mannersWM(t))
+	stepToEnd(t, sys.Engine)
+	return l, frames, stateString(sys.Engine)
+}
+
+// TestStandbyShipAndPromote replays the full shipping protocol — initial
+// snapshot install, then every teed WAL frame — into a Standby, then
+// promotes the standby directory via ordinary crash recovery and checks
+// the recovered engine is byte-identical to the owner.
+func TestStandbyShipAndPromote(t *testing.T) {
+	ownerDir := filepath.Join(t.TempDir(), "owner")
+	l, frames, final := shipRun(t, ownerDir)
+	defer l.Close()
+	if len(frames) == 0 {
+		t.Fatal("no frames teed")
+	}
+
+	st, err := OpenStandby(filepath.Join(t.TempDir(), "standby"))
+	if err != nil {
+		t.Fatalf("OpenStandby: %v", err)
+	}
+	// Records before a snapshot is installed must be refused with a gap.
+	if _, _, err := st.AppendRecords(bytes.NewReader(frames[0])); !errors.Is(err, ErrSequenceGap) {
+		t.Fatalf("append before snapshot: err = %v, want ErrSequenceGap", err)
+	}
+	// The initial attach ships the owner's manifest + snapshot. Create
+	// wrote the initial (pre-run) snapshot at seq 0; re-read it from
+	// disk the way the shipper's resync path would at attach time.
+	manifest, err := os.ReadFile(filepath.Join(ownerDir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(ownerDir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InstallSnapshot(manifest, snap); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	// Ship every frame, batched a few at a time like the shipper does.
+	for i := 0; i < len(frames); i += 3 {
+		end := min(i+3, len(frames))
+		var batch bytes.Buffer
+		for _, f := range frames[i:end] {
+			batch.Write(f)
+		}
+		if _, n, err := st.AppendRecords(&batch); err != nil {
+			t.Fatalf("AppendRecords: %v", err)
+		} else if n != end-i {
+			t.Fatalf("appended %d of %d records", n, end-i)
+		}
+	}
+	ownerSeq, _, _, _ := l.Stats()
+	if got := st.Seq(); got != ownerSeq {
+		t.Fatalf("standby seq = %d, owner seq = %d", got, ownerSeq)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Promotion: the standby dir is recovered exactly like a crashed
+	// owner dir.
+	sys := newManners(t, core.SerialRete, true)
+	rl, stats, err := Recover(st.Dir(), sys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Recover promoted standby: %v", err)
+	}
+	defer rl.Close()
+	if stats.Replayed != int64(len(frames)) {
+		t.Fatalf("replayed %d records, want %d", stats.Replayed, len(frames))
+	}
+	if got := stateString(sys.Engine); got != final {
+		t.Fatalf("promoted state differs from owner:\n got:\n%s\nwant:\n%s", got, final)
+	}
+}
+
+// TestStandbyGapAndResync drops frames mid-stream, checks the gap is
+// detected, then recovers with a snapshot re-ship plus the tail.
+func TestStandbyGapAndResync(t *testing.T) {
+	ownerDir := filepath.Join(t.TempDir(), "owner")
+	l, frames, final := shipRun(t, ownerDir)
+	defer l.Close()
+	if len(frames) < 10 {
+		t.Fatalf("need >= 10 frames, got %d", len(frames))
+	}
+
+	st, err := OpenStandby(filepath.Join(t.TempDir(), "standby"))
+	if err != nil {
+		t.Fatalf("OpenStandby: %v", err)
+	}
+	// Capture the seq-0 snapshot Create wrote before ExportState
+	// replaces it with a fresh one at the current sequence.
+	oldSnap, err := os.ReadFile(filepath.Join(ownerDir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, snap, snapSeq, err := l.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if snapSeq != int64(len(frames)) {
+		t.Fatalf("export seq = %d, want %d", snapSeq, len(frames))
+	}
+	if seq, n, err := st.AppendRecords(bytes.NewReader(frames[0])); err == nil || seq != 0 || n != 0 {
+		t.Fatalf("no-snapshot append: seq=%d n=%d err=%v", seq, n, err)
+	}
+	if _, err := st.InstallSnapshot(manifest, oldSnap); err != nil {
+		t.Fatalf("install seq-0 snapshot: %v", err)
+	}
+	// Ship frames 0..4, drop 5, try 6 — gap.
+	var head bytes.Buffer
+	for _, f := range frames[:5] {
+		head.Write(f)
+	}
+	if _, _, err := st.AppendRecords(&head); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if _, _, err := st.AppendRecords(bytes.NewReader(frames[6])); !errors.Is(err, ErrSequenceGap) {
+		t.Fatalf("gap append: err = %v, want ErrSequenceGap", err)
+	}
+	// Re-shipping the current snapshot (newer than position 5) resyncs.
+	if seq, err := st.InstallSnapshot(manifest, snap); err != nil || seq != snapSeq {
+		t.Fatalf("resync install: seq=%d err=%v", seq, err)
+	}
+	// A stale snapshot can no longer be installed.
+	if _, err := st.InstallSnapshot(manifest, oldSnap); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("stale install: err = %v, want ErrStaleSnapshot", err)
+	}
+	// Duplicates of covered records are ignored.
+	if _, n, err := st.AppendRecords(bytes.NewReader(frames[2])); err != nil || n != 0 {
+		t.Fatalf("covered duplicate: n=%d err=%v", n, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := newManners(t, core.SerialRete, true)
+	rl, _, err := Recover(st.Dir(), sys.Engine, Options{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rl.Close()
+	if got := stateString(sys.Engine); got != final {
+		t.Fatalf("resynced state differs from owner:\n got:\n%s\nwant:\n%s", got, final)
+	}
+}
+
+// TestStandbyReopen crashes a standby (torn trailing bytes on its WAL)
+// and reopens it: position survives, the torn tail is truncated, and
+// shipping resumes where it left off.
+func TestStandbyReopen(t *testing.T) {
+	ownerDir := filepath.Join(t.TempDir(), "owner")
+	l, frames, _ := shipRun(t, ownerDir)
+	defer l.Close()
+
+	dir := filepath.Join(t.TempDir(), "standby")
+	st, err := OpenStandby(dir)
+	if err != nil {
+		t.Fatalf("OpenStandby: %v", err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(ownerDir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(ownerDir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with only a snapshot is the zero-records case.
+	if _, err := st.InstallSnapshot(manifest, snap); err != nil {
+		t.Fatal(err)
+	}
+	var half bytes.Buffer
+	for _, f := range frames[:len(frames)/2] {
+		half.Write(f)
+	}
+	if _, _, err := st.AppendRecords(&half); err != nil {
+		t.Fatalf("AppendRecords: %v", err)
+	}
+	want := st.Seq()
+	st.Close()
+
+	// Tear the WAL tail: a partial frame of the next record.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := frames[len(frames)/2]
+	if _, err := f.Write(next[:len(next)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenStandby(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.Seq(); got != want {
+		t.Fatalf("reopened seq = %d, want %d", got, want)
+	}
+	// Shipping resumes: the torn record arrives again, whole this time.
+	var rest bytes.Buffer
+	for _, fr := range frames[len(frames)/2:] {
+		rest.Write(fr)
+	}
+	if seq, _, err := st2.AppendRecords(&rest); err != nil || seq != int64(len(frames)) {
+		t.Fatalf("resume: seq=%d err=%v, want seq=%d", seq, err, len(frames))
+	}
+}

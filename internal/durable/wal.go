@@ -30,22 +30,40 @@ const maxRecordSize = 1 << 28
 // record written during a crash.
 var errTornRecord = errors.New("durable: torn record")
 
+// frameRecord returns payload wrapped in the WAL framing. The frame is
+// what lands on disk and what WAL shipping sends to replicas — the CRC
+// travels with the record across the network.
+func frameRecord(payload []byte) ([]byte, error) {
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), maxRecordSize)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+// EncodeFrame wraps payload in the WAL framing — the unit WAL shipping
+// sends over the wire (internal/cluster), identical to the on-disk
+// format so the CRC travels end to end.
+func EncodeFrame(payload []byte) ([]byte, error) { return frameRecord(payload) }
+
+// DecodeFrame reads one framed payload from r: io.EOF at a clean frame
+// boundary, an error for a torn or corrupt frame.
+func DecodeFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
 // appendFrame frames payload and writes it to w, returning the number
 // of bytes written.
 func appendFrame(w io.Writer, payload []byte) (int, error) {
-	if len(payload) > maxRecordSize {
-		return 0, fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), maxRecordSize)
-	}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
+	frame, err := frameRecord(payload)
+	if err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(payload); err != nil {
+	if _, err := w.Write(frame); err != nil {
 		return 0, err
 	}
-	return headerSize + len(payload), nil
+	return len(frame), nil
 }
 
 // readFrame reads one framed record from r. It returns errTornRecord

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/server"
@@ -163,6 +165,124 @@ func TestServerGracefulShutdownSnapshots(t *testing.T) {
 	if after.Cycles != before.Cycles || after.WMSize != before.WMSize ||
 		after.ConflictSize != before.ConflictSize {
 		t.Fatalf("recovered stats diverged:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestSnapshotRacesApply forces checkpoints while runs keep appending
+// WAL records on the same session. The snapshot path swaps the WAL
+// file under a live writer, so this is the test the -race build is
+// for: every request must succeed, and a crash afterwards must recover
+// exactly the final acknowledged state — a torn checkpoint would
+// silently drop cycles.
+func TestSnapshotRacesApply(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := server.Config{Shards: 2, DataDir: dataDir}
+	c, crash := crashableServer(t, cfg)
+	c.must("POST", "/sessions", server.CreateRequest{ID: "counter", Program: counterSrc}, nil, http.StatusCreated)
+	c.must("POST", "/sessions/counter/changes", server.ChangesRequest{Changes: []server.WireChange{
+		{Op: "assert", Class: "counter", Attrs: map[string]any{"n": 0.0, "limit": 1000000.0}},
+	}}, nil, http.StatusOK)
+
+	const rounds = 30
+	errs := make(chan string, 2*rounds)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // runner: five WAL records per request
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Post(c.base+"/sessions/counter/run", "application/json",
+				strings.NewReader(`{"cycles":5}`))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("run %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}()
+	go func() { // checkpointer: truncates the WAL tail under the runner
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Post(c.base+"/sessions/counter/snapshot", "application/json", nil)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("snapshot %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var before server.SessionResponse
+	var beforeWM []server.WireWME
+	c.must("GET", "/sessions/counter", nil, &before, http.StatusOK)
+	c.must("GET", "/sessions/counter/wm", nil, &beforeWM, http.StatusOK)
+	if before.Cycles != 5*rounds {
+		t.Fatalf("cycles = %d, want %d: %+v", before.Cycles, 5*rounds, before)
+	}
+	crash()
+
+	_, c2 := newTestServer(t, cfg)
+	var after server.SessionResponse
+	var afterWM []server.WireWME
+	c2.must("GET", "/sessions/counter", nil, &after, http.StatusOK)
+	c2.must("GET", "/sessions/counter/wm", nil, &afterWM, http.StatusOK)
+	if after.Cycles != before.Cycles || after.WMSize != before.WMSize ||
+		after.ConflictSize != before.ConflictSize {
+		t.Fatalf("recovery after snapshot/apply race diverged:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if !reflect.DeepEqual(afterWM, beforeWM) {
+		t.Fatalf("recovered WM diverged:\nbefore %+v\nafter  %+v", beforeWM, afterWM)
+	}
+}
+
+// TestReadyzFlipsWhileDraining checks the /healthz vs /readyz split:
+// a draining server is still alive (healthz 200) but no longer willing
+// (readyz 503), which is what load balancers key off during rollouts.
+func TestReadyzFlipsWhileDraining(t *testing.T) {
+	srv, c := newTestServer(t, server.Config{Shards: 1})
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(c.raw + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d before drain", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d before drain", got)
+	}
+	if !srv.Ready() {
+		t.Fatal("Ready() = false on a serving server")
+	}
+	srv.SetDraining()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d while draining, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d while draining, want 200 (still alive)", got)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() = true while draining")
 	}
 }
 

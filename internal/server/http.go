@@ -255,6 +255,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) 
 //	GET    /metrics                    serving metrics, text exposition
 //	GET    /statusz                    human-readable session table
 //	GET    /healthz                    liveness
+//	GET    /readyz                     readiness (503 while recovering or draining)
 //	GET    /debug/pprof/...            runtime profiles (unless disabled)
 //
 // /metrics, /statusz, /healthz and /debug/pprof are operational
@@ -315,6 +316,16 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	})
 	mux.HandleFunc("GET /statusz", h(s.handleStatusz))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	// /readyz is liveness plus willingness: 503 while startup recovery
+	// or a drain is in progress, so load balancers and cluster routing
+	// skip nodes that are up but should not take new work.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	if !cfg.DisablePprof {
@@ -380,8 +391,8 @@ func (r *statusRecorder) WriteHeader(status int) {
 // operational reports whether a path is a scrape/probe endpoint whose
 // request logs belong at debug level.
 func operational(path string) bool {
-	return path == "/metrics" || path == "/healthz" || path == "/statusz" ||
-		strings.HasPrefix(path, "/debug/pprof")
+	return path == "/metrics" || path == "/healthz" || path == "/readyz" ||
+		path == "/statusz" || strings.HasPrefix(path, "/debug/pprof")
 }
 
 // sessionFromPath extracts the session ID from a sessions API path

@@ -65,7 +65,32 @@ type Config struct {
 	// records, bounding replay work at recovery (default 1024; <0
 	// disables automatic snapshots).
 	SnapshotEvery int
+	// Replicator, when set, observes session lifecycle for WAL shipping
+	// (internal/cluster): SessionUp as each durable session becomes
+	// live, SessionDown as it is deleted or demoted.
+	Replicator Replicator
 }
+
+// Replicator is the cluster layer's view of session lifecycle. SessionUp
+// fires when a durable session becomes live on this server (created,
+// recovered at startup, or adopted after promotion) — before it serves
+// its first request — handing over the log so the replicator can tee
+// WAL records. SessionDown fires when the session stops being live
+// here; deleted distinguishes API deletion (replicas must be removed)
+// from demotion (replicas live on). Both are called from shard
+// goroutines and must not block.
+type Replicator interface {
+	SessionUp(id string, log *durable.Log)
+	SessionDown(id string, deleted bool)
+}
+
+// Server readiness states for /readyz: recovery in progress, serving,
+// or draining ahead of shutdown.
+const (
+	stateStarting = iota
+	stateServing
+	stateDraining
+)
 
 // Server hosts sessions across a fixed pool of engine shards.
 type Server struct {
@@ -79,6 +104,12 @@ type Server struct {
 	mu     sync.RWMutex // guards closed vs in-flight dispatches
 	closed bool
 	wg     sync.WaitGroup
+
+	// index mirrors shard session registration (id -> *session) for
+	// lock-free liveness checks from the routing middleware; state is
+	// the /readyz lifecycle (starting -> serving -> draining).
+	index sync.Map
+	state atomic.Int32
 
 	// Serving metrics (the §6 throughput numbers, measured at the
 	// service boundary).
@@ -187,6 +218,9 @@ func New(cfg Config) *Server {
 			sh.loop()
 		}(s.shards[i])
 	}
+	// Recovery ran synchronously above, so the server is ready the
+	// moment New returns.
+	s.state.Store(stateServing)
 	return s
 }
 
@@ -228,6 +262,9 @@ func (s *Server) attachDurable(sess *session, log *durable.Log) {
 				"session", sess.id, "err", err)
 		}
 	}
+	if s.cfg.Replicator != nil {
+		s.cfg.Replicator.SessionUp(sess.id, log)
+	}
 }
 
 // recoverSessions rebuilds every session found under DataDir: manifest
@@ -249,6 +286,7 @@ func (s *Server) recoverSessions() {
 		}
 		sh := s.shardFor(sess.id)
 		sh.sessions[sess.id] = sess
+		s.index.Store(sess.id, sess)
 		s.sessions.Add(1)
 		s.recovered.Inc()
 		// Keep server-assigned IDs from colliding with recovered ones.
@@ -302,7 +340,15 @@ func (s *Server) Registry() *stats.Registry { return s.registry }
 // ErrServerClosed. Durable sessions then take a final snapshot and
 // close their logs — the graceful-shutdown path behind psmd's SIGTERM
 // handling, so a clean restart replays no WAL at all.
-func (s *Server) Close() {
+func (s *Server) Close() { s.close(true) }
+
+// Abort stops the server without final snapshots or WAL closes: the
+// on-disk durable state is exactly what a kill -9 would leave behind.
+// The cluster test harness uses it to crash one in-process node while
+// the rest of the cluster keeps running.
+func (s *Server) Abort() { s.close(false) }
+
+func (s *Server) close(snapshot bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -314,6 +360,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if !snapshot {
+		return
+	}
 	// Shard goroutines have exited; session maps are single-threaded
 	// again (same license Close has always used).
 	for _, sh := range s.shards {
@@ -424,6 +473,7 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 			s.attachDurable(sess, log)
 		}
 		sh.sessions[spec.ID] = sess
+		s.index.Store(spec.ID, sess)
 		s.sessions.Add(1)
 		s.wmeChanges.Add(int64(sess.sys.TotalChanges)) // initial (make ...) forms
 		return sess.info(sh.id, time.Now()), nil
@@ -476,6 +526,9 @@ func (s *Server) DeleteSession(ctx context.Context, id string) error {
 		})
 		if sess.log != nil {
 			sess.sys.Engine.Sink = nil
+			if s.cfg.Replicator != nil {
+				s.cfg.Replicator.SessionDown(id, true)
+			}
 			if err := sess.log.Close(); err != nil {
 				s.logger.Warn("wal close on delete", "session", id, "err", err)
 			}
@@ -484,6 +537,7 @@ func (s *Server) DeleteSession(ctx context.Context, id string) error {
 			}
 		}
 		delete(sh.sessions, id)
+		s.index.Delete(id)
 		s.sessions.Add(-1)
 		return nil
 	})
