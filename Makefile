@@ -46,10 +46,13 @@ bench-all:
 
 # bench-compare reruns the two tracked benchmarks and gates them
 # against the checked-in baselines in bench/baseline/ (>10% regression
-# on time or throughput fails; see cmd/benchcmp). Run bench-baseline to
-# accept current numbers as the new baseline.
+# fails; see cmd/benchcmp). The single-process matcher benchmark also
+# gates allocs/op — allocation counts are deterministic there, so any
+# regression is a real code change, not noise. The server benchmark
+# (goroutines, HTTP buffers) gates time/throughput only. Run
+# bench-baseline to accept current numbers as the new baseline.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_manners.json BENCH_manners.json
+	$(GO) run ./cmd/benchcmp -gate-allocs bench/baseline/BENCH_manners.json BENCH_manners.json
 	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_server.json BENCH_server.json
 
 bench-baseline: bench

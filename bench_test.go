@@ -29,6 +29,7 @@ import (
 	"repro/internal/psm"
 	"repro/internal/rete"
 	"repro/internal/server"
+	"repro/internal/sym"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -457,15 +458,16 @@ func BenchmarkServerThroughput(b *testing.B) {
 		for start := 0; start < len(wmes); start += batch {
 			req := server.ChangesRequest{}
 			for _, w := range wmes[start:min(start+batch, len(wmes))] {
-				attrs := make(map[string]any, len(w.Attrs))
-				for k, v := range w.Attrs {
-					if v.Kind == ops5.NumValue {
-						attrs[k] = v.Num
+				fields := w.Fields()
+				attrs := make(map[string]any, len(fields))
+				for _, f := range fields {
+					if f.Val.Kind == ops5.NumValue {
+						attrs[sym.Name(f.Attr)] = f.Val.Num
 					} else {
-						attrs[k] = v.Sym
+						attrs[sym.Name(f.Attr)] = f.Val.SymName()
 					}
 				}
-				req.Changes = append(req.Changes, server.WireChange{Op: "assert", Class: w.Class, Attrs: attrs})
+				req.Changes = append(req.Changes, server.WireChange{Op: "assert", Class: w.Class(), Attrs: attrs})
 			}
 			call("POST", "/sessions/"+id+"/changes", req, nil)
 		}

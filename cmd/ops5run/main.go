@@ -87,11 +87,14 @@ func main() {
 		}
 		// Matcher-specific detail comes through the optional capability
 		// interfaces, not matcher internals.
-		if st, ok := sys.MatcherStats(); ok {
+		caps := sys.Capabilities()
+		if p := caps.Stats; p != nil {
+			st := p.MatchStats()
 			fmt.Fprintf(os.Stderr, "match comparisons:     %d\n", st.Comparisons)
 			fmt.Fprintf(os.Stderr, "conflict ins/rem:      %d/%d\n", st.ConflictInserts, st.ConflictRemoves)
 		}
-		if ix, ok := sys.MatcherIndex(); ok {
+		if p := caps.Index; p != nil {
+			ix := p.Indexed()
 			fmt.Fprintf(os.Stderr, "indexed joins:         %d (%d fallback)\n", ix.IndexedNodes, ix.FallbackNodes)
 			fmt.Fprintf(os.Stderr, "hash buckets:          %d (max depth %d)\n", ix.Buckets, ix.MaxBucket)
 		}

@@ -39,7 +39,7 @@ func main() {
 		eng.Cycles, eng.Fired, eng.Halted)
 	fmt.Println("final on-relations:")
 	for _, w := range eng.WM.Elements() {
-		if w.Class == "on" {
+		if w.Class() == "on" {
 			fmt.Printf("  %s on %s\n", w.Get("top"), w.Get("below"))
 		}
 	}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ops5"
 	"repro/internal/server"
+	"repro/internal/sym"
 	"repro/internal/workload"
 )
 
@@ -239,7 +240,7 @@ func runObsDemo(base, api, matcher string) error {
 	req := server.ChangesRequest{}
 	for _, w := range wmes {
 		req.Changes = append(req.Changes, server.WireChange{
-			Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+			Op: "assert", Class: w.Class(), Attrs: wireAttrs(w),
 		})
 	}
 	if err := post(lat, api+"/sessions/"+id+"/changes", req, nil); err != nil {
@@ -330,7 +331,7 @@ func runDurableDemo(dataDir, matcher string) error {
 	req := server.ChangesRequest{}
 	for _, w := range wmes {
 		req.Changes = append(req.Changes, server.WireChange{
-			Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+			Op: "assert", Class: w.Class(), Attrs: wireAttrs(w),
 		})
 	}
 	if err := post(lat, api1+"/sessions/"+id+"/changes", req, nil); err != nil {
@@ -452,7 +453,7 @@ func replay(base string, lat *latencies, id, matcher string, workers int, p work
 		req := server.ChangesRequest{}
 		for _, w := range wmes[start:end] {
 			req.Changes = append(req.Changes, server.WireChange{
-				Op: "assert", Class: w.Class, Attrs: wireAttrs(w),
+				Op: "assert", Class: w.Class(), Attrs: wireAttrs(w),
 			})
 		}
 		if err := post(lat, base+"/sessions/"+id+"/changes", req, nil); err != nil {
@@ -474,13 +475,14 @@ func replay(base string, lat *latencies, id, matcher string, workers int, p work
 
 // wireAttrs converts a WME's attributes to the JSON wire form.
 func wireAttrs(w *ops5.WME) map[string]any {
-	attrs := make(map[string]any, len(w.Attrs))
-	for k, v := range w.Attrs {
-		switch v.Kind {
+	fields := w.Fields()
+	attrs := make(map[string]any, len(fields))
+	for _, f := range fields {
+		switch f.Val.Kind {
 		case ops5.SymValue:
-			attrs[k] = v.Sym
+			attrs[sym.Name(f.Attr)] = f.Val.SymName()
 		case ops5.NumValue:
-			attrs[k] = v.Num
+			attrs[sym.Name(f.Attr)] = f.Val.Num
 		}
 	}
 	return attrs

@@ -35,7 +35,7 @@ func main() {
 	if *show {
 		board := map[int]string{}
 		for _, w := range eng.WM.Elements() {
-			switch w.Class {
+			switch w.Class() {
 			case "tile":
 				board[int(w.Get("pos").Num)] = w.Get("val").String()
 			case "blank":

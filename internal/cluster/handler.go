@@ -27,9 +27,10 @@ import (
 //	DELETE /v1/internal/replicate/{id}          drop the standby replica
 //	POST   /v1/internal/promote/{id}            promote the standby to live
 //
-// Replication responses are {"seq":N}; protocol conflicts answer 409
-// with {"code":"gap"|"stale","seq":N} and the sender resyncs. Plus one
-// public endpoint:
+// Replication acks are {"seq":N}; protocol conflicts answer 409 with
+// the standard error envelope plus the sequence — {"seq":N,
+// "code":"gap"|"stale", "message":..., "retryable":false} — and the
+// sender resyncs. Plus one public endpoint:
 //
 //	GET    /v1/cluster/status                   membership, sessions, replication
 //
@@ -44,11 +45,22 @@ type pingResponse struct {
 	Sessions map[string]sessionReport `json:"sessions,omitempty"`
 }
 
-// ackResponse acknowledges a replication push (and carries the
-// conflict code on 409).
+// ackResponse acknowledges a replication push. On a 409 conflict it
+// doubles as the standard {code,message,retryable} error envelope with
+// the sequence alongside, so internal endpoints speak the same error
+// shape as the public API.
 type ackResponse struct {
-	Seq  int64  `json:"seq"`
-	Code string `json:"code,omitempty"`
+	Seq       int64  `json:"seq"`
+	Code      string `json:"code,omitempty"`
+	Message   string `json:"message,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// ackConflict builds the 409 ack envelope for a protocol conflict.
+// Conflicts are not retryable as-is: the sender must resync (gap) or
+// stop shipping (stale), not repeat the identical request.
+func ackConflict(seq int64, code, msg string) ackResponse {
+	return ackResponse{Seq: seq, Code: code, Message: msg}
 }
 
 // SessionStatus is one live session on /v1/cluster/status.
@@ -123,8 +135,7 @@ func (n *Node) route(inner http.Handler) http.Handler {
 			n.proxy(w, r, target, nil)
 			return
 		}
-		w.Header().Set("Location", target.url+r.URL.RequestURI())
-		w.WriteHeader(http.StatusTemporaryRedirect)
+		writeRedirect(w, target, r)
 	})
 }
 
@@ -165,8 +176,7 @@ func (n *Node) routeCreate(w http.ResponseWriter, r *http.Request, inner http.Ha
 		n.proxy(w, r, target, body)
 		return
 	}
-	w.Header().Set("Location", target.url+r.URL.RequestURI())
-	w.WriteHeader(http.StatusTemporaryRedirect)
+	writeRedirect(w, target, r)
 }
 
 // target decides where a session's request belongs: nil to serve
@@ -270,7 +280,8 @@ func (n *Node) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
 		// This node serves the session live: whoever is shipping to us
 		// holds a stale copy (e.g. a rejoined crashed owner).
 		seq := n.srv.DurableSeqs()[id]
-		writeJSON(w, http.StatusConflict, ackResponse{Seq: seq, Code: "stale"})
+		writeJSON(w, http.StatusConflict, ackConflict(seq, "stale",
+			"session is live on this node; the sender's copy is stale"))
 		return
 	}
 	manifest, err := durable.DecodeFrame(r.Body)
@@ -292,7 +303,7 @@ func (n *Node) handleReplicateSnapshot(w http.ResponseWriter, r *http.Request) {
 	n.logger.Debug("replica snapshot installed", "session", id, "seq", seq, "err", err)
 	switch {
 	case errors.Is(err, durable.ErrStaleSnapshot):
-		writeJSON(w, http.StatusConflict, ackResponse{Seq: seq, Code: "stale"})
+		writeJSON(w, http.StatusConflict, ackConflict(seq, "stale", err.Error()))
 	case err != nil:
 		writeClusterError(w, http.StatusInternalServerError, "internal", err.Error())
 	default:
@@ -304,7 +315,8 @@ func (n *Node) handleReplicateRecords(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if n.srv.HasSession(id) {
 		seq := n.srv.DurableSeqs()[id]
-		writeJSON(w, http.StatusConflict, ackResponse{Seq: seq, Code: "stale"})
+		writeJSON(w, http.StatusConflict, ackConflict(seq, "stale",
+			"session is live on this node; the sender's copy is stale"))
 		return
 	}
 	st, err := n.standbyFor(id, false)
@@ -314,14 +326,15 @@ func (n *Node) handleReplicateRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	if st == nil {
 		// No replica here yet: the sender must ship a snapshot first.
-		writeJSON(w, http.StatusConflict, ackResponse{Code: "gap"})
+		writeJSON(w, http.StatusConflict, ackConflict(0, "gap",
+			"no replica for this session; ship a snapshot first"))
 		return
 	}
 	seq, _, err := st.AppendRecords(r.Body)
 	n.logger.Debug("replica records appended", "session", id, "seq", seq, "err", err)
 	switch {
 	case errors.Is(err, durable.ErrSequenceGap):
-		writeJSON(w, http.StatusConflict, ackResponse{Seq: seq, Code: "gap"})
+		writeJSON(w, http.StatusConflict, ackConflict(seq, "gap", err.Error()))
 	case err != nil:
 		writeClusterError(w, http.StatusInternalServerError, "internal", err.Error())
 	default:
@@ -532,19 +545,38 @@ func sessionIDFromPath(path string) string {
 	return ""
 }
 
+// writeRedirect answers 307 to the owning peer with the standard error
+// envelope as body — a bare redirect's empty body left non-following
+// clients without the {code,message,retryable} shape every other error
+// path speaks.
+func writeRedirect(w http.ResponseWriter, target *peer, r *http.Request) {
+	w.Header().Set("Location", target.url+r.URL.RequestURI())
+	writeJSON(w, http.StatusTemporaryRedirect, errorEnvelope{
+		Code:      "wrong_node",
+		Message:   "session is owned by " + target.id + "; retry at the Location header",
+		Retryable: true,
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
 }
 
+// errorEnvelope is the {code,message,retryable} error shape, identical
+// to the server package's ErrorResponse (duplicated to avoid an import
+// cycle; the golden-surface test pins both).
+type errorEnvelope struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
 // writeClusterError mirrors the server's error envelope.
 func writeClusterError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, struct {
-		Code      string `json:"code"`
-		Message   string `json:"message"`
-		Retryable bool   `json:"retryable"`
-	}{code, msg, status == http.StatusBadGateway})
+	retryable := status == http.StatusBadGateway || status == http.StatusServiceUnavailable
+	writeJSON(w, status, errorEnvelope{Code: code, Message: msg, Retryable: retryable})
 }
 
 // sortStatus orders status slices for deterministic output.

@@ -65,6 +65,8 @@ type entry struct {
 	mea   int
 	tags  []int // time tags sorted descending
 	spec  int
+	// tagArr is tags' inline storage for typical LHS sizes.
+	tagArr [8]int
 }
 
 // NewSet returns an empty conflict set using the given strategy.
@@ -86,13 +88,14 @@ func (s *Set) Insert(in *ops5.Instantiation) {
 	if _, ok := s.items[k]; ok {
 		return
 	}
-	s.items[k] = &entry{
+	e := &entry{
 		inst: in,
 		key:  k,
 		mea:  meaTag(in),
-		tags: sortedTagsDesc(in),
 		spec: specificity(in.Production),
 	}
+	e.tags = sortedTagsDesc(in, e.tagArr[:0])
+	s.items[k] = e
 }
 
 // Remove deletes an instantiation by identity. Removing an absent
@@ -220,10 +223,17 @@ func meaTag(in *ops5.Instantiation) int {
 }
 
 // sortedTagsDesc returns the instantiation's time tags sorted
-// descending. Tag lists are a handful of entries, so a direct insertion
-// sort beats sort.Sort and skips its interface allocation.
-func sortedTagsDesc(in *ops5.Instantiation) []int {
-	tags := in.TimeTags()
+// descending, appended to buf (the caller's inline storage, so typical
+// LHS sizes allocate nothing). Tag lists are a handful of entries, so a
+// direct insertion sort beats sort.Sort and skips its interface
+// allocation.
+func sortedTagsDesc(in *ops5.Instantiation, buf []int) []int {
+	tags := buf
+	for _, w := range in.WMEs {
+		if w != nil {
+			tags = append(tags, w.TimeTag)
+		}
+	}
 	for i := 1; i < len(tags); i++ {
 		for j := i; j > 0 && tags[j] > tags[j-1]; j-- {
 			tags[j], tags[j-1] = tags[j-1], tags[j]

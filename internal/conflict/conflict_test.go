@@ -21,7 +21,8 @@ func prod(name string, tests int) *ops5.Production {
 func inst(p *ops5.Production, tags ...int) *ops5.Instantiation {
 	wmes := make([]*ops5.WME, len(tags))
 	for i, tag := range tags {
-		wmes[i] = &ops5.WME{TimeTag: tag, Class: "c"}
+		wmes[i] = ops5.NewWME("c")
+		wmes[i].TimeTag = tag
 	}
 	// Pad WMEs to LHS length when the production has more CEs.
 	for len(wmes) < len(p.LHS) {

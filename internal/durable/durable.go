@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // FsyncPolicy says when WAL appends reach stable storage.
@@ -390,24 +391,15 @@ func (l *Log) Snapshot() (SnapshotInfo, error) {
 	if l.closed {
 		return SnapshotInfo{}, fmt.Errorf("durable: snapshot of closed log")
 	}
-	wmes := l.eng.WM.Elements()
-	snap := snapshot{
-		Seq:          l.seq,
-		NextTag:      l.eng.WM.NextTag(),
-		Cycles:       l.eng.Cycles,
-		Fired:        l.eng.Fired,
-		TotalChanges: l.eng.TotalChanges,
-		Halted:       l.eng.Halted,
-		FiredKeys:    l.eng.CS.FiredKeys(),
-		WMEs:         make([]walWME, len(wmes)),
+	classes := l.eng.WM.Classes()
+	nWMEs := 0
+	for _, cr := range classes {
+		nWMEs += len(cr.Rows)
 	}
-	for i, w := range wmes {
-		snap.WMEs[i] = walWME{Tag: w.TimeTag, Class: w.Class, Attrs: encodeAttrs(w.Attrs)}
-	}
-	payload, err := json.Marshal(snap)
-	if err != nil {
-		return SnapshotInfo{}, err
-	}
+	// Format v2: binary columnar with the symbol table embedded, straight
+	// off working memory's class rows (see snapv2.go).
+	payload := encodeSnapshotV2(l.seq, l.eng.WM.NextTag(), l.eng.Cycles,
+		l.eng.Fired, l.eng.TotalChanges, l.eng.Halted, l.eng.CS.FiredKeys(), classes)
 	if err := writeFileAtomic(filepath.Join(l.dir, snapshotFile), payload); err != nil {
 		return SnapshotInfo{}, err
 	}
@@ -419,7 +411,7 @@ func (l *Log) Snapshot() (SnapshotInfo, error) {
 		l.records, l.walBytes = 0, 0
 	}
 	l.snapSeq = l.seq
-	info := SnapshotInfo{Seq: snap.Seq, Bytes: len(payload), WMEs: len(snap.WMEs)}
+	info := SnapshotInfo{Seq: l.seq, Bytes: len(payload), WMEs: nWMEs}
 	if l.opts.ObserveSnapshot != nil {
 		l.opts.ObserveSnapshot(time.Since(t0), info.Bytes)
 	}
@@ -498,8 +490,8 @@ func encodeChanges(changes []ops5.Change) []walChange {
 		wc := walChange{Tag: ch.WME.TimeTag}
 		if ch.Kind == ops5.Insert {
 			wc.Op = "i"
-			wc.Class = ch.WME.Class
-			wc.Attrs = encodeAttrs(ch.WME.Attrs)
+			wc.Class = ch.WME.Class()
+			wc.Attrs = encodeAttrs(ch.WME)
 		} else {
 			wc.Op = "d"
 		}
@@ -517,9 +509,9 @@ func decodeChanges(in []walChange) ([]ops5.Change, error) {
 	for i, wc := range in {
 		switch wc.Op {
 		case "i":
-			out[i] = ops5.Change{Kind: ops5.Insert, WME: &ops5.WME{
-				TimeTag: wc.Tag, Class: wc.Class, Attrs: decodeAttrs(wc.Attrs),
-			}}
+			w := decodeWME(wc.Class, wc.Attrs)
+			w.TimeTag = wc.Tag
+			out[i] = ops5.Change{Kind: ops5.Insert, WME: w}
 		case "d":
 			out[i] = ops5.Change{Kind: ops5.Delete, WME: &ops5.WME{TimeTag: wc.Tag}}
 		default:
@@ -529,25 +521,43 @@ func decodeChanges(in []walChange) ([]ops5.Change, error) {
 	return out, nil
 }
 
-// encodeAttrs converts an attribute map for disk.
-func encodeAttrs(attrs map[string]ops5.Value) map[string]walValue {
-	if len(attrs) == 0 {
+// encodeAttrs converts an element's fields for disk. WAL records are
+// symbolic (names, not interned IDs): they must replay in a process
+// with a different interning order, including cluster replicas the
+// frames are shipped to verbatim.
+func encodeAttrs(w *ops5.WME) map[string]walValue {
+	fields := w.Fields()
+	if len(fields) == 0 {
 		return nil
 	}
-	out := make(map[string]walValue, len(attrs))
-	for k, v := range attrs {
-		out[k] = walValue{Kind: uint8(v.Kind), Sym: v.Sym, Num: v.Num}
+	out := make(map[string]walValue, len(fields))
+	for _, f := range fields {
+		v := f.Val
+		out[sym.Name(f.Attr)] = walValue{Kind: uint8(v.Kind), Sym: v.SymName(), Num: v.Num}
 	}
 	return out
 }
 
-// decodeAttrs converts an attribute map from disk.
-func decodeAttrs(attrs map[string]walValue) map[string]ops5.Value {
-	out := make(map[string]ops5.Value, len(attrs))
+// decodeWME rebuilds an untagged element from its disk form, interning
+// names into the local symbol table.
+func decodeWME(class string, attrs map[string]walValue) *ops5.WME {
+	fields := make([]ops5.Field, 0, len(attrs))
 	for k, v := range attrs {
-		out[k] = ops5.Value{Kind: ops5.ValueKind(v.Kind), Sym: v.Sym, Num: v.Num}
+		fields = append(fields, ops5.Field{Attr: sym.Intern(k), Val: decodeValue(v)})
 	}
-	return out
+	return ops5.NewFact(sym.Intern(class), fields)
+}
+
+// decodeValue rebuilds one attribute value from its disk form.
+func decodeValue(v walValue) ops5.Value {
+	switch ops5.ValueKind(v.Kind) {
+	case ops5.SymValue:
+		return ops5.Sym(v.Sym)
+	case ops5.NumValue:
+		return ops5.Num(v.Num)
+	default:
+		return ops5.Value{}
+	}
 }
 
 // writeFileAtomic writes data so a crash leaves either the old file or

@@ -39,11 +39,7 @@ func Recover(dir string, eng *engine.Engine, opts Options) (*Log, RecoverStats, 
 	if err != nil {
 		return nil, stats, err
 	}
-	wmes := make([]*ops5.WME, len(snap.WMEs))
-	for i, sw := range snap.WMEs {
-		wmes[i] = &ops5.WME{TimeTag: sw.Tag, Class: sw.Class, Attrs: decodeAttrs(sw.Attrs)}
-	}
-	if err := eng.Restore(wmes, snap.NextTag, snap.FiredKeys); err != nil {
+	if err := eng.Restore(snap.WMEs, snap.NextTag, snap.FiredKeys); err != nil {
 		return nil, stats, fmt.Errorf("durable: restore snapshot: %w", err)
 	}
 	eng.Cycles, eng.Fired = snap.Cycles, snap.Fired
@@ -68,17 +64,39 @@ func Recover(dir string, eng *engine.Engine, opts Options) (*Log, RecoverStats, 
 	return l, stats, nil
 }
 
-// readSnapshot loads and decodes a snapshot file.
-func readSnapshot(path string) (snapshot, error) {
-	var snap snapshot
+// readSnapshot loads and decodes a snapshot file of either format.
+func readSnapshot(path string) (snapState, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return snap, fmt.Errorf("durable: read snapshot: %w", err)
+		return snapState{}, fmt.Errorf("durable: read snapshot: %w", err)
 	}
+	return decodeSnapshot(data)
+}
+
+// decodeSnapshotV1 decodes the legacy JSON snapshot document — the
+// format every pre-v2 session directory holds. It stays supported so
+// existing durable state recovers through the v2 loader unchanged.
+func decodeSnapshotV1(data []byte) (snapState, error) {
+	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return snap, fmt.Errorf("durable: decode snapshot: %w", err)
+		return snapState{}, fmt.Errorf("durable: decode snapshot: %w", err)
 	}
-	return snap, nil
+	st := snapState{
+		Seq:          snap.Seq,
+		NextTag:      snap.NextTag,
+		Cycles:       snap.Cycles,
+		Fired:        snap.Fired,
+		TotalChanges: snap.TotalChanges,
+		Halted:       snap.Halted,
+		FiredKeys:    snap.FiredKeys,
+		WMEs:         make([]*ops5.WME, len(snap.WMEs)),
+	}
+	for i, sw := range snap.WMEs {
+		w := decodeWME(sw.Class, sw.Attrs)
+		w.TimeTag = sw.Tag
+		st.WMEs[i] = w
+	}
+	return st, nil
 }
 
 // replayWAL applies every decodable record after snapSeq to the engine,

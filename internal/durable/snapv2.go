@@ -1,0 +1,310 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/ops5"
+	"repro/internal/sym"
+	"repro/internal/wm"
+)
+
+// Snapshot format v2: a binary, columnar encoding that embeds the
+// symbol table it was written with, so loading is re-intern plus
+// integer remap instead of re-parsing strings from JSON.
+//
+// Layout (integers are unsigned varints unless noted):
+//
+//	magic   "PS2\x00" (4 bytes)
+//	header  seq, nextTag, cycles, fired, totalChanges, halted (1 byte)
+//	fired   count, then count length-prefixed conflict-set keys
+//	symbols count, then count length-prefixed names; the i-th name
+//	        (0-based) is local symbol ID i+1. Local ID 0 is "no symbol".
+//	        Only symbols the snapshot references are written, in first-
+//	        use order — the table is snapshot-local, not the process
+//	        table, so IDs stay dense however interning order diverged.
+//	classes count, then per class: class local ID, row count, and per
+//	        row: time tag, field count, and per field: attribute local
+//	        ID, value kind (1 byte), then for symbols the value's local
+//	        ID, for numbers the float64 bits (8 bytes little-endian).
+//	footer  CRC32 (IEEE) of everything before it, 4 bytes little-endian
+//
+// The loader sniffs the magic: files without it decode as format v1
+// (the JSON snapshot written before this format existed), so pre-v2
+// session directories recover unchanged. WAL records are deliberately
+// NOT in this format — they ship to replicas across process boundaries
+// where interned IDs mean nothing, so they stay symbolic JSON.
+
+// snapMagic marks a v2 snapshot. JSON snapshots start with '{', so the
+// first byte distinguishes the formats unambiguously.
+var snapMagic = [4]byte{'P', 'S', '2', 0}
+
+// snapState is a decoded snapshot, format-independent: the WMEs carry
+// their original time tags and are ready for engine.Restore.
+type snapState struct {
+	Seq          int64
+	NextTag      int
+	Cycles       int
+	Fired        int
+	TotalChanges int
+	Halted       bool
+	FiredKeys    []string
+	WMEs         []*ops5.WME
+}
+
+// symEnc assigns dense snapshot-local IDs to process symbol IDs on
+// first use and records their names in assignment order.
+type symEnc struct {
+	local map[sym.ID]uint64
+	names []string
+}
+
+func (se *symEnc) id(id sym.ID) uint64 {
+	if id == sym.None {
+		return 0
+	}
+	if l, ok := se.local[id]; ok {
+		return l
+	}
+	se.names = append(se.names, sym.Name(id))
+	l := uint64(len(se.names)) // local IDs start at 1
+	se.local[id] = l
+	return l
+}
+
+// encodeSnapshotV2 serializes the snapshot state from working memory's
+// raw class rows (wm.Memory.Classes — no per-element string round
+// trip).
+func encodeSnapshotV2(seq int64, nextTag, cycles, fired, totalChanges int,
+	halted bool, firedKeys []string, classes []wm.ClassRows) []byte {
+	nRows := 0
+	for _, cr := range classes {
+		nRows += len(cr.Rows)
+	}
+	buf := make([]byte, 0, 64+32*nRows)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(seq))
+	buf = binary.AppendUvarint(buf, uint64(nextTag))
+	buf = binary.AppendUvarint(buf, uint64(cycles))
+	buf = binary.AppendUvarint(buf, uint64(fired))
+	buf = binary.AppendUvarint(buf, uint64(totalChanges))
+	if halted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(firedKeys)))
+	for _, k := range firedKeys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+
+	// The body references symbols by local ID, so it is encoded first
+	// (into its own buffer) while the local table accumulates, then the
+	// table is written ahead of it.
+	se := &symEnc{local: make(map[sym.ID]uint64, 64)}
+	body := make([]byte, 0, 32*nRows)
+	body = binary.AppendUvarint(body, uint64(len(classes)))
+	for _, cr := range classes {
+		body = binary.AppendUvarint(body, se.id(cr.Class))
+		body = binary.AppendUvarint(body, uint64(len(cr.Rows)))
+		for _, w := range cr.Rows {
+			body = binary.AppendUvarint(body, uint64(w.TimeTag))
+			fields := w.Fields()
+			body = binary.AppendUvarint(body, uint64(len(fields)))
+			for _, f := range fields {
+				body = binary.AppendUvarint(body, se.id(f.Attr))
+				body = append(body, byte(f.Val.Kind))
+				switch f.Val.Kind {
+				case ops5.SymValue:
+					body = binary.AppendUvarint(body, se.id(f.Val.SymID()))
+				case ops5.NumValue:
+					body = binary.LittleEndian.AppendUint64(body, math.Float64bits(f.Val.Num))
+				}
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(se.names)))
+	for _, name := range se.names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// snapReader decodes the v2 byte stream with bounds checking.
+type snapReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("durable: truncated snapshot varint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *snapReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = fmt.Errorf("durable: truncated snapshot run at %d", r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+func (r *snapReader) byte1() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// decodeSnapshotV2 decodes a v2 snapshot, verifying the CRC footer and
+// re-interning the embedded symbol table into the process table (the ID
+// remap: snapshot-local ID -> current process ID).
+func decodeSnapshotV2(data []byte) (snapState, error) {
+	var st snapState
+	if len(data) < len(snapMagic)+4 {
+		return st, fmt.Errorf("durable: snapshot too short for v2 framing")
+	}
+	body, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(footer); got != want {
+		return st, fmt.Errorf("durable: snapshot CRC mismatch (%08x != %08x)", got, want)
+	}
+	r := &snapReader{b: body, off: len(snapMagic)}
+	st.Seq = int64(r.uvarint())
+	st.NextTag = int(r.uvarint())
+	st.Cycles = int(r.uvarint())
+	st.Fired = int(r.uvarint())
+	st.TotalChanges = int(r.uvarint())
+	st.Halted = r.byte1() != 0
+	if n := r.uvarint(); n > 0 && r.err == nil {
+		st.FiredKeys = make([]string, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			st.FiredKeys = append(st.FiredKeys, string(r.bytes(r.uvarint())))
+		}
+	}
+	// Remap: local[0] stays None; local i+1 re-interns the i-th name.
+	nSyms := r.uvarint()
+	if r.err != nil {
+		return st, r.err
+	}
+	if nSyms > uint64(len(body)) {
+		return st, fmt.Errorf("durable: snapshot symbol count %d exceeds payload", nSyms)
+	}
+	remap := make([]sym.ID, nSyms+1)
+	for i := uint64(0); i < nSyms && r.err == nil; i++ {
+		remap[i+1] = sym.Intern(string(r.bytes(r.uvarint())))
+	}
+	local := func(l uint64) (sym.ID, error) {
+		if l >= uint64(len(remap)) {
+			return sym.None, fmt.Errorf("durable: snapshot symbol ref %d out of table (%d)", l, len(remap))
+		}
+		return remap[l], nil
+	}
+	nClasses := r.uvarint()
+	for c := uint64(0); c < nClasses && r.err == nil; c++ {
+		class, err := local(r.uvarint())
+		if err != nil {
+			return st, err
+		}
+		nRows := r.uvarint()
+		for i := uint64(0); i < nRows && r.err == nil; i++ {
+			tag := int(r.uvarint())
+			nFields := r.uvarint()
+			fields := make([]ops5.Field, 0, nFields)
+			for f := uint64(0); f < nFields && r.err == nil; f++ {
+				attr, err := local(r.uvarint())
+				if err != nil {
+					return st, err
+				}
+				var v ops5.Value
+				switch kind := ops5.ValueKind(r.byte1()); kind {
+				case ops5.SymValue:
+					id, err := local(r.uvarint())
+					if err != nil {
+						return st, err
+					}
+					v = ops5.SymID(id)
+				case ops5.NumValue:
+					bits := r.bytes(8)
+					if bits != nil {
+						v = ops5.Num(math.Float64frombits(binary.LittleEndian.Uint64(bits)))
+					}
+				case ops5.NilValue:
+					// zero value
+				default:
+					return st, fmt.Errorf("durable: snapshot value kind %d unknown", kind)
+				}
+				fields = append(fields, ops5.Field{Attr: attr, Val: v})
+			}
+			if r.err != nil {
+				break
+			}
+			w := ops5.NewFact(class, fields)
+			w.TimeTag = tag
+			st.WMEs = append(st.WMEs, w)
+		}
+	}
+	if r.err != nil {
+		return st, r.err
+	}
+	if r.off != len(body) {
+		return st, fmt.Errorf("durable: %d trailing snapshot bytes", len(body)-r.off)
+	}
+	return st, nil
+}
+
+// isSnapV2 reports whether data carries the v2 magic.
+func isSnapV2(data []byte) bool {
+	return len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == string(snapMagic[:])
+}
+
+// decodeSnapshot decodes either snapshot format into the common state:
+// v2 by magic sniff, anything else as the v1 JSON document.
+func decodeSnapshot(data []byte) (snapState, error) {
+	if isSnapV2(data) {
+		return decodeSnapshotV2(data)
+	}
+	return decodeSnapshotV1(data)
+}
+
+// snapshotSeq extracts just the captured WAL sequence from snapshot
+// bytes of either format — the standby path, which stores snapshots
+// opaquely and only needs their position. It reads the header without
+// decoding (or interning) the body; full validation happens when the
+// standby is promoted and the snapshot actually loads.
+func snapshotSeq(data []byte) (int64, error) {
+	if isSnapV2(data) {
+		v, n := binary.Uvarint(data[len(snapMagic):])
+		if n <= 0 {
+			return 0, fmt.Errorf("durable: truncated v2 snapshot header")
+		}
+		return int64(v), nil
+	}
+	var decoded struct {
+		Seq int64 `json:"seq"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	return decoded.Seq, nil
+}

@@ -52,13 +52,11 @@ func OpenStandby(dir string) (*Standby, error) {
 	}
 	st := &Standby{dir: dir}
 	if data, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
-		var snap struct {
-			Seq int64 `json:"seq"`
-		}
-		if err := json.Unmarshal(data, &snap); err != nil {
+		seq, err := snapshotSeq(data)
+		if err != nil {
 			return nil, fmt.Errorf("durable: standby snapshot: %w", err)
 		}
-		st.hasSnap, st.snapSeq, st.seq = true, snap.Seq, snap.Seq
+		st.hasSnap, st.snapSeq, st.seq = true, seq, seq
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -135,10 +133,8 @@ func (st *Standby) InstallSnapshot(manifest, snap []byte) (int64, error) {
 	if !json.Valid(manifest) {
 		return 0, fmt.Errorf("durable: shipped manifest is not valid JSON")
 	}
-	var decoded struct {
-		Seq int64 `json:"seq"`
-	}
-	if err := json.Unmarshal(snap, &decoded); err != nil {
+	snapSeq, err := snapshotSeq(snap)
+	if err != nil {
 		return 0, fmt.Errorf("durable: shipped snapshot: %w", err)
 	}
 	st.mu.Lock()
@@ -146,7 +142,7 @@ func (st *Standby) InstallSnapshot(manifest, snap []byte) (int64, error) {
 	if st.closed {
 		return st.seq, fmt.Errorf("durable: install into closed standby")
 	}
-	if st.hasSnap && decoded.Seq < st.seq {
+	if st.hasSnap && snapSeq < st.seq {
 		return st.seq, ErrStaleSnapshot
 	}
 	if err := writeFileAtomic(filepath.Join(st.dir, manifestFile), manifest); err != nil {
@@ -158,7 +154,7 @@ func (st *Standby) InstallSnapshot(manifest, snap []byte) (int64, error) {
 	if err := st.wal.Truncate(0); err != nil {
 		return st.seq, err
 	}
-	st.hasSnap, st.snapSeq, st.seq, st.records = true, decoded.Seq, decoded.Seq, 0
+	st.hasSnap, st.snapSeq, st.seq, st.records = true, snapSeq, snapSeq, 0
 	return st.seq, nil
 }
 

@@ -2,10 +2,11 @@ package engine
 
 // This file defines the optional matcher capability interfaces. The
 // core Matcher contract stays the single Apply method; matchers (or
-// their adapters in internal/core) may additionally implement
-// StatsProvider and IndexProvider, which the engine — and tools such
-// as cmd/ops5run -stats — discover by type assertion instead of
-// reaching into matcher internals.
+// their adapters in internal/core) may additionally implement the
+// provider interfaces below. Callers discover them through the single
+// Capabilities accessor — the engine, the server and tools such as
+// cmd/ops5run -stats all read capabilities from the returned Caps
+// bundle instead of type-asserting matcher types themselves.
 
 // MatchStats is a matcher-neutral summary of match work performed.
 type MatchStats struct {
@@ -97,10 +98,39 @@ type IndexProvider interface {
 	Indexed() IndexReport
 }
 
+// Caps bundles a matcher's optional capabilities. A nil field means the
+// matcher does not implement that capability; callers branch on the
+// field instead of type-asserting the matcher themselves. New optional
+// capabilities are added here rather than at call sites, so capability
+// discovery stays in one documented place.
+type Caps struct {
+	// Stats reports matcher-neutral work counters (nil: not supported).
+	Stats StatsProvider
+	// Profile reports per-node activation work (nil: no node network).
+	Profile ProfileProvider
+	// Index reports equality-join hash-index state (nil: no indexes).
+	Index IndexProvider
+}
+
+// Capabilities discovers the optional capabilities of a matcher. It is
+// the single sanctioned way to get at matcher extras — servers, tools
+// and experiments all go through it, never through type assertions on
+// concrete matcher types.
+func Capabilities(m Matcher) Caps {
+	var c Caps
+	c.Stats, _ = m.(StatsProvider)
+	c.Profile, _ = m.(ProfileProvider)
+	c.Index, _ = m.(IndexProvider)
+	return c
+}
+
+// Capabilities returns the capability bundle of the engine's matcher.
+func (e *Engine) Capabilities() Caps { return Capabilities(e.Matcher) }
+
 // MatcherStats returns the matcher's work summary when the matcher
 // implements StatsProvider; ok is false otherwise.
 func (e *Engine) MatcherStats() (s MatchStats, ok bool) {
-	if p, has := e.Matcher.(StatsProvider); has {
+	if p := e.Capabilities().Stats; p != nil {
 		return p.MatchStats(), true
 	}
 	return MatchStats{}, false
@@ -109,7 +139,7 @@ func (e *Engine) MatcherStats() (s MatchStats, ok bool) {
 // MatcherIndex returns the matcher's index report when the matcher
 // implements IndexProvider; ok is false otherwise.
 func (e *Engine) MatcherIndex() (r IndexReport, ok bool) {
-	if p, has := e.Matcher.(IndexProvider); has {
+	if p := e.Capabilities().Index; p != nil {
 		return p.Indexed(), true
 	}
 	return IndexReport{}, false
@@ -118,7 +148,7 @@ func (e *Engine) MatcherIndex() (r IndexReport, ok bool) {
 // MatcherProfile returns the matcher's per-node work profile when the
 // matcher implements ProfileProvider; ok is false otherwise.
 func (e *Engine) MatcherProfile() (entries []NodeProfileEntry, ok bool) {
-	if p, has := e.Matcher.(ProfileProvider); has {
+	if p := e.Capabilities().Profile; p != nil {
 		return p.NodeProfile(), true
 	}
 	return nil, false

@@ -386,7 +386,16 @@ func (e *Engine) EvalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops
 // in consumed.
 func (e *Engine) evalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops5.Change, error) {
 	var changes []ops5.Change
-	b := inst.EvalBindings().Clone()
+	// Only a bind action mutates the binding map; without one, the
+	// instantiation's cached bindings are used directly, saving a map
+	// clone per firing.
+	b := inst.EvalBindings()
+	for _, a := range inst.Production.RHS {
+		if a.Kind == ops5.ActBind {
+			b = b.Clone()
+			break
+		}
+	}
 	var resolve func(t ops5.RHSTerm) (ops5.Value, error)
 	resolve = func(t ops5.RHSTerm) (ops5.Value, error) {
 		switch {
@@ -421,28 +430,30 @@ func (e *Engine) evalRHS(inst *ops5.Instantiation, consumed map[int]bool) ([]ops
 	for _, a := range inst.Production.RHS {
 		switch a.Kind {
 		case ops5.ActMake:
-			nw := &ops5.WME{Class: a.Class, Attrs: make(map[string]ops5.Value, len(a.Pairs))}
+			fields := make([]ops5.Field, 0, len(a.Pairs))
 			for _, p := range a.Pairs {
 				v, err := resolve(p.Term)
 				if err != nil {
 					return nil, err
 				}
-				nw.Attrs[p.Attr] = v
+				fields = append(fields, ops5.Field{Attr: p.AttrID, Val: v})
 			}
+			nw := ops5.NewFact(a.ClassID, fields)
 			changes = append(changes, ops5.Change{Kind: ops5.Insert, WME: nw})
 		case ops5.ActModify:
 			old, err := ceWME(a)
 			if err != nil {
 				return nil, err
 			}
-			nw := old.Clone()
+			updates := make([]ops5.Field, 0, len(a.Pairs))
 			for _, p := range a.Pairs {
 				v, err := resolve(p.Term)
 				if err != nil {
 					return nil, err
 				}
-				nw.Attrs[p.Attr] = v
+				updates = append(updates, ops5.Field{Attr: p.AttrID, Val: v})
 			}
+			nw := old.WithUpdates(updates)
 			consumed[old.TimeTag] = true
 			changes = append(changes,
 				ops5.Change{Kind: ops5.Delete, WME: old},

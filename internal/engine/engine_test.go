@@ -47,7 +47,7 @@ func TestMakeModifyRemove(t *testing.T) {
 		t.Fatalf("final WM = %v, want single result", elems)
 	}
 	r := elems[0]
-	if r.Class != "result" || r.Get("stage").Sym != "two" || r.Get("from").Num != 41 {
+	if r.Class() != "result" || r.Get("stage").SymName() != "two" || r.Get("from").Num != 41 {
 		t.Errorf("result = %v", r)
 	}
 	if sys.Fired != 2 {

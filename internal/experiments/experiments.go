@@ -326,8 +326,8 @@ func e8(w io.Writer, _ int) error {
 		// Matcher work comes through the capability interface, the same
 		// way ops5run -stats reads it; no matcher internals here.
 		comparisons := "-"
-		if st, ok := sys.MatcherStats(); ok {
-			comparisons = fmt.Sprint(st.Comparisons)
+		if p := sys.Capabilities().Stats; p != nil {
+			comparisons = fmt.Sprint(p.MatchStats().Comparisons)
 		}
 		return speed, comparisons, nil
 	}

@@ -144,12 +144,12 @@ func randomProduction(rng *rand.Rand, p GenParams, name string) *ops5.Production
 
 // RandomWME generates a WME over the same vocabulary (no time tag).
 func RandomWME(rng *rand.Rand, p GenParams) *ops5.WME {
-	w := &ops5.WME{Class: class(rng.Intn(p.Classes)), Attrs: map[string]ops5.Value{}}
 	n := 1 + rng.Intn(p.Attrs)
+	pairs := make([]any, 0, 2*n)
 	for i := 0; i < n; i++ {
-		w.Attrs[attr(rng.Intn(p.Attrs))] = ops5.Num(float64(rng.Intn(p.Values)))
+		pairs = append(pairs, attr(rng.Intn(p.Attrs)), ops5.Num(float64(rng.Intn(p.Values))))
 	}
-	return w
+	return ops5.NewWME(class(rng.Intn(p.Classes)), pairs...)
 }
 
 // Tracker is a conflict-set recorder fed by matcher callbacks. It keeps

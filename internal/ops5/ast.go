@@ -3,6 +3,8 @@ package ops5
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sym"
 )
 
 // TermKind discriminates the forms an attribute test term can take.
@@ -60,8 +62,22 @@ func (t Term) String() string {
 // condition element. A bare value compiles to a single term; a
 // conjunction { <x> > 7 } compiles to several.
 type AttrTest struct {
-	Attr  string
-	Terms []Term
+	Attr string
+	// AttrID is the interned ID of Attr, filled in by the parser and by
+	// Production.Validate. When set (non-zero), matching resolves the
+	// attribute by integer compare instead of a string lookup.
+	AttrID sym.ID
+	Terms  []Term
+}
+
+// valueIn fetches the tested attribute's value from w, through the
+// interned ID when the test has been compiled (Validate), falling back
+// to a by-name lookup for hand-built, unvalidated condition elements.
+func (at *AttrTest) valueIn(w *WME) Value {
+	if at.AttrID != sym.None {
+		return w.GetID(at.AttrID)
+	}
+	return w.Get(at.Attr)
 }
 
 // String renders the attribute test in OPS5 surface syntax.
@@ -83,10 +99,37 @@ func (a AttrTest) String() string {
 type CondElement struct {
 	Negated bool
 	Class   string
+	// ClassID is the interned ID of Class, filled in by the parser and
+	// by Production.Validate; matching then compares class symbols as
+	// integers.
+	ClassID sym.ID
 	Tests   []AttrTest
 	// ElemVar is the element variable bound to the matched WME, without
 	// the angle brackets; empty when the CE is unnamed.
 	ElemVar string
+}
+
+// classMatches reports whether w's class is the CE's class, by interned
+// ID when available.
+func (ce *CondElement) classMatches(w *WME) bool {
+	if ce.ClassID != sym.None {
+		return ce.ClassID == w.class
+	}
+	return ce.Class == w.Class()
+}
+
+// Intern fills in the interned symbol IDs (class, tested attributes)
+// that let matchers run on integer compares. Validate calls it; it is
+// idempotent and cheap after the first call.
+func (ce *CondElement) Intern() {
+	if ce.ClassID == sym.None && ce.Class != "" {
+		ce.ClassID = sym.Intern(ce.Class)
+	}
+	for i := range ce.Tests {
+		if ce.Tests[i].AttrID == sym.None {
+			ce.Tests[i].AttrID = sym.Intern(ce.Tests[i].Attr)
+		}
+	}
 }
 
 // String renders the condition element in OPS5 surface syntax.
@@ -195,13 +238,18 @@ func (t RHSTerm) String() string {
 // RHSPair is an ^attribute value pair in a make or modify action.
 type RHSPair struct {
 	Attr string
-	Term RHSTerm
+	// AttrID is the interned ID of Attr (set by Validate); the engine
+	// builds result fields from it without re-hashing the name.
+	AttrID sym.ID
+	Term   RHSTerm
 }
 
 // Action is one right-hand-side action of a production.
 type Action struct {
 	Kind  ActionKind
 	Class string // for make
+	// ClassID is the interned ID of Class (set by Validate).
+	ClassID sym.ID
 	// Fn is the registered host-function name for call actions.
 	Fn string
 	// CE is the 1-based condition-element index for modify/remove.
@@ -285,10 +333,30 @@ func (p *Production) String() string {
 	return b.String()
 }
 
+// Intern fills in the interned symbol IDs across the production — CE
+// classes and tested attributes, make/modify classes and attributes —
+// so matching and RHS evaluation run on integer compares. Validate
+// calls it; it is idempotent.
+func (p *Production) Intern() {
+	for _, ce := range p.LHS {
+		ce.Intern()
+	}
+	for _, a := range p.RHS {
+		if a.ClassID == sym.None && a.Class != "" {
+			a.ClassID = sym.Intern(a.Class)
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i].AttrID == sym.None {
+				a.Pairs[i].AttrID = sym.Intern(a.Pairs[i].Attr)
+			}
+		}
+	}
+}
+
 // PositiveCEs returns the indices (0-based) of non-negated condition
 // elements in LHS order.
 func (p *Production) PositiveCEs() []int {
-	var out []int
+	out := make([]int, 0, len(p.LHS))
 	for i, ce := range p.LHS {
 		if !ce.Negated {
 			out = append(out, i)
@@ -304,6 +372,7 @@ func (p *Production) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("ops5: production has no name")
 	}
+	p.Intern()
 	if len(p.LHS) == 0 {
 		return fmt.Errorf("ops5: production %s has an empty left-hand side", p.Name)
 	}

@@ -65,7 +65,7 @@ func FuzzMatchCE(f *testing.F) {
 			Attr:  ceAttr,
 			Terms: []Term{{Kind: TermConst, Pred: PredEq, Val: parseAtom(ceVal)}},
 		}}}
-		w := &WME{Class: wClass, Attrs: map[string]Value{wAttr: parseAtom(wVal)}}
+		w := NewWME(wClass, wAttr, parseAtom(wVal))
 		_, _ = MatchCE(ce, w, nil)
 		_ = AlphaPass(ce, w)
 		_, _ = MatchCEDeferred(ce, w, Bindings{})

@@ -202,8 +202,10 @@ func nextNonSpaceIsParen(s string) bool {
 
 // parseAtom classifies a bare atom as a number or a symbol.
 func parseAtom(text string) Value {
-	if n, err := strconv.ParseFloat(text, 64); err == nil && looksNumeric(text) {
-		return Num(n)
+	if looksNumeric(text) {
+		if n, err := strconv.ParseFloat(text, 64); err == nil {
+			return Num(n)
+		}
 	}
 	return Sym(text)
 }

@@ -48,13 +48,13 @@ func MatchTerm(t Term, v Value, b Bindings) (ok bool, bindVar string, bindVal Va
 // bindings. On success it returns the extended bindings (a fresh map when
 // new variables were bound; the original map is never mutated).
 func MatchCE(ce *CondElement, w *WME, b Bindings) (Bindings, bool) {
-	if ce.Class != w.Class {
+	if !ce.classMatches(w) {
 		return nil, false
 	}
 	cur := b
 	owned := false // whether cur is a private copy we may mutate
 	for _, at := range ce.Tests {
-		v := w.Get(at.Attr)
+		v := at.valueIn(w)
 		for _, t := range at.Terms {
 			ok, bindVar, bindVal := MatchTerm(t, v, cur)
 			if !ok {
@@ -84,13 +84,13 @@ func MatchCE(ce *CondElement, w *WME, b Bindings) (Bindings, bool) {
 // be evaluated yet. For complete tuples every binder is present, so the
 // deferred and strict semantics coincide.
 func MatchCEDeferred(ce *CondElement, w *WME, b Bindings) (Bindings, bool) {
-	if ce.Class != w.Class {
+	if !ce.classMatches(w) {
 		return nil, false
 	}
 	cur := b
 	owned := false
 	for _, at := range ce.Tests {
-		v := w.Get(at.Attr)
+		v := at.valueIn(w)
 		for _, t := range at.Terms {
 			if t.Kind == TermVar {
 				if _, have := cur[t.Var]; !have && t.Pred != PredEq {
@@ -133,12 +133,12 @@ func MatchesAlone(ce *CondElement, w *WME) bool {
 // WMEs that can match the CE under some outer bindings; it is the
 // alpha-memory membership test used by Rete and TREAT.
 func AlphaPass(ce *CondElement, w *WME) bool {
-	if ce.Class != w.Class {
+	if !ce.classMatches(w) {
 		return false
 	}
 	local := Bindings{}
 	for _, at := range ce.Tests {
-		v := w.Get(at.Attr)
+		v := at.valueIn(w)
 		for _, t := range at.Terms {
 			switch t.Kind {
 			case TermVar:
@@ -182,6 +182,23 @@ type Instantiation struct {
 	// key caches the canonical identity computed by Key. Instantiations
 	// are immutable, and every conflict-set operation keys on it.
 	key string
+
+	// wmeArr is inline storage for WMEs (see NewInstantiation).
+	wmeArr [8]*WME
+}
+
+// NewInstantiation returns an instantiation with WMEs sized for n
+// condition elements, stored inline when n is small — matchers create
+// one per conflict-set insertion, so this saves the slice allocation on
+// the hot path.
+func NewInstantiation(p *Production, n int) *Instantiation {
+	in := &Instantiation{Production: p}
+	if n <= len(in.wmeArr) {
+		in.WMEs = in.wmeArr[:n]
+	} else {
+		in.WMEs = make([]*WME, n)
+	}
+	return in
 }
 
 // EvalBindings returns the instantiation's variable bindings, computing
@@ -190,13 +207,21 @@ type Instantiation struct {
 // walked — the same recomputation Rete terminals used to do eagerly.
 func (in *Instantiation) EvalBindings() Bindings {
 	if in.Bindings == nil {
+		// The WMEs are known to match, so this only collects first
+		// (binding) occurrences into one owned map — no per-CE cloning.
 		b := Bindings{}
 		for i, ce := range in.Production.LHS {
 			if ce.Negated || in.WMEs[i] == nil {
 				continue
 			}
-			if nb, ok := MatchCE(ce, in.WMEs[i], b); ok {
-				b = nb
+			w := in.WMEs[i]
+			for _, at := range ce.Tests {
+				v := at.valueIn(w)
+				for _, t := range at.Terms {
+					if ok, bindVar, bindVal := MatchTerm(t, v, b); ok && bindVar != "" {
+						b[bindVar] = bindVal
+					}
+				}
 			}
 		}
 		in.Bindings = b

@@ -7,7 +7,7 @@ import (
 
 func TestNewWMEAndToValue(t *testing.T) {
 	w := NewWME("c", "s", "sym", "i", 7, "i64", int64(8), "f", 2.5, "v", Num(3), "n", nil)
-	if w.Get("s").Sym != "sym" || w.Get("i").Num != 7 || w.Get("i64").Num != 8 ||
+	if w.Get("s").SymName() != "sym" || w.Get("i").Num != 7 || w.Get("i64").Num != 8 ||
 		w.Get("f").Num != 2.5 || w.Get("v").Num != 3 || !w.Get("n").Nil() {
 		t.Errorf("wme = %v", w)
 	}
@@ -91,7 +91,7 @@ func TestMatchTermVariants(t *testing.T) {
 	}
 	// First equality occurrence binds.
 	ok, bindVar, bindVal := MatchTerm(Term{Kind: TermVar, Pred: PredEq, Var: "z"}, Sym("q"), b)
-	if !ok || bindVar != "z" || bindVal.Sym != "q" {
+	if !ok || bindVar != "z" || bindVal.SymName() != "q" {
 		t.Errorf("binding occurrence: ok=%v var=%q val=%v", ok, bindVar, bindVal)
 	}
 	// TermAny matches anything.

@@ -2,6 +2,8 @@ package ops5
 
 import (
 	"fmt"
+
+	"repro/internal/sym"
 )
 
 // Program is a parsed OPS5 source file: productions, any top-level
@@ -540,13 +542,13 @@ func (p *parser) parseTopLevelMake() (*WME, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WME{Class: classTok.text, Attrs: make(map[string]Value)}
+	var fields []Field
 	for {
 		t := p.peek()
 		switch t.kind {
 		case tokRParen:
 			p.next()
-			return w, nil
+			return NewFact(sym.Intern(classTok.text), fields), nil
 		case tokCaret:
 			p.next()
 			attrTok, err := p.expect(tokAtom, "attribute name")
@@ -560,7 +562,7 @@ func (p *parser) parseTopLevelMake() (*WME, error) {
 			if _, isVar := isVarAtom(valTok.text); isVar {
 				return nil, p.errorfAt(valTok, "top-level make may not contain variables")
 			}
-			w.Attrs[attrTok.text] = parseAtom(valTok.text)
+			fields = append(fields, Field{Attr: sym.Intern(attrTok.text), Val: parseAtom(valTok.text)})
 		default:
 			return nil, p.errorf("expected ^attribute or ')' in make, found %s", t)
 		}
@@ -641,10 +643,11 @@ func (prog *Program) CheckLiteralize() error {
 		}
 	}
 	for _, w := range prog.InitialWM {
-		for attr := range w.Attrs {
-			if !declared(w.Class, attr) {
+		for _, f := range w.Fields() {
+			attr := sym.Name(f.Attr)
+			if !declared(w.Class(), attr) {
 				return fmt.Errorf("ops5: top-level make: class %s has no attribute ^%s (see literalize)",
-					w.Class, attr)
+					w.Class(), attr)
 			}
 		}
 	}

@@ -31,7 +31,7 @@ func TestParseSampleProduction(t *testing.T) {
 		t.Fatalf("block CE has %d tests, want 3", len(p.LHS[1].Tests))
 	}
 	sel := p.LHS[1].Tests[2]
-	if sel.Attr != "selected" || sel.Terms[0].Kind != TermConst || sel.Terms[0].Val.Sym != "no" {
+	if sel.Attr != "selected" || sel.Terms[0].Kind != TermConst || sel.Terms[0].Val.SymName() != "no" {
 		t.Errorf("selected test = %+v", sel)
 	}
 	if len(p.RHS) != 1 || p.RHS[0].Kind != ActModify || p.RHS[0].CE != 2 {
@@ -164,7 +164,7 @@ func TestLexQuotedAtom(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if got := p.LHS[0].Tests[0].Terms[0].Val.Sym; got != "hello world" {
+	if got := p.LHS[0].Tests[0].Terms[0].Val.SymName(); got != "hello world" {
 		t.Errorf("quoted atom = %q", got)
 	}
 }
@@ -179,7 +179,7 @@ func TestNumbersAndSymbols(t *testing.T) {
 	if v := parseAtom("Inf"); v.Kind != SymValue {
 		t.Errorf("Inf should be a symbol, got %v", v)
 	}
-	if v := parseAtom("a-b-17"); v.Kind != SymValue || v.Sym != "a-b-17" {
+	if v := parseAtom("a-b-17"); v.Kind != SymValue || v.SymName() != "a-b-17" {
 		t.Errorf("a-b-17 parsed as %v", v)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sym"
 )
 
 // randomValue draws a Value for property tests.
@@ -92,17 +94,19 @@ func TestQuickPredicateConsistency(t *testing.T) {
 func TestQuickWMECloneEqual(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		w := &WME{TimeTag: rng.Intn(100), Class: "c", Attrs: map[string]Value{}}
+		pairs := make([]any, 0, 10)
 		for i := 0; i < rng.Intn(5); i++ {
-			w.Attrs[string(rune('a'+i))] = randomValue(rng)
+			pairs = append(pairs, string(rune('a'+i)), randomValue(rng))
 		}
+		w := NewWME("c", pairs...)
+		w.TimeTag = rng.Intn(100)
 		c := w.Clone()
 		if !w.Equal(c) || !c.Equal(w) {
 			return false
 		}
-		// Mutating the clone must not affect the original.
-		c.Attrs["zz"] = Num(1)
-		return w.Attrs["zz"].Nil()
+		// Extending the clone must not affect the original.
+		c2 := c.WithUpdates([]Field{{Attr: sym.Intern("zz"), Val: Num(1)}})
+		return !c2.Get("zz").Nil() && w.Get("zz").Nil()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -126,11 +130,9 @@ func TestQuickMatchCEConsistentWithBruteForce(t *testing.T) {
 		}
 		var wm []*WME
 		for i := 0; i < 8; i++ {
-			wm = append(wm, &WME{
-				TimeTag: i + 1,
-				Class:   "c",
-				Attrs:   map[string]Value{"a": Num(float64(rng.Intn(3)))},
-			})
+			w := NewWME("c", "a", Num(float64(rng.Intn(3))))
+			w.TimeTag = i + 1
+			wm = append(wm, w)
 		}
 		insts := SatisfyBruteForce(p, wm)
 		count := 0
@@ -154,10 +156,9 @@ func TestAlphaPassIsSupersetOfMatch(t *testing.T) {
 			{Attr: "a", Terms: []Term{{Kind: TermVar, Pred: PredEq, Var: "x"}}},
 			{Attr: "b", Terms: []Term{{Kind: TermVar, Pred: PredGt, Var: "x"}}},
 		}}
-		w := &WME{Class: "c", Attrs: map[string]Value{
-			"a": Num(float64(rng.Intn(4))),
-			"b": Num(float64(rng.Intn(4))),
-		}}
+		w := NewWME("c",
+			"a", Num(float64(rng.Intn(4))),
+			"b", Num(float64(rng.Intn(4))))
 		if _, ok := MatchCE(ce, w, Bindings{}); ok && !AlphaPass(ce, w) {
 			return false
 		}
@@ -175,14 +176,16 @@ func TestAlphaPassIsSupersetOfMatch(t *testing.T) {
 
 func TestInstantiationKeyIdentity(t *testing.T) {
 	p := &Production{Name: "p", LHS: []*CondElement{{Class: "c"}}}
-	w1 := &WME{TimeTag: 4, Class: "c"}
-	w2 := &WME{TimeTag: 4, Class: "c"}
+	w1, w2 := NewWME("c"), NewWME("c")
+	w1.TimeTag, w2.TimeTag = 4, 4
 	a := &Instantiation{Production: p, WMEs: []*WME{w1}}
 	b := &Instantiation{Production: p, WMEs: []*WME{w2}}
 	if a.Key() != b.Key() {
 		t.Errorf("keys differ for identical time tags: %q vs %q", a.Key(), b.Key())
 	}
-	c := &Instantiation{Production: p, WMEs: []*WME{{TimeTag: 5, Class: "c"}}}
+	w3 := NewWME("c")
+	w3.TimeTag = 5
+	c := &Instantiation{Production: p, WMEs: []*WME{w3}}
 	if a.Key() == c.Key() {
 		t.Error("keys collide for different time tags")
 	}

@@ -24,6 +24,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/sym"
 )
 
 // ValueKind discriminates the kinds of atomic OPS5 values.
@@ -40,16 +42,21 @@ const (
 	NumValue
 )
 
-// Value is an atomic OPS5 value: nil, a symbol, or a number.
-// The zero Value is the nil value.
+// Value is an atomic OPS5 value: nil, a symbol, or a number. Symbols are
+// held as interned IDs (internal/sym), so a Value is 16 pointer-free
+// bytes, equality is an integer compare, and hashing never touches
+// string bytes. The zero Value is the nil value.
 type Value struct {
 	Kind ValueKind
-	Sym  string
+	sym  sym.ID
 	Num  float64
 }
 
-// Sym returns a symbolic value.
-func Sym(s string) Value { return Value{Kind: SymValue, Sym: s} }
+// Sym returns a symbolic value, interning s in the global symbol table.
+func Sym(s string) Value { return Value{Kind: SymValue, sym: sym.Intern(s)} }
+
+// SymID returns a symbolic value holding an already-interned ID.
+func SymID(id sym.ID) Value { return Value{Kind: SymValue, sym: id} }
 
 // Num returns a numeric value.
 func Num(n float64) Value { return Value{Kind: NumValue, Num: n} }
@@ -57,14 +64,31 @@ func Num(n float64) Value { return Value{Kind: NumValue, Num: n} }
 // Nil reports whether v is the nil (unset) value.
 func (v Value) Nil() bool { return v.Kind == NilValue }
 
-// Equal reports whether two values are identical atoms.
+// SymID returns the interned symbol ID (sym.None for non-symbols).
+func (v Value) SymID() sym.ID {
+	if v.Kind != SymValue {
+		return sym.None
+	}
+	return v.sym
+}
+
+// SymName returns the symbol's string ("" for non-symbols).
+func (v Value) SymName() string {
+	if v.Kind != SymValue {
+		return ""
+	}
+	return sym.Name(v.sym)
+}
+
+// Equal reports whether two values are identical atoms. Symbol equality
+// is a single integer compare — the point of interning.
 func (v Value) Equal(o Value) bool {
 	if v.Kind != o.Kind {
 		return false
 	}
 	switch v.Kind {
 	case SymValue:
-		return v.Sym == o.Sym
+		return v.sym == o.sym
 	case NumValue:
 		return v.Num == o.Num
 	default:
@@ -73,16 +97,20 @@ func (v Value) Equal(o Value) bool {
 }
 
 // Less reports whether v orders before o. Numbers order numerically;
-// symbols order lexically; numbers order before symbols; nil orders first.
-// OPS5 predicates < > <= >= are only meaningful on numbers, but a total
-// order is useful for deterministic output.
+// symbols order lexically (via the interner, so display order stays
+// stable regardless of interning order); numbers order before symbols;
+// nil orders first. OPS5 predicates < > <= >= are only meaningful on
+// numbers, but a total order is useful for deterministic output.
 func (v Value) Less(o Value) bool {
 	if v.Kind != o.Kind {
 		return v.Kind < o.Kind
 	}
 	switch v.Kind {
 	case SymValue:
-		return v.Sym < o.Sym
+		if v.sym == o.sym {
+			return false
+		}
+		return sym.Name(v.sym) < sym.Name(o.sym)
 	case NumValue:
 		return v.Num < o.Num
 	default:
@@ -96,10 +124,11 @@ func (v Value) Less(o Value) bool {
 func (v Value) String() string {
 	switch v.Kind {
 	case SymValue:
-		if symNeedsQuote(v.Sym) {
-			return "|" + v.Sym + "|"
+		s := sym.Name(v.sym)
+		if symNeedsQuote(s) {
+			return "|" + s + "|"
 		}
-		return v.Sym
+		return s
 	case NumValue:
 		return strconv.FormatFloat(v.Num, 'g', -1, 64)
 	default:
@@ -109,27 +138,29 @@ func (v Value) String() string {
 
 // AppendValueKey appends a deterministic byte encoding of v to b and
 // returns the extended slice. Equal values (per Equal) always encode
-// identically, so the encoding can key hash buckets for equality
-// joins. It is not guaranteed injective — symbols containing the
-// separator byte can collide — so callers must re-verify candidates
-// with the full test; a collision only widens a bucket, never loses a
-// match. Negative zero encodes as zero to stay consistent with Equal.
+// identically, so the encoding can key hash buckets for equality joins.
+// Symbols encode their fixed-width interned ID, so the encoding is
+// injective within a process; like the IDs themselves it is not stable
+// across processes and must never be persisted or shipped. Negative
+// zero encodes as zero to stay consistent with Equal.
 func AppendValueKey(b []byte, v Value) []byte {
 	switch v.Kind {
 	case SymValue:
-		b = append(b, 's')
-		b = append(b, v.Sym...)
+		id := v.sym
+		b = append(b, 's', byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	case NumValue:
 		n := v.Num
 		if n == 0 {
 			n = 0
 		}
-		b = append(b, 'n')
-		b = strconv.AppendFloat(b, n, 'g', -1, 64)
+		bits := math.Float64bits(n)
+		b = append(b, 'n',
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 	default:
 		b = append(b, 'x')
 	}
-	return append(b, 0x1f)
+	return b
 }
 
 // HashSeed is the initial accumulator for HashValue chains (the FNV-1a
@@ -140,17 +171,20 @@ const HashSeed uint64 = 14695981039346656037
 // Like AppendValueKey it is Equal-consistent — equal values (per Equal)
 // always hash identically — but not injective, so callers keying hash
 // buckets by it must re-verify candidates with the full test; a
-// collision only widens a bucket, never loses a match. Unlike
-// AppendValueKey it never allocates. Negative zero hashes as zero to
-// stay consistent with Equal.
+// collision only widens a bucket, never loses a match. Symbols hash
+// their 4-byte interned ID, so the per-probe cost is constant — no
+// string bytes are touched on the join hot path. Negative zero hashes
+// as zero to stay consistent with Equal.
 func HashValue(h uint64, v Value) uint64 {
 	const prime = 1099511628211
 	switch v.Kind {
 	case SymValue:
+		id := uint32(v.sym)
 		h = (h ^ 's') * prime
-		for i := 0; i < len(v.Sym); i++ {
-			h = (h ^ uint64(v.Sym[i])) * prime
-		}
+		h = (h ^ uint64(id&0xff)) * prime
+		h = (h ^ uint64((id>>8)&0xff)) * prime
+		h = (h ^ uint64((id>>16)&0xff)) * prime
+		h = (h ^ uint64(id>>24)) * prime
 	case NumValue:
 		n := v.Num
 		if n == 0 {

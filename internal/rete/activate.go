@@ -158,7 +158,7 @@ func (n *Network) Apply(changes []ops5.Change) {
 	n.prepare()
 	for i, ch := range changes {
 		ctx := &applyCtx{change: i, dir: ch.Kind, affected: make(map[*ops5.Production]int)}
-		root := n.roots[ch.WME.Class]
+		root := n.roots[ch.WME.ClassID()]
 		tests := 0
 		rootSeq := n.nextSeq()
 		if root != nil {
@@ -260,7 +260,7 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 		toks := j.Left.Tokens
 		indexed := j.leftIdx != nil && j.leftIdx.buckets != nil && len(toks) >= linearProbeMin
 		if indexed {
-			toks = j.leftIdx.buckets[j.rightHash(w)]
+			toks = j.leftIdx.probe(j.rightHash(w), &j.leftScratch)
 			n.Stats.IndexedProbes++
 		}
 		for _, tok := range toks {
@@ -284,16 +284,11 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 	case JoinNegative:
 		n.Stats.Activations[KindNegRight]++
 		tested, emitted := 0, 0
-		recs := j.negRecords
 		indexed := j.negIndex != nil
-		if indexed {
-			recs = j.negIndex[j.rightHash(w)]
-			n.Stats.IndexedProbes++
-		}
-		for _, rec := range recs {
+		adjust := func(rec *negRecord) {
 			tested++
 			if !j.evalJoin(rec.tok, w) {
-				continue
+				return
 			}
 			switch ctx.dir {
 			case ops5.Insert:
@@ -308,6 +303,21 @@ func (n *Network) rightActivate(j *JoinNode, w *ops5.WME, ctx *applyCtx, parent 
 					emitted++
 					n.betaInsert(j.Out, rec.tok, ctx, seq)
 				}
+			}
+		}
+		if indexed {
+			n.Stats.IndexedProbes++
+			// Propagation from j.Out flows strictly downstream, so the
+			// chain is never appended to (entries never move) while we
+			// hold pointers into it.
+			if head, ok := j.negIndex[j.rightHash(w)]; ok {
+				for e := head; e >= 0; e = j.negEntries[e].next {
+					adjust(&j.negEntries[e].rec)
+				}
+			}
+		} else {
+			for _, rec := range j.negRecords {
+				adjust(rec)
 			}
 		}
 		opp := len(j.negRecords)
@@ -336,7 +346,7 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 		items := j.Right.Items
 		indexed := j.rightIdx != nil && j.rightIdx.buckets != nil && len(items) >= linearProbeMin
 		if indexed {
-			items = j.rightIdx.buckets[j.leftHash(tok)]
+			items = j.rightIdx.probe(j.leftHash(tok), &j.rightScratch)
 			n.Stats.IndexedProbes++
 		}
 		for _, w := range items {
@@ -366,7 +376,7 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 			count := 0
 			items := j.Right.Items
 			if j.rightIdx != nil && j.rightIdx.buckets != nil && len(items) >= linearProbeMin {
-				items = j.rightIdx.buckets[j.leftHash(tok)]
+				items = j.rightIdx.probe(j.leftHash(tok), &j.rightScratch)
 				n.Stats.IndexedProbes++
 			}
 			for _, w := range items {
@@ -375,13 +385,11 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 					count++
 				}
 			}
-			rec := &negRecord{tok: tok, count: count}
 			if indexed {
-				k := j.leftHash(tok)
-				j.negIndex[k] = append(j.negIndex[k], rec)
+				j.negAdd(j.leftHash(tok), negRecord{tok: tok, count: count})
 				j.negCount++
 			} else {
-				j.negRecords = append(j.negRecords, rec)
+				j.negRecords = append(j.negRecords, &negRecord{tok: tok, count: count})
 			}
 			if count == 0 {
 				emitted++
@@ -390,26 +398,14 @@ func (n *Network) leftActivate(j *JoinNode, tok *Token, dir ops5.ChangeKind, ctx
 		case ops5.Delete:
 			found := false
 			if indexed {
-				k := j.leftHash(tok)
-				bucket := j.negIndex[k]
-				for idx, rec := range bucket {
+				if count, ok := j.negDelete(j.leftHash(tok), tok); ok {
 					tested++
-					if rec.tok.EqualTo(tok) {
-						count := rec.count
-						bucket = append(bucket[:idx], bucket[idx+1:]...)
-						if len(bucket) == 0 {
-							delete(j.negIndex, k)
-						} else {
-							j.negIndex[k] = bucket
-						}
-						j.negCount--
-						if count == 0 {
-							emitted++
-							n.betaDelete(j.Out, tok, ctx, seq)
-						}
-						found = true
-						break
+					j.negCount--
+					if count == 0 {
+						emitted++
+						n.betaDelete(j.Out, tok, ctx, seq)
 					}
+					found = true
 				}
 			} else {
 				for idx, rec := range j.negRecords {
@@ -500,27 +496,16 @@ func (n *Network) terminalActivate(t *Terminal, tok *Token, dir ops5.ChangeKind,
 	if dir == ops5.Insert {
 		inst = t.Instantiate(tok)
 		if t.live == nil {
-			t.live = make(map[uint64][]liveInst)
+			t.live = make(map[uint64]int32)
+			t.liveFree = -1
 		}
-		t.live[key] = append(t.live[key], liveInst{tok: tok, inst: inst})
+		t.liveAdd(key, tok, inst)
 		n.Stats.ConflictInserts++
 		if n.OnInsert != nil {
 			n.OnInsert(inst)
 		}
 	} else {
-		bucket := t.live[key]
-		for i, li := range bucket {
-			if li.tok.EqualTo(tok) {
-				inst = li.inst
-				bucket[i] = bucket[len(bucket)-1]
-				if len(bucket) == 1 {
-					delete(t.live, key)
-				} else {
-					t.live[key] = bucket[:len(bucket)-1]
-				}
-				break
-			}
-		}
+		inst = t.liveTake(key, tok)
 		if inst == nil {
 			inst = t.Instantiate(tok)
 		}

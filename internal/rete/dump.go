@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/sym"
 )
 
 // Dump writes a human-readable description of the compiled network:
@@ -13,8 +15,11 @@ import (
 // terminals — the topology Figure 2-2 of the paper draws.
 func (n *Network) Dump(w io.Writer) {
 	classes := make([]string, 0, len(n.roots))
+	byName := make(map[string]sym.ID, len(n.roots))
 	for c := range n.roots {
-		classes = append(classes, c)
+		name := sym.Name(c)
+		classes = append(classes, name)
+		byName[name] = c
 	}
 	sort.Strings(classes)
 	fmt.Fprintf(w, "rete network: %d const nodes, %d alpha memories, %d two-input nodes, %d beta memories, %d terminals\n",
@@ -41,7 +46,7 @@ func (n *Network) Dump(w io.Writer) {
 				visit(ch, depth+1)
 			}
 		}
-		visit(n.roots[class], 0)
+		visit(n.roots[byName[class]], 0)
 	}
 
 	fmt.Fprintln(w, "two-input nodes:")

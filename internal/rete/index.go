@@ -4,12 +4,13 @@ import (
 	"sort"
 
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // This file implements equality-keyed hash indexes over alpha and beta
 // memories. At prepare time (the first Apply) the equality subset of
 // each two-input node's tests becomes a join key; the node's opposite
-// memories maintain map[key]bucket alongside their slices, and
+// memories maintain chained hash buckets alongside their slices, and
 // activations probe the matching bucket instead of scanning the whole
 // memory. Both the serial matcher and the parallel matcher's
 // lock-striped buckets key on the allocation-free uint64 hash
@@ -18,6 +19,15 @@ import (
 // but not injective, so every candidate drawn from a bucket is still
 // re-verified with the node's full test chain: a key collision can only
 // widen a bucket, never fabricate or lose a match.
+//
+// Buckets are singly-linked chains through one append-only entry array
+// per index (int32 links, free-listed on removal), not per-key slices:
+// steady-state insertion and removal touch only the entry array and the
+// map's inline int32 value, so index upkeep does not allocate. This is
+// safe against iteration-during-mutation because the network is a DAG:
+// propagation only ever mutates memories downstream of the one being
+// iterated.
+//
 // Nodes with no equality tests (pure predicate joins) keep the linear
 // scan; indexed not-nodes keep their count semantics but store the
 // left records keyed by join key.
@@ -34,7 +44,15 @@ func SplitJoinTests(tests []JoinTest) (eq, rest []JoinTest) {
 			rest = append(rest, t)
 		}
 	}
-	sort.Slice(eq, func(i, j int) bool { return eq[i].key() < eq[j].key() })
+	if len(eq) > 1 {
+		// Precompute keys: key() builds a string, and the comparator
+		// runs O(n log n) times.
+		keys := make(map[*JoinTest]string, len(eq))
+		for i := range eq {
+			keys[&eq[i]] = eq[i].key()
+		}
+		sort.Slice(eq, func(i, j int) bool { return keys[&eq[i]] < keys[&eq[j]] })
+	}
 	return eq, rest
 }
 
@@ -47,14 +65,14 @@ func JoinKeyFuncs(eq []JoinTest) (leftKey func(*Token) string, rightKey func(*op
 	leftKey = func(tok *Token) string {
 		b := make([]byte, 0, 16*len(tests))
 		for _, t := range tests {
-			b = ops5.AppendValueKey(b, tok.WMEs[t.LeftIdx].Get(t.LeftAttr))
+			b = ops5.AppendValueKey(b, tok.WMEs[t.LeftIdx].GetID(t.LeftID))
 		}
 		return string(b)
 	}
 	rightKey = func(w *ops5.WME) string {
 		b := make([]byte, 0, 16*len(tests))
 		for _, t := range tests {
-			b = ops5.AppendValueKey(b, w.Get(t.RightAttr))
+			b = ops5.AppendValueKey(b, w.GetID(t.RightID))
 		}
 		return string(b)
 	}
@@ -73,36 +91,64 @@ func JoinHashFuncs(eq []JoinTest) (leftHash func(*Token) uint64, rightHash func(
 	leftHash = func(tok *Token) uint64 {
 		h := ops5.HashSeed
 		for _, t := range tests {
-			h = ops5.HashValue(h, tok.WMEs[t.LeftIdx].Get(t.LeftAttr))
+			h = ops5.HashValue(h, tok.WMEs[t.LeftIdx].GetID(t.LeftID))
 		}
 		return h
 	}
 	rightHash = func(w *ops5.WME) uint64 {
 		h := ops5.HashSeed
 		for _, t := range tests {
-			h = ops5.HashValue(h, w.Get(t.RightAttr))
+			h = ops5.HashValue(h, w.GetID(t.RightID))
 		}
 		return h
 	}
 	return leftHash, rightHash
 }
 
+// wmeEntry is one chain link of an alphaIndex: the WME and the entry
+// index of the next link (-1 ends the chain; free-listed entries reuse
+// next as the free link).
+type wmeEntry struct {
+	w    *ops5.WME
+	next int32
+}
+
 // alphaIndex is a hash index over an alpha memory's WMEs, keyed by the
-// values of attrs (the RightAttr columns of one equality key spec).
+// values of attrs (the RightID columns of one equality key spec).
 // buckets stays nil — and insert/remove are no-ops — until the memory
 // first reaches linearProbeMin items, the size below which activations
 // scan linearly anyway; tiny memories then pay no key or map upkeep.
 type alphaIndex struct {
-	attrs   []string
-	buckets map[uint64][]*ops5.WME
+	attrs   []sym.ID
+	buckets map[uint64]int32
+	entries []wmeEntry
+	free    int32
 }
 
 func (ix *alphaIndex) key(w *ops5.WME) uint64 {
 	h := ops5.HashSeed
 	for _, a := range ix.attrs {
-		h = ops5.HashValue(h, w.Get(a))
+		h = ops5.HashValue(h, w.GetID(a))
 	}
 	return h
+}
+
+// add links w into the bucket for key k, reusing a free entry if any.
+func (ix *alphaIndex) add(k uint64, w *ops5.WME) {
+	head, ok := ix.buckets[k]
+	if !ok {
+		head = -1
+	}
+	var i int32
+	if ix.free >= 0 {
+		i = ix.free
+		ix.free = ix.entries[i].next
+		ix.entries[i] = wmeEntry{w: w, next: head}
+	} else {
+		i = int32(len(ix.entries))
+		ix.entries = append(ix.entries, wmeEntry{w: w, next: head})
+	}
+	ix.buckets[k] = i
 }
 
 // insert adds w to its bucket. items is the owning memory's current
@@ -113,15 +159,15 @@ func (ix *alphaIndex) insert(w *ops5.WME, items []*ops5.WME) {
 		if len(items) < linearProbeMin {
 			return
 		}
-		ix.buckets = make(map[uint64][]*ops5.WME, len(items))
+		ix.buckets = make(map[uint64]int32, len(items))
+		ix.entries = make([]wmeEntry, 0, 2*len(items))
+		ix.free = -1
 		for _, x := range items {
-			k := ix.key(x)
-			ix.buckets[k] = append(ix.buckets[k], x)
+			ix.add(ix.key(x), x)
 		}
 		return
 	}
-	k := ix.key(w)
-	ix.buckets[k] = append(ix.buckets[k], w)
+	ix.add(ix.key(w), w)
 }
 
 func (ix *alphaIndex) remove(w *ops5.WME) {
@@ -129,41 +175,110 @@ func (ix *alphaIndex) remove(w *ops5.WME) {
 		return
 	}
 	k := ix.key(w)
-	bucket := ix.buckets[k]
-	for i, x := range bucket {
-		if x == w {
-			bucket = append(bucket[:i], bucket[i+1:]...)
-			if len(bucket) == 0 {
-				delete(ix.buckets, k)
+	head, ok := ix.buckets[k]
+	if !ok {
+		return
+	}
+	prev := int32(-1)
+	for i := head; i >= 0; i = ix.entries[i].next {
+		if ix.entries[i].w == w {
+			next := ix.entries[i].next
+			if prev < 0 {
+				if next < 0 {
+					delete(ix.buckets, k)
+				} else {
+					ix.buckets[k] = next
+				}
 			} else {
-				ix.buckets[k] = bucket
+				ix.entries[prev].next = next
 			}
+			ix.entries[i] = wmeEntry{next: ix.free}
+			ix.free = i
 			return
 		}
+		prev = i
 	}
+}
+
+// probe collects the bucket for key k into scratch's storage (grown as
+// needed and retained by the caller across probes, so steady-state
+// probing does not allocate) and returns the filled slice.
+func (ix *alphaIndex) probe(k uint64, scratch *[]*ops5.WME) []*ops5.WME {
+	out := (*scratch)[:0]
+	head, ok := ix.buckets[k]
+	if !ok {
+		*scratch = out
+		return out
+	}
+	for i := head; i >= 0; i = ix.entries[i].next {
+		out = append(out, ix.entries[i].w)
+	}
+	*scratch = out
+	return out
+}
+
+// bucketStats reports the live bucket count and largest chain length.
+func (ix *alphaIndex) bucketStats() (buckets, maxBucket int) {
+	for _, head := range ix.buckets {
+		buckets++
+		n := 0
+		for i := head; i >= 0; i = ix.entries[i].next {
+			n++
+		}
+		if n > maxBucket {
+			maxBucket = n
+		}
+	}
+	return buckets, maxBucket
 }
 
 // betaCol is one column of a beta index key: token position and attr.
 type betaCol struct {
 	idx  int
-	attr string
+	attr sym.ID
+}
+
+// tokEntry is one chain link of a betaIndex (see wmeEntry).
+type tokEntry struct {
+	tok  *Token
+	next int32
 }
 
 // betaIndex is a hash index over a beta memory's tokens, keyed by the
-// values of cols (the LeftIdx/LeftAttr columns of one equality spec).
+// values of cols (the LeftIdx/LeftID columns of one equality spec).
 // As with alphaIndex, buckets stays nil until the memory first reaches
 // linearProbeMin tokens.
 type betaIndex struct {
 	cols    []betaCol
-	buckets map[uint64][]*Token
+	buckets map[uint64]int32
+	entries []tokEntry
+	free    int32
 }
 
 func (ix *betaIndex) key(tok *Token) uint64 {
 	h := ops5.HashSeed
 	for _, c := range ix.cols {
-		h = ops5.HashValue(h, tok.WMEs[c.idx].Get(c.attr))
+		h = ops5.HashValue(h, tok.WMEs[c.idx].GetID(c.attr))
 	}
 	return h
+}
+
+// add links tok into the bucket for key k, reusing a free entry if any.
+func (ix *betaIndex) add(k uint64, tok *Token) {
+	head, ok := ix.buckets[k]
+	if !ok {
+		head = -1
+	}
+	var i int32
+	if ix.free >= 0 {
+		i = ix.free
+		ix.free = ix.entries[i].next
+		ix.entries[i] = tokEntry{tok: tok, next: head}
+	} else {
+		i = int32(len(ix.entries))
+		ix.entries = append(ix.entries, tokEntry{tok: tok, next: head})
+	}
+	ix.buckets[k] = i
 }
 
 // insert adds tok to its bucket. tokens is the owning memory's current
@@ -174,15 +289,15 @@ func (ix *betaIndex) insert(tok *Token, tokens []*Token) {
 		if len(tokens) < linearProbeMin {
 			return
 		}
-		ix.buckets = make(map[uint64][]*Token, len(tokens))
+		ix.buckets = make(map[uint64]int32, len(tokens))
+		ix.entries = make([]tokEntry, 0, 2*len(tokens))
+		ix.free = -1
 		for _, x := range tokens {
-			k := ix.key(x)
-			ix.buckets[k] = append(ix.buckets[k], x)
+			ix.add(ix.key(x), x)
 		}
 		return
 	}
-	k := ix.key(tok)
-	ix.buckets[k] = append(ix.buckets[k], tok)
+	ix.add(ix.key(tok), tok)
 }
 
 func (ix *betaIndex) remove(tok *Token) {
@@ -190,39 +305,81 @@ func (ix *betaIndex) remove(tok *Token) {
 		return
 	}
 	k := ix.key(tok)
-	bucket := ix.buckets[k]
-	for i, t := range bucket {
-		if t.EqualTo(tok) {
-			bucket = append(bucket[:i], bucket[i+1:]...)
-			if len(bucket) == 0 {
-				delete(ix.buckets, k)
+	head, ok := ix.buckets[k]
+	if !ok {
+		return
+	}
+	prev := int32(-1)
+	for i := head; i >= 0; i = ix.entries[i].next {
+		if ix.entries[i].tok.EqualTo(tok) {
+			next := ix.entries[i].next
+			if prev < 0 {
+				if next < 0 {
+					delete(ix.buckets, k)
+				} else {
+					ix.buckets[k] = next
+				}
 			} else {
-				ix.buckets[k] = bucket
+				ix.entries[prev].next = next
 			}
+			ix.entries[i] = tokEntry{next: ix.free}
+			ix.free = i
 			return
 		}
+		prev = i
 	}
+}
+
+// probe collects the bucket for key k into scratch's storage (see
+// alphaIndex.probe) and returns the filled slice.
+func (ix *betaIndex) probe(k uint64, scratch *[]*Token) []*Token {
+	out := (*scratch)[:0]
+	head, ok := ix.buckets[k]
+	if !ok {
+		*scratch = out
+		return out
+	}
+	for i := head; i >= 0; i = ix.entries[i].next {
+		out = append(out, ix.entries[i].tok)
+	}
+	*scratch = out
+	return out
+}
+
+// bucketStats reports the live bucket count and largest chain length.
+func (ix *betaIndex) bucketStats() (buckets, maxBucket int) {
+	for _, head := range ix.buckets {
+		buckets++
+		n := 0
+		for i := head; i >= 0; i = ix.entries[i].next {
+			n++
+		}
+		if n > maxBucket {
+			maxBucket = n
+		}
+	}
+	return buckets, maxBucket
 }
 
 // indexFor returns this alpha memory's index for the given equality
 // spec, creating (and back-filling) it on first request. Joins with
 // identical right-side key columns share one index.
 func (am *AlphaMem) indexFor(eq []JoinTest) *alphaIndex {
-	attrs := make([]string, len(eq))
+	attrs := make([]sym.ID, len(eq))
 	for i, t := range eq {
-		attrs[i] = t.RightAttr
+		attrs[i] = t.RightID
 	}
 	for _, ix := range am.indexes {
-		if stringsEqual(ix.attrs, attrs) {
+		if idsEqual(ix.attrs, attrs) {
 			return ix
 		}
 	}
-	ix := &alphaIndex{attrs: attrs}
+	ix := &alphaIndex{attrs: attrs, free: -1}
 	if len(am.Items) >= linearProbeMin {
-		ix.buckets = make(map[uint64][]*ops5.WME, len(am.Items))
+		ix.buckets = make(map[uint64]int32, len(am.Items))
+		ix.entries = make([]wmeEntry, 0, 2*len(am.Items))
 		for _, w := range am.Items {
-			k := ix.key(w)
-			ix.buckets[k] = append(ix.buckets[k], w)
+			ix.add(ix.key(w), w)
 		}
 	}
 	am.indexes = append(am.indexes, ix)
@@ -234,26 +391,26 @@ func (am *AlphaMem) indexFor(eq []JoinTest) *alphaIndex {
 func (bm *BetaMem) indexFor(eq []JoinTest) *betaIndex {
 	cols := make([]betaCol, len(eq))
 	for i, t := range eq {
-		cols[i] = betaCol{idx: t.LeftIdx, attr: t.LeftAttr}
+		cols[i] = betaCol{idx: t.LeftIdx, attr: t.LeftID}
 	}
 	for _, ix := range bm.indexes {
 		if colsEqual(ix.cols, cols) {
 			return ix
 		}
 	}
-	ix := &betaIndex{cols: cols}
+	ix := &betaIndex{cols: cols, free: -1}
 	if len(bm.Tokens) >= linearProbeMin {
-		ix.buckets = make(map[uint64][]*Token, len(bm.Tokens))
+		ix.buckets = make(map[uint64]int32, len(bm.Tokens))
+		ix.entries = make([]tokEntry, 0, 2*len(bm.Tokens))
 		for _, tok := range bm.Tokens {
-			k := ix.key(tok)
-			ix.buckets[k] = append(ix.buckets[k], tok)
+			ix.add(ix.key(tok), tok)
 		}
 	}
 	bm.indexes = append(bm.indexes, ix)
 	return ix
 }
 
-func stringsEqual(a, b []string) bool {
+func idsEqual(a, b []sym.ID) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -295,7 +452,8 @@ func (n *Network) prepare() {
 		j.rightIdx = j.Right.indexFor(eq)
 		j.leftIdx = j.Left.indexFor(eq)
 		if j.Kind == JoinNegative {
-			j.negIndex = make(map[uint64][]*negRecord)
+			j.negIndex = make(map[uint64]int32)
+			j.negFree = -1
 		}
 	}
 }
@@ -327,32 +485,34 @@ func (n *Network) IndexInfo() IndexInfo {
 		} else {
 			info.FallbackJoins++
 		}
-		for _, b := range j.negIndex {
+		for _, head := range j.negIndex {
 			info.Buckets++
-			if len(b) > info.MaxBucket {
-				info.MaxBucket = len(b)
+			b := 0
+			for e := head; e >= 0; e = j.negEntries[e].next {
+				b++
+			}
+			if b > info.MaxBucket {
+				info.MaxBucket = b
 			}
 		}
 	}
 	for _, am := range n.alphas {
 		info.AlphaIndexes += len(am.indexes)
 		for _, ix := range am.indexes {
-			info.Buckets += len(ix.buckets)
-			for _, b := range ix.buckets {
-				if len(b) > info.MaxBucket {
-					info.MaxBucket = len(b)
-				}
+			b, mx := ix.bucketStats()
+			info.Buckets += b
+			if mx > info.MaxBucket {
+				info.MaxBucket = mx
 			}
 		}
 	}
 	for _, bm := range n.betas {
 		info.BetaIndexes += len(bm.indexes)
 		for _, ix := range bm.indexes {
-			info.Buckets += len(ix.buckets)
-			for _, b := range ix.buckets {
-				if len(b) > info.MaxBucket {
-					info.MaxBucket = len(b)
-				}
+			b, mx := ix.bucketStats()
+			info.Buckets += b
+			if mx > info.MaxBucket {
+				info.MaxBucket = mx
 			}
 		}
 	}

@@ -35,9 +35,13 @@ func bucketSnapshot(t *testing.T, n *Network) string {
 			counts := make(map[uint64]int)
 			if ix.buckets != nil {
 				total := 0
-				for k, b := range ix.buckets {
-					counts[k] = len(b)
-					total += len(b)
+				for k, head := range ix.buckets {
+					n := 0
+					for i := head; i >= 0; i = ix.entries[i].next {
+						n++
+					}
+					counts[k] = n
+					total += n
 				}
 				if total != len(am.Items) {
 					t.Errorf("alpha%d.%d: %d bucketed items, memory holds %d", am.ID, ii, total, len(am.Items))
@@ -55,9 +59,13 @@ func bucketSnapshot(t *testing.T, n *Network) string {
 			counts := make(map[uint64]int)
 			if ix.buckets != nil {
 				total := 0
-				for k, b := range ix.buckets {
-					counts[k] = len(b)
-					total += len(b)
+				for k, head := range ix.buckets {
+					n := 0
+					for i := head; i >= 0; i = ix.entries[i].next {
+						n++
+					}
+					counts[k] = n
+					total += n
 				}
 				if total != len(bm.Tokens) {
 					t.Errorf("beta%d.%d: %d bucketed tokens, memory holds %d", bm.ID, ii, total, len(bm.Tokens))
@@ -73,8 +81,12 @@ func bucketSnapshot(t *testing.T, n *Network) string {
 	for _, j := range n.joins {
 		if j.negIndex != nil {
 			lines = append(lines, fmt.Sprintf("join%d negCount=%d", j.ID, j.negCount))
-			for k, b := range j.negIndex {
-				lines = append(lines, fmt.Sprintf("join%d %#x=%d", j.ID, k, len(b)))
+			for k, head := range j.negIndex {
+				b := 0
+				for e := head; e >= 0; e = j.negEntries[e].next {
+					b++
+				}
+				lines = append(lines, fmt.Sprintf("join%d %#x=%d", j.ID, k, b))
 			}
 		} else {
 			lines = append(lines, fmt.Sprintf("join%d negRecords=%d", j.ID, len(j.negRecords)))

@@ -15,10 +15,12 @@ package rete
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // constKind discriminates single-WME test forms in the alpha network.
@@ -32,13 +34,18 @@ const (
 )
 
 // ConstTest is one single-WME test performed in the alpha network.
+// Attributes are carried as interned symbol IDs (names kept for
+// diagnostics), so evaluation never hashes a string: constant-test
+// dispatch is integer field lookup plus value compare.
 type ConstTest struct {
-	Kind  constKind
-	Attr  string
-	Pred  ops5.Predicate
-	Val   ops5.Value
-	Disj  []ops5.Value
-	Attr2 string
+	Kind    constKind
+	Attr    string
+	AttrID  sym.ID
+	Pred    ops5.Predicate
+	Val     ops5.Value
+	Disj    []ops5.Value
+	Attr2   string
+	Attr2ID sym.ID
 }
 
 // Eval applies the test to a WME (class already checked by the root).
@@ -47,9 +54,9 @@ func (t *ConstTest) Eval(w *ops5.WME) bool {
 	case ctAlways:
 		return true
 	case ctConst:
-		return t.Pred.Compare(w.Get(t.Attr), t.Val)
+		return t.Pred.Compare(w.GetID(t.AttrID), t.Val)
 	case ctDisj:
-		v := w.Get(t.Attr)
+		v := w.GetID(t.AttrID)
 		for _, d := range t.Disj {
 			if v.Equal(d) {
 				return true
@@ -57,7 +64,7 @@ func (t *ConstTest) Eval(w *ops5.WME) bool {
 		}
 		return false
 	case ctAttrRel:
-		return t.Pred.Compare(w.Get(t.Attr), w.Get(t.Attr2))
+		return t.Pred.Compare(w.GetID(t.AttrID), w.GetID(t.Attr2ID))
 	default:
 		return false
 	}
@@ -87,6 +94,19 @@ func (t *ConstTest) key() string {
 // String renders the test for diagnostics.
 func (t *ConstTest) String() string { return t.key() }
 
+// testsByKey sorts tests and their precomputed keys together.
+type testsByKey struct {
+	tests []ConstTest
+	keys  []string
+}
+
+func (s *testsByKey) Len() int           { return len(s.tests) }
+func (s *testsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *testsByKey) Swap(i, j int) {
+	s.tests[i], s.tests[j] = s.tests[j], s.tests[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // ConstNode is a node in the alpha test chain. Passing WMEs flow to the
 // children and, if present, into the output alpha memory.
 type ConstNode struct {
@@ -94,6 +114,8 @@ type ConstNode struct {
 	Test     ConstTest
 	Children []*ConstNode
 	Mem      *AlphaMem
+	// testKey caches Test.key() for node sharing during compilation.
+	testKey string
 	// compiled, when non-nil, is the closure-specialised test (see
 	// EnableCompiledDispatch).
 	compiled func(*ops5.WME) bool
@@ -181,16 +203,25 @@ func (am *AlphaMem) remove(w *ops5.WME) bool {
 
 // Token is a sequence of WMEs matching the positive condition elements
 // processed so far, in LHS order. Tokens are immutable; extension copies.
+// Short tokens (the overwhelmingly common case) store their WMEs in the
+// inline arr, so extension is a single allocation.
 type Token struct {
 	WMEs []*ops5.WME
+	arr  [6]*ops5.WME
 }
 
 // Extend returns a new token with w appended.
 func (t *Token) Extend(w *ops5.WME) *Token {
-	n := make([]*ops5.WME, len(t.WMEs)+1)
-	copy(n, t.WMEs)
-	n[len(t.WMEs)] = w
-	return &Token{WMEs: n}
+	n := len(t.WMEs) + 1
+	nt := &Token{}
+	if n <= len(nt.arr) {
+		nt.WMEs = nt.arr[:n]
+	} else {
+		nt.WMEs = make([]*ops5.WME, n)
+	}
+	copy(nt.WMEs, t.WMEs)
+	nt.WMEs[n-1] = w
+	return nt
 }
 
 // EqualTo reports structural equality (same WME pointers in order).
@@ -229,10 +260,13 @@ type BetaMem struct {
 	// prepare time and shared between joins with the same key spec.
 	indexes []*betaIndex
 	// pos maps token identity hashes to slice positions for O(1)
-	// removal. A bucket holds the positions of all tokens sharing a
-	// hash (time tags make chains unique, so buckets are single-entry
-	// in practice; EqualTo re-verifies either way).
-	pos map[uint64][]int
+	// removal. A bucket is a chain through posEntries (time tags make
+	// chains unique, so buckets are single-entry in practice; EqualTo
+	// re-verifies either way). Chained int32 entries with a free list
+	// keep steady-state upkeep allocation-free.
+	pos        map[uint64]int32
+	posEntries []posEntry
+	posFree    int32
 	// Mu guards Tokens in the parallel runtime only.
 	Mu sync.Mutex
 }
@@ -271,17 +305,70 @@ func TokenIDHash(tok *Token) uint64 { return tokenIDHash(tok) }
 // at the linearProbeMin crossing and kept thereafter.
 func (bm *BetaMem) insert(tok *Token) {
 	if bm.pos == nil && len(bm.Tokens) >= linearProbeMin {
-		bm.pos = make(map[uint64][]int, len(bm.Tokens)+1)
+		bm.pos = make(map[uint64]int32, len(bm.Tokens)+1)
+		bm.posEntries = make([]posEntry, 0, 2*len(bm.Tokens))
+		bm.posFree = -1
 		for i, t := range bm.Tokens {
-			k := tokenIDHash(t)
-			bm.pos[k] = append(bm.pos[k], i)
+			bm.posAdd(tokenIDHash(t), int32(i))
 		}
 	}
 	if bm.pos != nil {
-		key := tokenIDHash(tok)
-		bm.pos[key] = append(bm.pos[key], len(bm.Tokens))
+		bm.posAdd(tokenIDHash(tok), int32(len(bm.Tokens)))
 	}
 	bm.Tokens = append(bm.Tokens, tok)
+}
+
+// posEntry is one chain link of the position map: a token position and
+// the entry index of the next link (-1 ends the chain; free-listed
+// entries reuse next as the free link).
+type posEntry struct {
+	pos  int32
+	next int32
+}
+
+// posAdd links position p under identity key k.
+func (bm *BetaMem) posAdd(k uint64, p int32) {
+	head, ok := bm.pos[k]
+	if !ok {
+		head = -1
+	}
+	var i int32
+	if bm.posFree >= 0 {
+		i = bm.posFree
+		bm.posFree = bm.posEntries[i].next
+		bm.posEntries[i] = posEntry{pos: p, next: head}
+	} else {
+		i = int32(len(bm.posEntries))
+		bm.posEntries = append(bm.posEntries, posEntry{pos: p, next: head})
+	}
+	bm.pos[k] = i
+}
+
+// posDelete unlinks the entry for key k holding position p.
+func (bm *BetaMem) posDelete(k uint64, p int32) {
+	head, ok := bm.pos[k]
+	if !ok {
+		return
+	}
+	prev := int32(-1)
+	for i := head; i >= 0; i = bm.posEntries[i].next {
+		if bm.posEntries[i].pos == p {
+			next := bm.posEntries[i].next
+			if prev < 0 {
+				if next < 0 {
+					delete(bm.pos, k)
+				} else {
+					bm.pos[k] = next
+				}
+			} else {
+				bm.posEntries[prev].next = next
+			}
+			bm.posEntries[i] = posEntry{next: bm.posFree}
+			bm.posFree = i
+			return
+		}
+		prev = i
+	}
 }
 
 // remove deletes one token structurally equal to tok, reporting
@@ -300,18 +387,17 @@ func (bm *BetaMem) remove(tok *Token) bool {
 		return false
 	}
 	key := tokenIDHash(tok)
-	bucket := bm.pos[key]
-	for bi, i := range bucket {
-		if !bm.Tokens[i].EqualTo(tok) {
+	head, ok := bm.pos[key]
+	if !ok {
+		return false
+	}
+	for e := head; e >= 0; e = bm.posEntries[e].next {
+		p := bm.posEntries[e].pos
+		if !bm.Tokens[p].EqualTo(tok) {
 			continue
 		}
-		bucket[bi] = bucket[len(bucket)-1]
-		if len(bucket) == 1 {
-			delete(bm.pos, key)
-		} else {
-			bm.pos[key] = bucket[:len(bucket)-1]
-		}
-		bm.swapRemove(i)
+		bm.posDelete(key, p)
+		bm.swapRemove(int(p))
 		return true
 	}
 	return false
@@ -332,19 +418,18 @@ func (bm *BetaMem) removeExt(base *Token, w *ops5.WME) (*Token, bool) {
 		return nil, false
 	}
 	key := hashTag(tokenIDHash(base), w.TimeTag)
-	bucket := bm.pos[key]
-	for bi, i := range bucket {
-		t := bm.Tokens[i]
+	head, ok := bm.pos[key]
+	if !ok {
+		return nil, false
+	}
+	for e := head; e >= 0; e = bm.posEntries[e].next {
+		p := bm.posEntries[e].pos
+		t := bm.Tokens[p]
 		if !extEqual(t, base, w) {
 			continue
 		}
-		bucket[bi] = bucket[len(bucket)-1]
-		if len(bucket) == 1 {
-			delete(bm.pos, key)
-		} else {
-			bm.pos[key] = bucket[:len(bucket)-1]
-		}
-		bm.swapRemove(i)
+		bm.posDelete(key, p)
+		bm.swapRemove(int(p))
 		return t, true
 	}
 	return nil, false
@@ -372,10 +457,9 @@ func (bm *BetaMem) swapRemove(i int) {
 		moved := bm.Tokens[last]
 		bm.Tokens[i] = moved
 		if bm.pos != nil {
-			mb := bm.pos[tokenIDHash(moved)]
-			for bi, p := range mb {
-				if p == last {
-					mb[bi] = i
+			for e := bm.pos[tokenIDHash(moved)]; e >= 0; e = bm.posEntries[e].next {
+				if int(bm.posEntries[e].pos) == last {
+					bm.posEntries[e].pos = int32(i)
 					break
 				}
 			}
@@ -386,22 +470,26 @@ func (bm *BetaMem) swapRemove(i int) {
 }
 
 // JoinTest is one inter-element variable consistency test evaluated at a
-// two-input node: rightWME.Get(RightAttr) Pred token[LeftIdx].Get(LeftAttr).
+// two-input node: rightWME[RightAttr] Pred token[LeftIdx][LeftAttr].
+// Attributes carry their interned IDs so the join hot path resolves
+// fields by integer compare.
 type JoinTest struct {
 	Pred      ops5.Predicate
 	RightAttr string
+	RightID   sym.ID
 	LeftIdx   int
 	LeftAttr  string
+	LeftID    sym.ID
 }
 
 // Eval applies the test.
 func (jt *JoinTest) Eval(tok *Token, w *ops5.WME) bool {
-	return jt.Pred.Compare(w.Get(jt.RightAttr), tok.WMEs[jt.LeftIdx].Get(jt.LeftAttr))
+	return jt.Pred.Compare(w.GetID(jt.RightID), tok.WMEs[jt.LeftIdx].GetID(jt.LeftID))
 }
 
 // key returns a canonical identity used for node sharing.
 func (jt *JoinTest) key() string {
-	return fmt.Sprintf("%s|%s|%d|%s", jt.Pred, jt.RightAttr, jt.LeftIdx, jt.LeftAttr)
+	return jt.Pred.String() + "|" + jt.RightAttr + "|" + strconv.Itoa(jt.LeftIdx) + "|" + jt.LeftAttr
 }
 
 // JoinKind discriminates and-nodes from not-nodes.
@@ -415,6 +503,59 @@ const (
 
 // negRecord is a left token stored in a not-node with its count of
 // matching right WMEs.
+type negEntry struct {
+	rec  negRecord
+	next int32
+}
+
+// negAdd links rec under join-key hash k in the indexed not-node state.
+func (j *JoinNode) negAdd(k uint64, rec negRecord) {
+	head, ok := j.negIndex[k]
+	if !ok {
+		head = -1
+	}
+	var i int32
+	if j.negFree >= 0 {
+		i = j.negFree
+		j.negFree = j.negEntries[i].next
+		j.negEntries[i] = negEntry{rec: rec, next: head}
+	} else {
+		i = int32(len(j.negEntries))
+		j.negEntries = append(j.negEntries, negEntry{rec: rec, next: head})
+	}
+	j.negIndex[k] = i
+}
+
+// negDelete unlinks the record for a token equal to tok under hash k,
+// returning its match count.
+func (j *JoinNode) negDelete(k uint64, tok *Token) (count int, found bool) {
+	head, ok := j.negIndex[k]
+	if !ok {
+		return 0, false
+	}
+	prev := int32(-1)
+	for i := head; i >= 0; i = j.negEntries[i].next {
+		if j.negEntries[i].rec.tok.EqualTo(tok) {
+			count = j.negEntries[i].rec.count
+			next := j.negEntries[i].next
+			if prev < 0 {
+				if next < 0 {
+					delete(j.negIndex, k)
+				} else {
+					j.negIndex[k] = next
+				}
+			} else {
+				j.negEntries[prev].next = next
+			}
+			j.negEntries[i] = negEntry{next: j.negFree}
+			j.negFree = i
+			return count, true
+		}
+		prev = i
+	}
+	return 0, false
+}
+
 type negRecord struct {
 	tok   *Token
 	count int
@@ -443,10 +584,24 @@ type JoinNode struct {
 	rightHash func(*ops5.WME) uint64
 	leftIdx   *betaIndex
 	rightIdx  *alphaIndex
+	// leftScratch/rightScratch are this node's probe buffers, reused
+	// across activations so bucket collection does not allocate. Safe
+	// to reuse: the network is a DAG, so a node is never re-activated
+	// while one of its own probes is still being iterated.
+	leftScratch  []*Token
+	rightScratch []*ops5.WME
 	// negIndex holds an indexed not-node's left records bucketed by
 	// join key hash; negCount tracks their number for StateSize.
-	negIndex map[uint64][]*negRecord
-	negCount int
+	// Buckets are chains through negEntries storing records by value
+	// (chained int32 entries with a free list), so steady-state upkeep
+	// allocates nothing. Entries are only appended on this node's own
+	// left activation, which never nests inside an iteration of the
+	// same node's chains (propagation flows strictly downstream), so
+	// pointers into negEntries taken during a walk stay valid.
+	negIndex   map[uint64]int32
+	negEntries []negEntry
+	negFree    int32
+	negCount   int
 	// compiled, when non-nil, is the closure-specialised test chain.
 	compiled func(*Token, *ops5.WME) bool
 	// SharedBy counts the productions compiled onto this node.
@@ -475,17 +630,71 @@ type Terminal struct {
 	// posIndex maps token position -> LHS condition-element index.
 	posIndex []int
 	// live caches the instantiation of each token currently in the
-	// conflict set, keyed by token identity hash (buckets re-verified
+	// conflict set, keyed by token identity hash (chains re-verified
 	// with EqualTo), so removals don't rebuild variable bindings. Only
 	// the serial runtime touches it; the parallel runtime calls
-	// Instantiate directly, which stays pure.
-	live map[uint64][]liveInst
+	// Instantiate directly, which stays pure. Chained int32 entries
+	// with a free list keep steady-state upkeep allocation-free.
+	live        map[uint64]int32
+	liveEntries []liveInst
+	liveFree    int32
 }
 
-// liveInst pairs a live token with its cached instantiation.
+// liveInst pairs a live token with its cached instantiation; next links
+// the hash chain (-1 ends it; free-listed entries reuse it as the free
+// link).
 type liveInst struct {
 	tok  *Token
 	inst *ops5.Instantiation
+	next int32
+}
+
+// liveAdd caches inst for tok in the terminal's live map.
+func (t *Terminal) liveAdd(k uint64, tok *Token, inst *ops5.Instantiation) {
+	head, ok := t.live[k]
+	if !ok {
+		head = -1
+	}
+	var i int32
+	if t.liveFree >= 0 {
+		i = t.liveFree
+		t.liveFree = t.liveEntries[i].next
+		t.liveEntries[i] = liveInst{tok: tok, inst: inst, next: head}
+	} else {
+		i = int32(len(t.liveEntries))
+		t.liveEntries = append(t.liveEntries, liveInst{tok: tok, inst: inst, next: head})
+	}
+	t.live[k] = i
+}
+
+// liveTake removes and returns the cached instantiation for a token
+// equal to tok, or nil when none is cached.
+func (t *Terminal) liveTake(k uint64, tok *Token) *ops5.Instantiation {
+	head, ok := t.live[k]
+	if !ok {
+		return nil
+	}
+	prev := int32(-1)
+	for i := head; i >= 0; i = t.liveEntries[i].next {
+		if t.liveEntries[i].tok.EqualTo(tok) {
+			inst := t.liveEntries[i].inst
+			next := t.liveEntries[i].next
+			if prev < 0 {
+				if next < 0 {
+					delete(t.live, k)
+				} else {
+					t.live[k] = next
+				}
+			} else {
+				t.liveEntries[prev].next = next
+			}
+			t.liveEntries[i] = liveInst{next: t.liveFree}
+			t.liveFree = i
+			return inst
+		}
+		prev = i
+	}
+	return nil
 }
 
 // Instantiate builds the instantiation for a complete token. Variable
@@ -493,16 +702,16 @@ type liveInst struct {
 // conflict set without firing, so the LHS binding walk happens lazily in
 // ops5.Instantiation.EvalBindings only when the RHS is evaluated.
 func (t *Terminal) Instantiate(tok *Token) *ops5.Instantiation {
-	wmes := make([]*ops5.WME, len(t.Production.LHS))
+	inst := ops5.NewInstantiation(t.Production, len(t.Production.LHS))
 	for pos, lhsIdx := range t.posIndex {
-		wmes[lhsIdx] = tok.WMEs[pos]
+		inst.WMEs[lhsIdx] = tok.WMEs[pos]
 	}
-	return &ops5.Instantiation{Production: t.Production, WMEs: wmes}
+	return inst
 }
 
 // Network is a compiled Rete network over a fixed set of productions.
 type Network struct {
-	roots    map[string]*ConstNode
+	roots    map[sym.ID]*ConstNode
 	alphas   []*AlphaMem
 	betas    []*BetaMem
 	joins    []*JoinNode
@@ -535,7 +744,7 @@ type Network struct {
 // New returns an empty network with no productions.
 func New() *Network {
 	n := &Network{
-		roots:      make(map[string]*ConstNode),
+		roots:      make(map[sym.ID]*ConstNode),
 		alphaByKey: make(map[string]*AlphaMem),
 		joinByKey:  make(map[string]*JoinNode),
 	}
@@ -647,14 +856,15 @@ func (n *Network) buildAlpha(p *ops5.Production, ceIdx int, ce *ops5.CondElement
 		for _, t := range at.Terms {
 			switch t.Kind {
 			case ops5.TermConst:
-				tests = append(tests, ConstTest{Kind: ctConst, Attr: at.Attr, Pred: t.Pred, Val: t.Val})
+				tests = append(tests, ConstTest{Kind: ctConst, Attr: at.Attr, AttrID: at.AttrID, Pred: t.Pred, Val: t.Val})
 			case ops5.TermDisj:
-				tests = append(tests, ConstTest{Kind: ctDisj, Attr: at.Attr, Disj: t.Disj})
+				tests = append(tests, ConstTest{Kind: ctDisj, Attr: at.Attr, AttrID: at.AttrID, Disj: t.Disj})
 			case ops5.TermVar:
 				if a, boundHere := local[t.Var]; boundHere {
 					// Intra-element test against the local binding.
 					if !(t.Pred == ops5.PredEq && a == at.Attr) {
-						tests = append(tests, ConstTest{Kind: ctAttrRel, Attr: at.Attr, Pred: t.Pred, Attr2: a})
+						tests = append(tests, ConstTest{Kind: ctAttrRel, Attr: at.Attr, AttrID: at.AttrID,
+							Pred: t.Pred, Attr2: a, Attr2ID: sym.Intern(a)})
 					}
 					continue
 				}
@@ -671,28 +881,34 @@ func (n *Network) buildAlpha(p *ops5.Production, ceIdx int, ce *ops5.CondElement
 			}
 		}
 	}
-	// Canonical order maximises sharing across CEs.
-	sort.Slice(tests, func(i, j int) bool { return tests[i].key() < tests[j].key() })
+	// Canonical order maximises sharing across CEs. Keys are computed
+	// once up front: key() builds strings, and calling it inside the
+	// sort comparator and child scans below would allocate per compare.
+	keys := make([]string, len(tests))
+	for i := range tests {
+		keys[i] = tests[i].key()
+	}
+	sort.Sort(&testsByKey{tests, keys})
 
-	root := n.roots[ce.Class]
+	root := n.roots[ce.ClassID]
 	if root == nil {
 		root = &ConstNode{ID: n.id(), Test: ConstTest{Kind: ctAlways}}
-		n.roots[ce.Class] = root
+		n.roots[ce.ClassID] = root
 	}
 	root.SharedBy++
 	cur := root
 	key := "class:" + ce.Class
 	for i := range tests {
-		key += "/" + tests[i].key()
+		key += "/" + keys[i]
 		var child *ConstNode
 		for _, c := range cur.Children {
-			if c.Test.key() == tests[i].key() {
+			if c.testKey == keys[i] {
 				child = c
 				break
 			}
 		}
 		if child == nil {
-			child = &ConstNode{ID: n.id(), Test: tests[i]}
+			child = &ConstNode{ID: n.id(), Test: tests[i], testKey: keys[i]}
 			cur.Children = append(cur.Children, child)
 		}
 		child.SharedBy++
@@ -737,8 +953,10 @@ func (n *Network) buildJoinTests(p *ops5.Production, ce *ops5.CondElement, outer
 			tests = append(tests, JoinTest{
 				Pred:      t.Pred,
 				RightAttr: at.Attr,
+				RightID:   at.AttrID,
 				LeftIdx:   b.tokenIdx,
 				LeftAttr:  b.attr,
+				LeftID:    sym.Intern(b.attr),
 			})
 		}
 	}
@@ -747,7 +965,7 @@ func (n *Network) buildJoinTests(p *ops5.Production, ce *ops5.CondElement, outer
 
 // findOrAddJoin returns a shared or fresh two-input node.
 func (n *Network) findOrAddJoin(kind JoinKind, left *BetaMem, right *AlphaMem, tests []JoinTest) *JoinNode {
-	key := fmt.Sprintf("%d|%d|%d", kind, left.ID, right.ID)
+	key := strconv.Itoa(int(kind)) + "|" + strconv.Itoa(left.ID) + "|" + strconv.Itoa(right.ID)
 	tkeys := make([]string, len(tests))
 	for i := range tests {
 		tkeys[i] = tests[i].key()

@@ -7,7 +7,7 @@ import "repro/internal/ops5"
 // number of constant tests evaluated. The parallel runtime and the
 // statistics tools use this to dispatch WM changes.
 func (n *Network) MatchAlphas(w *ops5.WME) (mems []*AlphaMem, tests int) {
-	root := n.roots[w.Class]
+	root := n.roots[w.ClassID()]
 	if root == nil {
 		return nil, 0
 	}

@@ -1,0 +1,129 @@
+package server
+
+// Golden test for the /v1 wire surface. The JSON shapes of every
+// request and response type on the versioned HTTP API are rendered —
+// field names, JSON tags, types, omitempty — into a canonical text
+// form and compared against testdata/v1_surface.golden. Renaming,
+// removing or retyping a field fails here first: /v1 is a compatibility
+// promise, and changing its shapes requires a deliberate golden update
+// (run with -update-golden) plus, for breaking changes, a version bump.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/v1_surface.golden from the current types")
+
+// v1Surface enumerates every type that crosses the /v1 wire. Adding a
+// type here extends the frozen surface; removing one shrinks it — both
+// show up as golden diffs.
+func v1Surface() map[string]any {
+	return map[string]any{
+		"CreateRequest":    CreateRequest{},
+		"WireChange":       WireChange{},
+		"ChangesRequest":   ChangesRequest{},
+		"ChangesResponse":  ChangesResponse{},
+		"RunRequest":       RunRequest{},
+		"RunResponse":      RunResponse{},
+		"WireWME":          WireWME{},
+		"WireInst":         WireInst{},
+		"SessionResponse":  SessionResponse{},
+		"SnapshotResponse": SnapshotResponse{},
+		"WireSpan":         WireSpan{},
+		"TraceResponse":    TraceResponse{},
+		"WireProfileNode":  WireProfileNode{},
+		"WireMatchStats":   WireMatchStats{},
+		"WireWorkerStat":   WireWorkerStat{},
+		"WireIndex":        WireIndex{},
+		"ProfileResponse":  ProfileResponse{},
+		"ErrorResponse":    ErrorResponse{},
+	}
+}
+
+// shapeOf renders one type's JSON shape, one line per field:
+// "Type.FieldName json-tag go-type". Struct-typed fields recurse only
+// when the field type is itself in the surface map (rendered under its
+// own name), so each shape line has exactly one owner.
+func shapeOf(name string, v any) []string {
+	t := reflect.TypeOf(v)
+	var lines []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("json")
+		if tag == "" {
+			tag = "(untagged:" + f.Name + ")"
+		}
+		lines = append(lines, fmt.Sprintf("%s.%s\t%s\t%s", name, f.Name, tag, f.Type.String()))
+	}
+	return lines
+}
+
+func renderSurface() string {
+	surface := v1Surface()
+	names := make([]string, 0, len(surface))
+	for n := range surface {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# /v1 JSON wire surface. Regenerate with:\n")
+	b.WriteString("#   go test ./internal/server -run TestV1SurfaceGolden -update-golden\n")
+	b.WriteString("# A diff here means the public API shape changed — update deliberately.\n")
+	for _, n := range names {
+		for _, line := range shapeOf(n, surface[n]) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestV1SurfaceGolden(t *testing.T) {
+	got := renderSurface()
+	path := filepath.Join("testdata", "v1_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("/v1 JSON surface changed without a golden update.\n"+
+			"If this change is intentional, regenerate with:\n"+
+			"  go test ./internal/server -run TestV1SurfaceGolden -update-golden\n"+
+			"and call out the API change in the PR.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestErrorEnvelopeShape pins the envelope contract itself: exactly
+// three fields, code/message/retryable, matching what writeError and
+// the cluster package emit.
+func TestErrorEnvelopeShape(t *testing.T) {
+	lines := shapeOf("ErrorResponse", ErrorResponse{})
+	want := []string{
+		"ErrorResponse.Code\tcode\tstring",
+		"ErrorResponse.Message\tmessage\tstring",
+		"ErrorResponse.Retryable\tretryable\tbool",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Fatalf("error envelope shape drifted:\n got %q\nwant %q", lines, want)
+	}
+}

@@ -293,6 +293,7 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 		handler := h(fn)
 		mux.HandleFunc(method+" "+APIVersion+path, handler)
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.deprecated.Add(1)
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", "<"+APIVersion+r.URL.Path+`>; rel="successor-version"`)
 			handler(w, r)
@@ -725,7 +726,7 @@ func jsonToValue(v any) (ops5.Value, error) {
 func valueToJSON(v ops5.Value) any {
 	switch v.Kind {
 	case ops5.SymValue:
-		return v.Sym
+		return v.SymName()
 	case ops5.NumValue:
 		return v.Num
 	default:

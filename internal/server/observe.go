@@ -127,7 +127,9 @@ func (s *Server) Profile(ctx context.Context, id string) (ProfileResult, error) 
 			Cycles:       eng.Cycles,
 			TotalChanges: eng.TotalChanges,
 		}
-		if nodes, ok := eng.MatcherProfile(); ok {
+		caps := eng.Capabilities()
+		if p := caps.Profile; p != nil {
+			nodes := p.NodeProfile()
 			res.NodesSupported = true
 			sort.Slice(nodes, func(i, j int) bool {
 				if nodes[i].Cost != nodes[j].Cost {
@@ -140,10 +142,12 @@ func (s *Server) Profile(ctx context.Context, id string) (ProfileResult, error) 
 			}
 			res.Nodes = nodes
 		}
-		if ms, ok := eng.MatcherStats(); ok {
+		if p := caps.Stats; p != nil {
+			ms := p.MatchStats()
 			res.MatchStats = &ms
 		}
-		if ix, ok := eng.MatcherIndex(); ok {
+		if p := caps.Index; p != nil {
+			ix := p.Indexed()
 			res.Index = &ix
 		}
 		return res, nil

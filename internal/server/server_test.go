@@ -19,6 +19,7 @@ import (
 	"repro/internal/matchtest"
 	"repro/internal/ops5"
 	"repro/internal/server"
+	"repro/internal/sym"
 )
 
 // client is a minimal JSON client for the psmd HTTP API. Session
@@ -306,11 +307,7 @@ func scriptChanges(batch []ops5.Change) []server.WireChange {
 	out := make([]server.WireChange, len(batch))
 	for i, ch := range batch {
 		if ch.Kind == ops5.Insert {
-			attrs := make(map[string]any, len(ch.WME.Attrs))
-			for k, v := range ch.WME.Attrs {
-				attrs[k] = valueJSON(v)
-			}
-			out[i] = server.WireChange{Op: "assert", Class: ch.WME.Class, Attrs: attrs}
+			out[i] = server.WireChange{Op: "assert", Class: ch.WME.Class(), Attrs: wmeAttrsJSON(ch.WME)}
 		} else {
 			out[i] = server.WireChange{Op: "retract", Tag: ch.WME.TimeTag}
 		}
@@ -318,11 +315,21 @@ func scriptChanges(batch []ops5.Change) []server.WireChange {
 	return out
 }
 
+// wmeAttrsJSON converts a WME's fields to the JSON wire attribute map.
+func wmeAttrsJSON(w *ops5.WME) map[string]any {
+	fields := w.Fields()
+	attrs := make(map[string]any, len(fields))
+	for _, f := range fields {
+		attrs[sym.Name(f.Attr)] = valueJSON(f.Val)
+	}
+	return attrs
+}
+
 // valueJSON mirrors the server's value mapping for test comparisons.
 func valueJSON(v ops5.Value) any {
 	switch v.Kind {
 	case ops5.SymValue:
-		return v.Sym
+		return v.SymName()
 	case ops5.NumValue:
 		return v.Num
 	default:
@@ -484,15 +491,16 @@ func wireWMEContent(w server.WireWME) string {
 
 // wmeContent renders an in-process WME's content in the same form.
 func wmeContent(w *ops5.WME) string {
-	keys := make([]string, 0, len(w.Attrs))
-	for k := range w.Attrs {
+	attrs := wmeAttrsJSON(w)
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString(w.Class)
+	b.WriteString(w.Class())
 	for _, k := range keys {
-		b.WriteString(" ^" + k + " " + anyString(valueJSON(w.Attrs[k])))
+		b.WriteString(" ^" + k + " " + anyString(attrs[k]))
 	}
 	return b.String()
 }
@@ -547,11 +555,7 @@ func TestConcurrentPostersOneSession(t *testing.T) {
 			for b, wmes := range scripts[p] {
 				changes := make([]server.WireChange, len(wmes))
 				for i, w := range wmes {
-					attrs := make(map[string]any, len(w.Attrs))
-					for k, v := range w.Attrs {
-						attrs[k] = valueJSON(v)
-					}
-					changes[i] = server.WireChange{Op: "assert", Class: w.Class, Attrs: attrs}
+					changes[i] = server.WireChange{Op: "assert", Class: w.Class(), Attrs: wmeAttrsJSON(w)}
 				}
 				if got := c.do("POST", "/sessions/shared/changes",
 					server.ChangesRequest{Changes: changes}, nil); got != http.StatusOK {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // Quota bounds a session's resource use so one hot or runaway program
@@ -303,10 +304,11 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 			if c.Class == "" {
 				return ApplyResult{}, badReqf("server: change %d: assert needs a class", i)
 			}
-			w := &ops5.WME{Class: c.Class, Attrs: make(map[string]ops5.Value, len(c.Attrs))}
+			fields := make([]ops5.Field, 0, len(c.Attrs))
 			for k, v := range c.Attrs {
-				w.Attrs[k] = v
+				fields = append(fields, ops5.Field{Attr: sym.Intern(k), Val: v})
 			}
+			w := ops5.NewFact(sym.Intern(c.Class), fields)
 			pending[nextTag] = w
 			nextTag++
 			changes = append(changes, ops5.Change{Kind: ops5.Insert, WME: w})
@@ -347,10 +349,11 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 // park counters since the previous call, owned-goroutine only. Both are
 // zero for matchers without a work-stealing scheduler.
 func (s *session) schedDeltas() (steals, parks int64) {
-	ms, ok := s.sys.Engine.MatcherStats()
-	if !ok {
+	p := s.sys.Engine.Capabilities().Stats
+	if p == nil {
 		return 0, 0
 	}
+	ms := p.MatchStats()
 	steals = ms.Steals - s.lastSteals
 	parks = ms.Parks - s.lastParks
 	s.lastSteals, s.lastParks = ms.Steals, ms.Parks
@@ -396,9 +399,10 @@ func (s *session) info(shard int, now time.Time) SessionInfo {
 
 // wmeInfo converts one WME for the wire.
 func wmeInfo(w *ops5.WME) WMEInfo {
-	attrs := make(map[string]ops5.Value, len(w.Attrs))
-	for k, v := range w.Attrs {
-		attrs[k] = v
+	fields := w.Fields()
+	attrs := make(map[string]ops5.Value, len(fields))
+	for _, f := range fields {
+		attrs[sym.Name(f.Attr)] = f.Val
 	}
-	return WMEInfo{Tag: w.TimeTag, Class: w.Class, Attrs: attrs}
+	return WMEInfo{Tag: w.TimeTag, Class: w.Class(), Attrs: attrs}
 }

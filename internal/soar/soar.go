@@ -132,9 +132,9 @@ func NewAgent(src string, opts Options) (*Agent, error) {
 	a.eng.Load(opts.ExtraWM)
 
 	for _, w := range prog.InitialWM {
-		if w.Class == "goal" && w.Get("status").Sym == "active" {
+		if w.Class() == "goal" && w.Get("status").SymName() == "active" {
 			if id := w.Get("id"); id.Kind == ops5.SymValue {
-				a.goals = append(a.goals, id.Sym)
+				a.goals = append(a.goals, id.SymName())
 			}
 		}
 	}
@@ -236,7 +236,7 @@ func candKey(op, arg, arg2 ops5.Value) string {
 func (a *Agent) decide(g string) (sel *candidate, decided, tie bool) {
 	cands := map[string]*candidate{}
 	for _, w := range a.eng.WM.OfClass("preference") {
-		if w.Get("goal").Sym != g {
+		if w.Get("goal").SymName() != g {
 			continue
 		}
 		op, arg, arg2 := w.Get("op"), w.Get("arg"), w.Get("arg2")
@@ -246,7 +246,7 @@ func (a *Agent) decide(g string) (sel *candidate, decided, tie bool) {
 			c = &candidate{op: op, arg: arg, arg2: arg2}
 			cands[key] = c
 		}
-		switch w.Get("value").Sym {
+		switch w.Get("value").SymName() {
 		case "best":
 			c.best = true
 		case "reject":
@@ -284,34 +284,32 @@ func (a *Agent) install(level int, sel *candidate) {
 	var batch []ops5.Change
 	// Remove every preference for this goal.
 	for _, w := range a.eng.WM.OfClass("preference") {
-		if w.Get("goal").Sym == g {
+		if w.Get("goal").SymName() == g {
 			batch = append(batch, ops5.Change{Kind: ops5.Delete, WME: w})
 		}
 	}
 	// Replace the goal's operator.
 	for _, w := range a.eng.WM.OfClass("operator") {
-		if w.Get("goal").Sym == g {
+		if w.Get("goal").SymName() == g {
 			batch = append(batch, ops5.Change{Kind: ops5.Delete, WME: w})
 		}
 	}
-	opWME := &ops5.WME{Class: "operator", Attrs: map[string]ops5.Value{
-		"goal": ops5.Sym(g),
-		"op":   sel.op,
-	}}
+	opPairs := []any{"goal", ops5.Sym(g), "op", sel.op}
 	if !sel.arg.Nil() {
-		opWME.Attrs["arg"] = sel.arg
+		opPairs = append(opPairs, "arg", sel.arg)
 	}
 	if !sel.arg2.Nil() {
-		opWME.Attrs["arg2"] = sel.arg2
+		opPairs = append(opPairs, "arg2", sel.arg2)
 	}
+	opWME := ops5.NewWME("operator", opPairs...)
 	batch = append(batch, ops5.Change{Kind: ops5.Insert, WME: opWME})
 	// Pop subgoals below the deciding level: their goal WMEs, their
 	// preferences/operators, and every WME tagged ^goal <subgoal-id>.
 	for _, sub := range a.goals[level+1:] {
 		for _, w := range a.eng.WM.Elements() {
 			switch {
-			case w.Class == "goal" && w.Get("id").Sym == sub,
-				w.Get("goal").Sym == sub:
+			case w.Class() == "goal" && w.Get("id").SymName() == sub,
+				w.Get("goal").SymName() == sub:
 				batch = append(batch, ops5.Change{Kind: ops5.Delete, WME: w})
 			}
 		}
@@ -325,12 +323,11 @@ func (a *Agent) impasse(g string) {
 	a.Impasses++
 	a.subgoalSeq++
 	id := fmt.Sprintf("sg%d", a.subgoalSeq)
-	sub := &ops5.WME{Class: "goal", Attrs: map[string]ops5.Value{
-		"id":     ops5.Sym(id),
-		"type":   ops5.Sym("tie"),
-		"for":    ops5.Sym(g),
-		"status": ops5.Sym("active"),
-	}}
+	sub := ops5.NewWME("goal",
+		"id", ops5.Sym(id),
+		"type", ops5.Sym("tie"),
+		"for", ops5.Sym(g),
+		"status", ops5.Sym("active"))
 	a.goals = append(a.goals, id)
 	a.eng.ApplyChanges([]ops5.Change{{Kind: ops5.Insert, WME: sub}})
 }

@@ -35,7 +35,7 @@ func TestWaterJugSolves(t *testing.T) {
 	}
 	// Final state: the large jug holds 4.
 	for _, w := range a.Engine().WM.OfClass("jug") {
-		if w.Get("id").Sym == "a" && w.Get("amount").Num != 4 {
+		if w.Get("id").SymName() == "a" && w.Get("amount").Num != 4 {
 			t.Errorf("jug a = %v, want 4", w.Get("amount"))
 		}
 	}
@@ -143,7 +143,7 @@ func TestOperatorWMEInstalled(t *testing.T) {
 	}
 	var jugA *ops5.WME
 	for _, w := range a.Engine().WM.OfClass("jug") {
-		if w.Get("id").Sym == "a" {
+		if w.Get("id").SymName() == "a" {
 			jugA = w
 		}
 	}

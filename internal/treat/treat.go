@@ -8,6 +8,7 @@ package treat
 
 import (
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // ceMem is the alpha memory for one condition element of one production.
@@ -23,7 +24,7 @@ type ceMem struct {
 	ce    *ops5.CondElement
 	items map[int]*ops5.WME // by time tag
 
-	keyAttrs []string
+	keyAttrs []sym.ID
 	keyVars  []string
 	buckets  map[string]map[int]*ops5.WME // nil when the CE has no key
 }
@@ -32,7 +33,7 @@ type ceMem struct {
 func (mem *ceMem) wmeKey(w *ops5.WME) string {
 	b := make([]byte, 0, 16*len(mem.keyAttrs))
 	for _, a := range mem.keyAttrs {
-		b = ops5.AppendValueKey(b, w.Get(a))
+		b = ops5.AppendValueKey(b, w.GetID(a))
 	}
 	return string(b)
 }
@@ -153,7 +154,7 @@ func New(prods []*ops5.Production) (*Matcher, error) {
 				for _, t := range at.Terms {
 					if t.Kind == ops5.TermVar && t.Pred == ops5.PredEq && bound[t.Var] && !seen[at.Attr] {
 						seen[at.Attr] = true
-						mem.keyAttrs = append(mem.keyAttrs, at.Attr)
+						mem.keyAttrs = append(mem.keyAttrs, at.AttrID)
 						mem.keyVars = append(mem.keyVars, t.Var)
 					}
 				}

@@ -9,10 +9,25 @@ import (
 	"repro/internal/wm"
 )
 
+func mustInsert(t *testing.T, m *wm.Memory, w *ops5.WME) *ops5.WME {
+	t.Helper()
+	got, err := m.Insert(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
 func TestInsertAssignsIncreasingTags(t *testing.T) {
 	m := wm.New()
-	a := m.Insert(ops5.NewWME("c", "v", 1))
-	b := m.Insert(ops5.NewWME("c", "v", 2))
+	a, err := m.Insert(ops5.NewWME("c", "v", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Insert(ops5.NewWME("c", "v", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.TimeTag != 1 || b.TimeTag != 2 {
 		t.Errorf("tags = %d, %d, want 1, 2", a.TimeTag, b.TimeTag)
 	}
@@ -23,7 +38,10 @@ func TestInsertAssignsIncreasingTags(t *testing.T) {
 
 func TestDeleteAndErrors(t *testing.T) {
 	m := wm.New()
-	w := m.Insert(ops5.NewWME("c", "v", 1))
+	w, err := m.Insert(ops5.NewWME("c", "v", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := m.Delete(w.TimeTag)
 	if err != nil || got != w {
 		t.Fatalf("delete: %v, %v", got, err)
@@ -38,9 +56,9 @@ func TestDeleteAndErrors(t *testing.T) {
 
 func TestOfClassAndElementsOrdered(t *testing.T) {
 	m := wm.New()
-	m.Insert(ops5.NewWME("b", "v", 1))
-	m.Insert(ops5.NewWME("a", "v", 2))
-	m.Insert(ops5.NewWME("a", "v", 3))
+	mustInsert(t, m, ops5.NewWME("b", "v", 1))
+	mustInsert(t, m, ops5.NewWME("a", "v", 2))
+	mustInsert(t, m, ops5.NewWME("a", "v", 3))
 	as := m.OfClass("a")
 	if len(as) != 2 || as[0].TimeTag > as[1].TimeTag {
 		t.Errorf("OfClass(a) = %v", as)
@@ -89,7 +107,10 @@ func TestQuickSizeInvariant(t *testing.T) {
 				live = append(live[:idx], live[idx+1:]...)
 				deletes++
 			} else {
-				w := m.Insert(ops5.NewWME("c", "v", rng.Intn(5)))
+				w, err := m.Insert(ops5.NewWME("c", "v", rng.Intn(5)))
+				if err != nil {
+					return false
+				}
 				live = append(live, w.TimeTag)
 				inserts++
 			}
@@ -108,8 +129,8 @@ func TestQuickTagsUnique(t *testing.T) {
 		seen := map[int]bool{}
 		last := 0
 		for i := 0; i < int(n); i++ {
-			w := m.Insert(ops5.NewWME("c"))
-			if seen[w.TimeTag] || w.TimeTag <= last {
+			w, err := m.Insert(ops5.NewWME("c"))
+			if err != nil || seen[w.TimeTag] || w.TimeTag <= last {
 				return false
 			}
 			seen[w.TimeTag] = true

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/ops5"
+	"repro/internal/sym"
 )
 
 // MissManners is the classic OPS5 benchmark (Brant et al.): seat
@@ -114,17 +115,23 @@ func MannersWM(p MannersParams) ([]*ops5.WME, error) {
 			p.HobbiesPerGuest, p.Hobbies)
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
+	guestC := sym.Intern("guest")
+	nameA, sexA, hobbyA := sym.Intern("name"), sym.Intern("sex"), sym.Intern("hobby")
+	sexes := [2]ops5.Value{ops5.Sym("m"), ops5.Sym("f")}
+	hobbies := make([]ops5.Value, p.Hobbies)
+	for h := range hobbies {
+		hobbies[h] = ops5.Sym(fmt.Sprintf("h%d", h+1))
+	}
 	var wmes []*ops5.WME
 	for i := 0; i < p.Guests; i++ {
-		name := fmt.Sprintf("guest%d", i+1)
-		sex := "m"
-		if i%2 == 1 {
-			sex = "f"
-		}
+		name := ops5.Sym(fmt.Sprintf("guest%d", i+1))
 		perm := rng.Perm(p.Hobbies)
 		for _, h := range perm[:p.HobbiesPerGuest] {
-			wmes = append(wmes, ops5.NewWME("guest",
-				"name", name, "sex", sex, "hobby", fmt.Sprintf("h%d", h+1)))
+			wmes = append(wmes, ops5.NewFact(guestC, []ops5.Field{
+				{Attr: nameA, Val: name},
+				{Attr: sexA, Val: sexes[i%2]},
+				{Attr: hobbyA, Val: hobbies[h]},
+			}))
 		}
 	}
 	wmes = append(wmes,

@@ -199,18 +199,18 @@ func TestMissMannersSeatsEveryone(t *testing.T) {
 	}
 	guests := map[string]*guestInfo{}
 	for _, w := range eng.WM.OfClass("guest") {
-		name := w.Get("name").Sym
+		name := w.Get("name").SymName()
 		g := guests[name]
 		if g == nil {
-			g = &guestInfo{sex: w.Get("sex").Sym, hobbies: map[string]bool{}}
+			g = &guestInfo{sex: w.Get("sex").SymName(), hobbies: map[string]bool{}}
 			guests[name] = g
 		}
-		g.hobbies[w.Get("hobby").Sym] = true
+		g.hobbies[w.Get("hobby").SymName()] = true
 	}
 	// Find the full path: the seating whose seat2 == guest count.
 	var full *ops5.WME
 	for _, w := range eng.WM.OfClass("seating") {
-		if int(w.Get("seat2").Num) == p.Guests && w.Get("path-done").Sym == "yes" {
+		if int(w.Get("seat2").Num) == p.Guests && w.Get("path-done").SymName() == "yes" {
 			full = w
 		}
 	}
@@ -222,12 +222,12 @@ func TestMissMannersSeatsEveryone(t *testing.T) {
 	seatName := map[int]string{}
 	for _, w := range eng.WM.OfClass("path") {
 		if w.Get("id").Equal(id) {
-			seatName[int(w.Get("seat").Num)] = w.Get("name").Sym
+			seatName[int(w.Get("seat").Num)] = w.Get("name").SymName()
 		}
 	}
 	// The winning seating's own last pair is not in its path table
 	// (paths propagate from the parent); add it.
-	seatName[int(full.Get("seat2").Num)] = full.Get("name2").Sym
+	seatName[int(full.Get("seat2").Num)] = full.Get("name2").SymName()
 	if len(seatName) != p.Guests {
 		t.Fatalf("path covers %d seats, want %d (%v)", len(seatName), p.Guests, seatName)
 	}
@@ -283,7 +283,7 @@ func TestLabelingMatchesGoArcConsistency(t *testing.T) {
 		}
 		got := map[int]bool{}
 		for _, w := range eng.WM.OfClass("cand") {
-			got[int(w.Get("id").Num)] = w.Get("alive").Sym == "yes"
+			got[int(w.Get("id").Num)] = w.Get("alive").SymName() == "yes"
 		}
 		if len(got) != len(scene.AliveAC) {
 			t.Fatalf("seed %d: %d candidates in WM, want %d", seed, len(got), len(scene.AliveAC))
