@@ -506,6 +506,7 @@ func BenchmarkPreteApply(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var last *prete.Matcher
 			for i := 0; i < b.N; i++ {
 				m, err := prete.New(prods, workers)
 				if err != nil {
@@ -516,8 +517,32 @@ func BenchmarkPreteApply(b *testing.B) {
 				for _, batch := range script.Batches {
 					m.Apply(cloneBatch(batch))
 				}
+				last = m
 			}
 			b.ReportMetric(float64(nChanges*b.N)/b.Elapsed().Seconds(), "wme-changes/s")
+			// Loss-factor accounting from the final iteration's matcher
+			// (one full script): the paper-§6 numbers plus the budget
+			// share of each loss component. benchcmp records these as
+			// informational metrics in BENCH_prete.json, so the scaling
+			// pathology is diffable PR-over-PR without being gated.
+			l := last.Loss()
+			b.ReportMetric(l.LossFactor, "loss-factor")
+			b.ReportMetric(l.TrueSpeedup, "true-speedup")
+			b.ReportMetric(l.NominalConcurrency, "nominal-conc")
+			for _, c := range l.Decomposition {
+				switch c.Name {
+				case "useful_match":
+					b.ReportMetric(c.Share, "match-frac")
+				case "memory_contention":
+					b.ReportMetric(c.Share, "lockwait-frac")
+				case "scheduling":
+					b.ReportMetric(c.Share, "sched-frac")
+				case "idle":
+					b.ReportMetric(c.Share, "idle-frac")
+				case "spawn":
+					b.ReportMetric(c.Share, "spawn-frac")
+				}
+			}
 		})
 	}
 }

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	benchcmp [-threshold 10] old.json new.json
+//	benchcmp -loss bench.json
+//
+// The second form prints the loss-factor table recorded by
+// BenchmarkPreteApply (per worker count: throughput, paper-§6 speedup
+// numbers, and the share of the processor budget each loss component
+// eats) from a single benchmark record — CI prints it on PRs that touch
+// the parallel matcher.
 //
 // Regressions are judged per benchmark, per metric:
 //
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -136,14 +144,71 @@ func lowerIsBetter(unit string, gateAllocs bool) (lower, gated bool) {
 	}
 }
 
+// lossColumns are the per-benchmark metrics of the -loss table, in
+// print order (recorded by BenchmarkPreteApply via b.ReportMetric).
+var lossColumns = []string{
+	"wme-changes/s", "loss-factor", "true-speedup", "nominal-conc",
+	"match-frac", "lockwait-frac", "sched-frac", "idle-frac", "spawn-frac",
+}
+
+// printLossTable renders the loss-factor metrics of one benchmark
+// record as a fixed-width table, one row per benchmark that carries a
+// loss-factor metric, sorted by name.
+func printLossTable(path string) error {
+	rec, err := parseFile(path)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(rec))
+	for name, metrics := range rec {
+		if _, ok := metrics["loss-factor"]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("%s: no loss-factor metrics found", path)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s", "benchmark")
+	for _, c := range lossColumns {
+		fmt.Printf(" %13s", c)
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%-40s", name)
+		for _, c := range lossColumns {
+			if v, ok := rec[name][c]; ok {
+				fmt.Printf(" %13.4g", v)
+			} else {
+				fmt.Printf(" %13s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "allowed regression in percent")
 	gateAllocs := flag.Bool("gate-allocs", false, "also fail on allocs/op and B/op regressions")
+	loss := flag.Bool("loss", false, "print the loss-factor table from a single record instead of comparing two")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-threshold pct] [-gate-allocs] old.json new.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-threshold pct] [-gate-allocs] old.json new.json\n"+
+			"       benchcmp -loss bench.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *loss {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := printLossTable(flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

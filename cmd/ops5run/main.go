@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ops5run [-matcher rete|parallel-rete|treat|full-state|naive] [-strategy lex|mea]
-//	        [-cycles N] [-firings N] [-workers N] [-stats] program.ops
+//	        [-cycles N] [-firings N] [-workers N] [-stats] [-loss] program.ops
 //
 // The program file contains (p ...) productions and optional top-level
 // (make ...) forms for the initial working memory.
@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	firings := flag.Int("firings", 1, "parallel firings per cycle")
 	workers := flag.Int("workers", 0, "parallel matcher workers (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run statistics")
+	loss := flag.Bool("loss", false, "print loss-factor accounting (parallel matcher only)")
 	network := flag.Bool("network", false, "dump the compiled Rete network and exit (serial matcher only)")
 	flag.Parse()
 
@@ -106,6 +109,45 @@ func main() {
 			st := pm.Stats()
 			fmt.Fprintf(os.Stderr, "parallel tasks:         %d\n", st.Tasks)
 			fmt.Fprintf(os.Stderr, "parallel cancellations: %d\n", st.Cancellations)
+		}
+	}
+	if *loss {
+		p := sys.Capabilities().Loss
+		if p == nil {
+			fatal(fmt.Errorf("-loss requires a matcher with loss accounting (parallel-rete)"))
+		}
+		printLoss(os.Stderr, p.LossReport())
+	}
+}
+
+// printLoss renders a loss report as the paper-§6 style table: speedup
+// numbers first, then the phase and decomposition breakdowns.
+func printLoss(w io.Writer, l engine.LossReport) {
+	fmt.Fprintf(w, "loss-factor accounting (paper §6):\n")
+	fmt.Fprintf(w, "  workers:             %d\n", l.Workers)
+	fmt.Fprintf(w, "  batches:             %d\n", l.Batches)
+	fmt.Fprintf(w, "  apply wall:          %.6fs (seed %.6fs, active %.6fs, merge %.6fs)\n",
+		l.ApplySeconds, l.SeedSeconds, l.ActiveSeconds, l.MergeSeconds)
+	fmt.Fprintf(w, "  serial estimate:     %.6fs\n", l.SerialEstimateSeconds)
+	fmt.Fprintf(w, "  true speedup:        %.2f\n", l.TrueSpeedup)
+	fmt.Fprintf(w, "  nominal concurrency: %.2f\n", l.NominalConcurrency)
+	fmt.Fprintf(w, "  loss factor:         %.2f (paper: 1.93 at 32 processors)\n", l.LossFactor)
+	fmt.Fprintf(w, "  phases (worker-seconds over all lanes):\n")
+	for _, p := range l.Phases {
+		fmt.Fprintf(w, "    %-11s %.6f\n", p.Phase, p.Seconds)
+	}
+	fmt.Fprintf(w, "  decomposition of the %dx apply budget:\n", l.Workers)
+	for _, c := range l.Decomposition {
+		fmt.Fprintf(w, "    %-18s %.6fs  %5.1f%%\n", c.Name, c.Seconds, 100*c.Share)
+	}
+	fmt.Fprintf(w, "  task sizes (activations by execution time):\n")
+	prev := int64(0)
+	for _, b := range l.TaskSizes {
+		if b.UpToNanos > 0 {
+			fmt.Fprintf(w, "    <=%-8dns %d\n", b.UpToNanos, b.Count)
+			prev = b.UpToNanos
+		} else {
+			fmt.Fprintf(w, "    >%-9dns %d\n", prev, b.Count)
 		}
 	}
 }

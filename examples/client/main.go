@@ -140,6 +140,19 @@ func main() {
 		lat.percentile(50), lat.percentile(95), lat.percentile(99), len(lat.ds))
 	steals, parks := scrapeSchedCounters(base)
 	fmt.Printf("scheduler: %d steals, %d parks (parallel matchers only)\n", steals, parks)
+	phaseSecs := scrapePhaseSeconds(base)
+	if len(phaseSecs) > 0 {
+		names := make([]string, 0, len(phaseSecs))
+		for n := range phaseSecs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("scheduler phase seconds:")
+		for _, n := range names {
+			fmt.Printf(" %s=%.4f", n, phaseSecs[n])
+		}
+		fmt.Println()
+	}
 
 	if *jsonOut != "" {
 		if err := writeResults(*jsonOut, results{
@@ -154,6 +167,7 @@ func main() {
 			LatencyP99Seconds: lat.percentile(99).Seconds(),
 			Steals:            steals,
 			Parks:             parks,
+			PhaseSeconds:      phaseSecs,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "client: %v\n", err)
 			os.Exit(1)
@@ -207,6 +221,10 @@ type results struct {
 	// sessions use the parallel matcher.
 	Steals int64 `json:"steals"`
 	Parks  int64 `json:"parks"`
+	// PhaseSeconds echoes psmd_sched_phase_seconds_total{phase=...} —
+	// the loss-factor accounting series; absent unless sessions use the
+	// parallel matcher.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // writeResults writes the run summary as indented JSON.
@@ -275,6 +293,21 @@ func runObsDemo(base, api, matcher string) error {
 	}
 	if !prof.NodesSupported {
 		fmt.Println("    (matcher reports no per-node counters; whole-matcher stats only)")
+	}
+
+	var loss server.LossResponse
+	if err := get(lat, api+"/sessions/"+id+"/loss", &loss); err != nil {
+		return err
+	}
+	if loss.Supported && loss.Loss != nil {
+		l := loss.Loss
+		fmt.Printf("  loss: workers=%d apply=%.3fms true-speedup=%.2f nominal=%.2f loss-factor=%.2f\n",
+			l.Workers, l.ApplySeconds*1e3, l.TrueSpeedup, l.NominalConcurrency, l.LossFactor)
+		for _, c := range l.Decomposition {
+			fmt.Printf("    %-18s %5.1f%%\n", c.Name, 100*c.Share)
+		}
+	} else {
+		fmt.Printf("  loss: matcher %s keeps no loss accounting (use -matcher parallel-rete)\n", loss.Matcher)
 	}
 
 	reqDel, _ := http.NewRequest(http.MethodDelete, api+"/sessions/"+id, nil)
@@ -601,6 +634,42 @@ func scrapeSchedCounters(base string) (steals, parks int64) {
 		}
 	}
 	return steals, parks
+}
+
+// scrapePhaseSeconds reads the daemon's per-phase scheduler seconds
+// (psmd_sched_phase_seconds_total{phase="..."}) from /metrics; nil when
+// absent (no parallel-matcher session ran) or unreachable.
+func scrapePhaseSeconds(base string) map[string]float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var out map[string]float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		name, ok := strings.CutPrefix(fields[0], `psmd_sched_phase_seconds_total{phase="`)
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, `"}`)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[name] = v
+	}
+	return out
 }
 
 // printMetrics echoes the daemon's psmd_* counter lines.

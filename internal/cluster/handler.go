@@ -89,6 +89,10 @@ type StatusResponse struct {
 	Standbys  []StandbyStatus `json:"standbys"`
 	Failovers int64           `json:"failovers"`
 	Handoffs  int64           `json:"handoffs"`
+	// SchedPhaseSeconds is this node's accumulated parallel-matcher
+	// scheduler time by phase (the §6 loss-factor series), summed over
+	// every hosted session; absent until a loss-capable matcher runs.
+	SchedPhaseSeconds map[string]float64 `json:"sched_phase_seconds,omitempty"`
 }
 
 // Handler wraps the server's HTTP API with the cluster layer: the
@@ -402,7 +406,13 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Sessions:  []SessionStatus{},
 		Standbys:  []StandbyStatus{},
 		Failovers: n.failovers.Value(),
-		Handoffs:  n.handoffs.Value(),
+		SchedPhaseSeconds: func() map[string]float64 {
+			if m := n.srv.SchedPhaseSeconds(); len(m) > 0 {
+				return m
+			}
+			return nil
+		}(),
+		Handoffs: n.handoffs.Value(),
 	}
 	n.mu.Lock()
 	for id, seq := range live {

@@ -284,6 +284,46 @@ func (m preteMatcher) NodeProfile() []engine.NodeProfileEntry {
 	return nodeProfile(m.Matcher.NodeProfile())
 }
 
+// LossReport converts the parallel matcher's loss-factor accounting to
+// the engine-neutral shape.
+func (m preteMatcher) LossReport() engine.LossReport {
+	l := m.Matcher.Loss()
+	r := engine.LossReport{
+		Workers:               l.Workers,
+		Batches:               l.Batches,
+		ApplySeconds:          l.ApplySeconds,
+		SeedSeconds:           l.SeedSeconds,
+		ActiveSeconds:         l.ActiveSeconds,
+		MergeSeconds:          l.MergeSeconds,
+		SerialEstimateSeconds: l.SerialEstimateSeconds,
+		TrueSpeedup:           l.TrueSpeedup,
+		NominalConcurrency:    l.NominalConcurrency,
+		LossFactor:            l.LossFactor,
+	}
+	conv := func(ps []prete.PhaseSeconds) []engine.PhaseSeconds {
+		out := make([]engine.PhaseSeconds, len(ps))
+		for i, p := range ps {
+			out[i] = engine.PhaseSeconds{Phase: p.Phase, Seconds: p.Seconds}
+		}
+		return out
+	}
+	r.Phases = conv(l.Phases)
+	for _, w := range l.PerWorker {
+		r.PerWorker = append(r.PerWorker, engine.WorkerLoss{
+			Worker: w.Worker, Tasks: w.Tasks, Phases: conv(w.Phases),
+		})
+	}
+	for _, b := range l.TaskSizes {
+		r.TaskSizes = append(r.TaskSizes, engine.TaskBucket{UpToNanos: b.UpToNanos, Count: b.Count})
+	}
+	for _, c := range l.Decomposition {
+		r.Decomposition = append(r.Decomposition, engine.LossComponent{
+			Name: c.Name, Seconds: c.Seconds, Share: c.Share,
+		})
+	}
+	return r
+}
+
 // Indexed reports the parallel matcher's bucket state.
 func (m preteMatcher) Indexed() engine.IndexReport {
 	info := m.Matcher.IndexInfo()

@@ -80,9 +80,79 @@ type NodeProfileEntry struct {
 	Cost float64
 }
 
+// LossReport is a matcher-neutral loss-factor accounting in the shape
+// of the paper's §6 table: where the wall time of parallel match work
+// went, and how measured (true) speedup relates to nominal concurrency.
+// Only matchers with a phase-instrumented scheduler (the parallel Rete)
+// provide one. All numbers are cumulative since the matcher was built.
+type LossReport struct {
+	// Workers is the scheduler lane count; Batches the Apply batches.
+	Workers int
+	Batches int
+	// ApplySeconds is total wall time inside Apply; SeedSeconds its
+	// serial dispatch prefix, ActiveSeconds the parallel worker window,
+	// MergeSeconds the serial conflict-set merge barrier.
+	ApplySeconds  float64
+	SeedSeconds   float64
+	ActiveSeconds float64
+	MergeSeconds  float64
+	// Phases aggregates per-phase worker wall time over all lanes;
+	// PerWorker breaks it down by lane.
+	Phases    []PhaseSeconds
+	PerWorker []WorkerLoss
+	// TaskSizes is the activation execution-time histogram (granularity
+	// below profitable task size shows up in the lowest buckets).
+	TaskSizes []TaskBucket
+	// SerialEstimateSeconds estimates single-processor time for the
+	// same work; TrueSpeedup = estimate / ApplySeconds;
+	// NominalConcurrency = mean busy workers during the active window;
+	// LossFactor = nominal / true (the paper measures 1.93).
+	SerialEstimateSeconds float64
+	TrueSpeedup           float64
+	NominalConcurrency    float64
+	LossFactor            float64
+	// Decomposition partitions the total processor budget
+	// (Workers x ApplySeconds) into named loss components whose shares
+	// sum to 1.
+	Decomposition []LossComponent
+}
+
+// PhaseSeconds is one named scheduler phase's accumulated wall time.
+type PhaseSeconds struct {
+	Phase   string
+	Seconds float64
+}
+
+// WorkerLoss is one scheduler lane's phase breakdown.
+type WorkerLoss struct {
+	Worker int
+	Tasks  int64
+	Phases []PhaseSeconds
+}
+
+// TaskBucket is one bar of the task-size histogram: tasks that executed
+// in at most UpToNanos (0 marks the open top bucket).
+type TaskBucket struct {
+	UpToNanos int64
+	Count     int64
+}
+
+// LossComponent is one term of the loss decomposition.
+type LossComponent struct {
+	Name    string
+	Seconds float64
+	Share   float64
+}
+
 // StatsProvider is the optional capability of reporting match work.
 type StatsProvider interface {
 	MatchStats() MatchStats
+}
+
+// LossProvider is the optional capability of reporting loss-factor
+// accounting; only phase-instrumented parallel matchers implement it.
+type LossProvider interface {
+	LossReport() LossReport
 }
 
 // ProfileProvider is the optional capability of reporting per-node
@@ -110,6 +180,9 @@ type Caps struct {
 	Profile ProfileProvider
 	// Index reports equality-join hash-index state (nil: no indexes).
 	Index IndexProvider
+	// Loss reports loss-factor accounting (nil: no phase-instrumented
+	// scheduler).
+	Loss LossProvider
 }
 
 // Capabilities discovers the optional capabilities of a matcher. It is
@@ -121,6 +194,7 @@ func Capabilities(m Matcher) Caps {
 	c.Stats, _ = m.(StatsProvider)
 	c.Profile, _ = m.(ProfileProvider)
 	c.Index, _ = m.(IndexProvider)
+	c.Loss, _ = m.(LossProvider)
 	return c
 }
 

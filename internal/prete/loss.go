@@ -1,0 +1,284 @@
+package prete
+
+// Loss-factor accounting (§6 of the paper). The paper reports a true
+// speedup of 8.25 on 32 processors against a nominal concurrency of
+// ~15.9 — a measured loss factor of 1.93 — and decomposes the loss into
+// lost node sharing, scheduling overhead and memory contention. This
+// file is the software instrument for the same decomposition: every
+// worker attributes its wall time to a small fixed set of phases with
+// cheap monotonic-clock deltas (no allocation, no locks on the hot
+// path), the matcher attributes the serial seed and merge regions of
+// each Apply, and Loss() folds the accumulated numbers into a
+// LossReport with paper-style nominal concurrency, true speedup and a
+// loss decomposition.
+//
+// The stamping discipline: each worker's phaseClock carries `last`, the
+// instant through which its time has been accounted. stamp(p) charges
+// the interval [last, now] to phase p and advances last. Every code
+// path in workerLoop/run/findWork/park stamps before it hands off, so a
+// worker's phase totals sum (exactly, minus the final sub-microsecond
+// loop tail) to its time inside workerLoop — which is how the report
+// can promise that phases + seed + merge reconstruct Apply wall time.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// phase is one bucket of worker wall time.
+type phase uint8
+
+const (
+	// phaseMatch is useful match work: executing a node activation —
+	// memory update plus opposite-memory scan — excluding lock wait.
+	// This is the work a serial matcher would also perform.
+	phaseMatch phase = iota
+	// phaseLockWait is time acquiring memory stripe locks (the paper's
+	// memory contention). Uncontended acquisitions are included; they
+	// cost tens of nanoseconds and vanish against real contention.
+	phaseLockWait
+	// phaseSubmit is time pushing an activation's downstream tasks and
+	// conflict deltas (scheduling overhead on the producing side).
+	phaseSubmit
+	// phaseStealHit is time spent in steal attempts that found work;
+	// phaseStealMiss covers fruitless victim scans and empty overflow
+	// checks — the busy-wait component of load imbalance.
+	phaseStealHit
+	phaseStealMiss
+	// phaseOverflow is time draining the shared overflow list.
+	phaseOverflow
+	// phasePark is time blocked on the scheduler condvar (plus the
+	// park bookkeeping around it) — idle waiting for work or batch end.
+	phasePark
+	// phaseSpawn is the gap between Apply launching a lane's goroutine
+	// and the lane entering its loop — the software analogue of the
+	// paper's processor-allocation overhead. On small batches a lane
+	// can spawn after the batch's work is already done, so this phase
+	// is where negative scaling from per-Apply goroutine startup shows.
+	phaseSpawn
+
+	numPhases
+)
+
+// phaseNames are the wire/metric spellings, indexed by phase.
+var phaseNames = [numPhases]string{
+	"match", "lock_wait", "submit", "steal_hit", "steal_miss", "overflow", "park", "spawn",
+}
+
+// clockBase anchors nanotime: time.Since on a monotonic base compiles
+// to one clock read with no allocation.
+var clockBase = time.Now()
+
+// nanotime returns monotonic nanoseconds since package init.
+func nanotime() int64 { return int64(time.Since(clockBase)) }
+
+// phaseClock is one worker's phase accumulator. last is owner-only
+// (successive workerLoop goroutines for a lane are ordered by Apply's
+// WaitGroup); the totals are atomics so Loss and Stats may snapshot
+// mid-batch under the race detector.
+type phaseClock struct {
+	last int64
+	ns   [numPhases]atomic.Int64
+}
+
+// stamp charges the time since the previous stamp to phase p.
+func (c *phaseClock) stamp(p phase) {
+	now := nanotime()
+	c.ns[p].Add(now - c.last)
+	c.last = now
+}
+
+// Task-size histogram: activations bucketed by execution time. The
+// paper's premise is ~50-100 instructions per activation; tasks in the
+// lowest buckets are below the grain where stealing or even deque
+// traffic pays, so the histogram shows how much of the workload is too
+// fine to parallelise profitably.
+var taskBucketNanos = [...]int64{256, 1024, 4096, 16384, 65536, 262144}
+
+// numTaskBuckets adds the open top bucket (> 262144ns).
+const numTaskBuckets = len(taskBucketNanos) + 1
+
+// taskBucket maps a task duration to its histogram bucket.
+func taskBucket(d int64) int {
+	for i, ub := range taskBucketNanos {
+		if d <= ub {
+			return i
+		}
+	}
+	return numTaskBuckets - 1
+}
+
+// PhaseSeconds is one named phase's accumulated wall time.
+type PhaseSeconds struct {
+	Phase   string
+	Seconds float64
+}
+
+// WorkerLoss is one scheduler lane's phase breakdown.
+type WorkerLoss struct {
+	Worker int
+	Tasks  int64
+	Phases []PhaseSeconds
+}
+
+// TaskBucket is one bar of the task-size histogram: activations whose
+// execution took at most UpToNanos (0 marks the open top bucket).
+type TaskBucket struct {
+	UpToNanos int64
+	Count     int64
+}
+
+// LossComponent is one term of the loss decomposition: Seconds of the
+// total processor budget (Workers x ApplySeconds) and its Share of it.
+type LossComponent struct {
+	Name    string
+	Seconds float64
+	Share   float64
+}
+
+// LossReport is the matcher's cumulative loss-factor accounting, the
+// software analogue of the paper's §6 table. All counters accumulate
+// since the matcher was built.
+type LossReport struct {
+	// Workers is the scheduler lane count; Batches the Apply calls.
+	Workers int
+	Batches int
+
+	// ApplySeconds is total wall time inside Apply; SeedSeconds the
+	// serial alpha-dispatch prefix, ActiveSeconds the parallel worker
+	// window, MergeSeconds the serial conflict-set merge barrier.
+	// Seed + Active + Merge ~= Apply.
+	ApplySeconds  float64
+	SeedSeconds   float64
+	ActiveSeconds float64
+	MergeSeconds  float64
+
+	// Phases aggregates worker phase time over all lanes; PerWorker
+	// breaks it down by lane. Summed phases ~= Workers' time inside
+	// the active window.
+	Phases    []PhaseSeconds
+	PerWorker []WorkerLoss
+
+	// TaskSizes is the activation execution-time histogram.
+	TaskSizes []TaskBucket
+
+	// SerialEstimateSeconds estimates one-processor time for the same
+	// work: seed + merge + summed useful match time. TrueSpeedup is
+	// that estimate over Apply wall time (the paper's true speedup);
+	// NominalConcurrency is mean busy workers during the active window
+	// (the paper's nominal speedup); LossFactor is nominal over true —
+	// the paper measures 1.93 at 32 processors.
+	SerialEstimateSeconds float64
+	TrueSpeedup           float64
+	NominalConcurrency    float64
+	LossFactor            float64
+
+	// Decomposition partitions the total processor budget
+	// (Workers x ApplySeconds): useful_match, memory_contention
+	// (lock wait), scheduling (submit + steal hits + overflow), idle
+	// (fruitless steals + parking), spawn (goroutine startup latency),
+	// serial_seed_merge (all lanes during the serial regions) and other
+	// (exit skew, loop tails). Shares sum to 1.
+	Decomposition []LossComponent
+}
+
+// secs converts accumulated nanoseconds for the report.
+func secs(ns int64) float64 { return float64(ns) / float64(time.Second) }
+
+// Loss folds the accumulated phase clocks and Apply timings into a
+// LossReport. Safe to call concurrently with Apply; mid-batch numbers
+// are then a point-in-time sample.
+func (m *Matcher) Loss() LossReport {
+	m.mu.Lock()
+	applyNs, seedNs, activeNs, mergeNs := m.applyNs, m.seedNs, m.activeNs, m.mergeNs
+	batches := m.batches
+	m.mu.Unlock()
+
+	workers := len(m.sched.workers)
+	r := LossReport{
+		Workers:       workers,
+		Batches:       batches,
+		ApplySeconds:  secs(applyNs),
+		SeedSeconds:   secs(seedNs),
+		ActiveSeconds: secs(activeNs),
+		MergeSeconds:  secs(mergeNs),
+	}
+
+	var phaseTot [numPhases]int64
+	var bucketTot [numTaskBuckets]int64
+	for wi := range m.sched.workers {
+		w := &m.sched.workers[wi]
+		wl := WorkerLoss{
+			Worker: wi,
+			Tasks:  w.executed.Load(),
+			Phases: make([]PhaseSeconds, numPhases),
+		}
+		for p := phase(0); p < numPhases; p++ {
+			v := w.clock.ns[p].Load()
+			phaseTot[p] += v
+			wl.Phases[p] = PhaseSeconds{Phase: phaseNames[p], Seconds: secs(v)}
+		}
+		for b := 0; b < numTaskBuckets; b++ {
+			bucketTot[b] += w.taskSizes[b].Load()
+		}
+		r.PerWorker = append(r.PerWorker, wl)
+	}
+	r.Phases = make([]PhaseSeconds, numPhases)
+	for p := phase(0); p < numPhases; p++ {
+		r.Phases[p] = PhaseSeconds{Phase: phaseNames[p], Seconds: secs(phaseTot[p])}
+	}
+	r.TaskSizes = make([]TaskBucket, numTaskBuckets)
+	for b := 0; b < numTaskBuckets; b++ {
+		ub := int64(0) // open top bucket
+		if b < len(taskBucketNanos) {
+			ub = taskBucketNanos[b]
+		}
+		r.TaskSizes[b] = TaskBucket{UpToNanos: ub, Count: bucketTot[b]}
+	}
+
+	matchNs := phaseTot[phaseMatch]
+	lockNs := phaseTot[phaseLockWait]
+	schedNs := phaseTot[phaseSubmit] + phaseTot[phaseStealHit] + phaseTot[phaseOverflow]
+	idleNs := phaseTot[phaseStealMiss] + phaseTot[phasePark]
+	spawnNs := phaseTot[phaseSpawn]
+	busyNs := matchNs + lockNs + schedNs
+
+	serialNs := seedNs + mergeNs + matchNs
+	r.SerialEstimateSeconds = secs(serialNs)
+	if applyNs > 0 {
+		r.TrueSpeedup = float64(serialNs) / float64(applyNs)
+	}
+	if activeNs > 0 {
+		r.NominalConcurrency = float64(busyNs) / float64(activeNs)
+	}
+	if r.TrueSpeedup > 0 {
+		r.LossFactor = r.NominalConcurrency / r.TrueSpeedup
+	}
+
+	budgetNs := int64(workers) * applyNs
+	serialRegionNs := int64(workers) * (seedNs + mergeNs)
+	otherNs := budgetNs - matchNs - lockNs - schedNs - idleNs - spawnNs - serialRegionNs
+	if otherNs < 0 {
+		otherNs = 0
+	}
+	comps := []LossComponent{
+		{Name: "useful_match", Seconds: secs(matchNs)},
+		{Name: "memory_contention", Seconds: secs(lockNs)},
+		{Name: "scheduling", Seconds: secs(schedNs)},
+		{Name: "idle", Seconds: secs(idleNs)},
+		{Name: "spawn", Seconds: secs(spawnNs)},
+		{Name: "serial_seed_merge", Seconds: secs(serialRegionNs)},
+		{Name: "other", Seconds: secs(otherNs)},
+	}
+	if budgetNs > 0 {
+		for i := range comps {
+			comps[i].Share = comps[i].Seconds / secs(budgetNs)
+			if math.IsNaN(comps[i].Share) {
+				comps[i].Share = 0
+			}
+		}
+	}
+	r.Decomposition = comps
+	return r
+}

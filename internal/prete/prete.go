@@ -239,11 +239,18 @@ type Matcher struct {
 	cancellations atomic.Int64
 	comparisons   atomic.Int64
 
-	mu       sync.Mutex // guards the batch-level counters below
-	batches  int
-	changes  int64
-	confIns  int64
-	confRem  int64
+	mu      sync.Mutex // guards the batch-level counters below
+	batches int
+	changes int64
+	confIns int64
+	confRem int64
+	// applyNs/seedNs/activeNs/mergeNs accumulate Apply wall time and
+	// its serial-dispatch, parallel-window and merge-barrier regions
+	// (loss.go).
+	applyNs  int64
+	seedNs   int64
+	activeNs int64
+	mergeNs  int64
 	flushBuf []pendingDelta // flush scratch, reused across batches
 }
 
@@ -434,6 +441,7 @@ func (m *Matcher) NodeProfile() []rete.NodeProfEntry {
 // Apply processes a batch of WM changes in parallel and flushes the net
 // conflict-set deltas through OnInsert/OnRemove before returning.
 func (m *Matcher) Apply(changes []ops5.Change) {
+	t0 := nanotime()
 	s := m.sched
 	// Dispatch every change through the (read-only) constant-test
 	// network; each alpha hit becomes one right activation per
@@ -450,21 +458,41 @@ func (m *Matcher) Apply(changes []ops5.Change) {
 			}
 		}
 	}
+	t1 := nanotime()
 	if seeded > 0 {
 		var wg sync.WaitGroup
 		for i := range s.workers {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
-				m.workerLoop(wi)
+				m.workerLoop(wi, t1)
 			}(i)
 		}
 		wg.Wait()
 	}
+	t2 := nanotime()
+	if seeded > 0 {
+		// Close each lane's books to the barrier: a lane's own stamps
+		// stop at its goroutine return, but the active window ends only
+		// when the last lane is through wg.Wait. Charging the straggler
+		// gap to park makes the phase totals cover the whole window, so
+		// seed + merge + phases/workers reconstructs Apply wall time.
+		// wg.Wait orders these writes after every lane's last stamp.
+		for i := range s.workers {
+			w := &s.workers[i]
+			w.clock.ns[phasePark].Add(t2 - w.clock.last)
+			w.clock.last = t2
+		}
+	}
 	m.flush()
+	t3 := nanotime()
 	m.mu.Lock()
 	m.batches++
 	m.changes += int64(len(changes))
+	m.applyNs += t3 - t0
+	m.seedNs += t1 - t0
+	m.activeNs += t2 - t1
+	m.mergeNs += t3 - t2
 	m.mu.Unlock()
 }
 
@@ -472,9 +500,19 @@ func (m *Matcher) Apply(changes []ops5.Change) {
 // drain the own deque LIFO, then steal or take overflow, then park. The
 // worker that retires the batch's last activation wakes every parked
 // lane and all loops return.
-func (m *Matcher) workerLoop(wi int) {
+func (m *Matcher) workerLoop(wi int, spawned int64) {
 	s := m.sched
 	w := &s.workers[wi]
+	// Charge the goroutine startup gap — from Apply launching this lane
+	// to the loop actually entering — to spawn. On small batches another
+	// lane may drain the whole batch inside this gap, which is exactly
+	// the negative-scaling overhead the spawn phase exists to expose.
+	w.clock.last = spawned
+	w.clock.stamp(phaseSpawn)
+	// The exit tail (retiring the last task's bookkeeping, or the final
+	// park wake-up) is charged to park so the lane's phase totals cover
+	// its whole time in the loop.
+	defer w.clock.stamp(phasePark)
 	for {
 		t, ok := w.dq.popTail()
 		if !ok {
@@ -508,7 +546,14 @@ func (m *Matcher) run(t task, wi int) {
 	key := n.key(t)
 	sh := n.shardOf(key)
 	tested := 0
+	// Loss accounting: the dispatch prefix (deque pop, key hash) counts
+	// as match work; the Lock() call is charged to lock_wait; the
+	// guarded section and profiling updates to match; the downstream
+	// submit loop to submit. start anchors the task-size histogram.
+	w.clock.stamp(phaseMatch)
+	start := w.clock.last
 	sh.mu.Lock()
+	w.clock.stamp(phaseLockWait)
 	switch {
 	case t.side == rightSide && n.kind == rete.JoinPositive:
 		if cancelled := sh.updateRight(key, t); cancelled {
@@ -621,6 +666,7 @@ func (m *Matcher) run(t task, wi int) {
 	if len(emits) > 0 {
 		n.prof.emitted.Add(int64(len(emits)))
 	}
+	w.clock.stamp(phaseMatch)
 
 	for _, e := range emits {
 		for _, dn := range n.downstream {
@@ -630,6 +676,8 @@ func (m *Matcher) run(t task, wi int) {
 			w.pending = append(w.pending, pendingDelta{term: term, tok: e.tok, dir: e.dir})
 		}
 	}
+	w.clock.stamp(phaseSubmit)
+	w.taskSizes[taskBucket(w.clock.last-start)].Add(1)
 	w.emits = emits[:0]
 }
 

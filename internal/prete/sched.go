@@ -127,6 +127,12 @@ type worker struct {
 	emits   []emit
 	pending []pendingDelta
 
+	// clock attributes this lane's wall time to phases and taskSizes
+	// histograms activation execution times (loss.go) — the §6
+	// loss-factor instrument.
+	clock     phaseClock
+	taskSizes [numTaskBuckets]atomic.Int64
+
 	// rng drives victim selection (xorshift; seeded per worker).
 	rng uint32
 }
@@ -219,7 +225,10 @@ func (s *scheduler) popOverflow() (task, bool) {
 }
 
 // findWork is the slow path for a worker whose own deque is empty:
-// steal half of a random victim's deque, else drain overflow.
+// steal half of a random victim's deque, else drain overflow. Its time
+// is charged to steal_hit (successful scan), overflow (a task from the
+// shared list) or steal_miss (nothing found; also the fruitless prefix
+// of a scan that ends at the overflow list).
 func (s *scheduler) findWork(wi int) (task, bool) {
 	w := &s.workers[wi]
 	if s.steal && len(s.workers) > 1 {
@@ -246,10 +255,17 @@ func (s *scheduler) findWork(wi int) (task, bool) {
 					s.spill(buf[j])
 				}
 			}
+			w.clock.stamp(phaseStealHit)
 			return buf[0], true
 		}
+		w.clock.stamp(phaseStealMiss)
 	}
-	return s.popOverflow()
+	if t, ok := s.popOverflow(); ok {
+		w.clock.stamp(phaseOverflow)
+		return t, true
+	}
+	w.clock.stamp(phaseStealMiss)
+	return task{}, false
 }
 
 // usableWork reports whether worker wi could obtain a task right now:
@@ -275,7 +291,8 @@ func (s *scheduler) usableWork(wi int) bool {
 }
 
 // park blocks worker wi until work appears or the batch completes,
-// returning false on completion.
+// returning false on completion. All time inside — registration,
+// re-checks and the condvar wait — is charged to the park phase.
 func (s *scheduler) park(wi int) bool {
 	w := &s.workers[wi]
 	s.parkMu.Lock()
@@ -290,11 +307,13 @@ func (s *scheduler) park(wi int) bool {
 		if s.outstanding.Load() == 0 {
 			s.sleepers.Add(-1)
 			s.parkMu.Unlock()
+			w.clock.stamp(phasePark)
 			return false
 		}
 		if s.usableWork(wi) {
 			s.sleepers.Add(-1)
 			s.parkMu.Unlock()
+			w.clock.stamp(phasePark)
 			return true
 		}
 		w.parked.Add(1)

@@ -26,24 +26,30 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/v1_surfac
 // show up as golden diffs.
 func v1Surface() map[string]any {
 	return map[string]any{
-		"CreateRequest":    CreateRequest{},
-		"WireChange":       WireChange{},
-		"ChangesRequest":   ChangesRequest{},
-		"ChangesResponse":  ChangesResponse{},
-		"RunRequest":       RunRequest{},
-		"RunResponse":      RunResponse{},
-		"WireWME":          WireWME{},
-		"WireInst":         WireInst{},
-		"SessionResponse":  SessionResponse{},
-		"SnapshotResponse": SnapshotResponse{},
-		"WireSpan":         WireSpan{},
-		"TraceResponse":    TraceResponse{},
-		"WireProfileNode":  WireProfileNode{},
-		"WireMatchStats":   WireMatchStats{},
-		"WireWorkerStat":   WireWorkerStat{},
-		"WireIndex":        WireIndex{},
-		"ProfileResponse":  ProfileResponse{},
-		"ErrorResponse":    ErrorResponse{},
+		"CreateRequest":     CreateRequest{},
+		"WireChange":        WireChange{},
+		"ChangesRequest":    ChangesRequest{},
+		"ChangesResponse":   ChangesResponse{},
+		"RunRequest":        RunRequest{},
+		"RunResponse":       RunResponse{},
+		"WireWME":           WireWME{},
+		"WireInst":          WireInst{},
+		"SessionResponse":   SessionResponse{},
+		"SnapshotResponse":  SnapshotResponse{},
+		"WireSpan":          WireSpan{},
+		"TraceResponse":     TraceResponse{},
+		"WireProfileNode":   WireProfileNode{},
+		"WireMatchStats":    WireMatchStats{},
+		"WireWorkerStat":    WireWorkerStat{},
+		"WireIndex":         WireIndex{},
+		"WirePhaseSeconds":  WirePhaseSeconds{},
+		"WireWorkerLoss":    WireWorkerLoss{},
+		"WireTaskBucket":    WireTaskBucket{},
+		"WireLossComponent": WireLossComponent{},
+		"WireLoss":          WireLoss{},
+		"LossResponse":      LossResponse{},
+		"ProfileResponse":   ProfileResponse{},
+		"ErrorResponse":     ErrorResponse{},
 	}
 }
 

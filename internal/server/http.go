@@ -194,6 +194,60 @@ type WireIndex struct {
 	MaxBucket     int `json:"max_bucket"`
 }
 
+// WirePhaseSeconds is one scheduler phase's accumulated wall time.
+type WirePhaseSeconds struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WireWorkerLoss is one scheduler lane's phase breakdown.
+type WireWorkerLoss struct {
+	Worker int                `json:"worker"`
+	Tasks  int64              `json:"tasks"`
+	Phases []WirePhaseSeconds `json:"phases"`
+}
+
+// WireTaskBucket is one bar of the task-size histogram: activations
+// that executed in at most up_to_nanos (0 marks the open top bucket).
+type WireTaskBucket struct {
+	UpToNanos int64 `json:"up_to_nanos"`
+	Count     int64 `json:"count"`
+}
+
+// WireLossComponent is one term of the loss decomposition.
+type WireLossComponent struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// WireLoss is a session's loss-factor accounting on the wire — the
+// paper's §6 decomposition of where parallel speedup goes.
+type WireLoss struct {
+	Workers               int                 `json:"workers"`
+	Batches               int                 `json:"batches"`
+	ApplySeconds          float64             `json:"apply_seconds"`
+	SeedSeconds           float64             `json:"seed_seconds"`
+	ActiveSeconds         float64             `json:"active_seconds"`
+	MergeSeconds          float64             `json:"merge_seconds"`
+	Phases                []WirePhaseSeconds  `json:"phases"`
+	PerWorker             []WireWorkerLoss    `json:"per_worker,omitempty"`
+	TaskSizes             []WireTaskBucket    `json:"task_sizes,omitempty"`
+	SerialEstimateSeconds float64             `json:"serial_estimate_seconds"`
+	TrueSpeedup           float64             `json:"true_speedup"`
+	NominalConcurrency    float64             `json:"nominal_concurrency"`
+	LossFactor            float64             `json:"loss_factor"`
+	Decomposition         []WireLossComponent `json:"decomposition"`
+}
+
+// LossResponse is the body of GET /v1/sessions/{id}/loss.
+type LossResponse struct {
+	SessionID string    `json:"session_id"`
+	Matcher   string    `json:"matcher"`
+	Supported bool      `json:"supported"`
+	Loss      *WireLoss `json:"loss,omitempty"`
+}
+
 // ProfileResponse is the body of GET /v1/sessions/{id}/profile.
 type ProfileResponse struct {
 	SessionID      string            `json:"session_id"`
@@ -206,6 +260,7 @@ type ProfileResponse struct {
 	Truncated      int               `json:"truncated,omitempty"`
 	MatchStats     *WireMatchStats   `json:"match_stats,omitempty"`
 	Index          *WireIndex        `json:"index,omitempty"`
+	Loss           *WireLoss         `json:"loss,omitempty"`
 }
 
 // APIVersion is the current HTTP API version prefix. Unversioned
@@ -251,6 +306,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) 
 //	GET    /v1/sessions/{id}/wm        working memory (?class= filters)
 //	GET    /v1/sessions/{id}/trace     recent cycle spans (survives deletion)
 //	GET    /v1/sessions/{id}/profile   hot-node profile (?top= truncates)
+//	GET    /v1/sessions/{id}/loss      loss-factor accounting (§6 decomposition)
 //	POST   /v1/sessions/{id}/snapshot  force a durable checkpoint
 //	GET    /metrics                    serving metrics, text exposition
 //	GET    /statusz                    human-readable session table
@@ -310,6 +366,7 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	api("GET /sessions/{id}/wm", s.handleWM)
 	api("GET /sessions/{id}/trace", s.handleTrace)
 	api("GET /sessions/{id}/profile", s.handleProfile)
+	api("GET /sessions/{id}/loss", s.handleLoss)
 	api("POST /sessions/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -612,7 +669,64 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) error {
 			MaxBucket:     res.Index.MaxBucket,
 		}
 	}
+	if res.Loss != nil {
+		out.Loss = wireLoss(res.Loss)
+	}
 	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLoss(w http.ResponseWriter, r *http.Request) error {
+	res, err := s.Loss(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	out := LossResponse{
+		SessionID: res.SessionID,
+		Matcher:   res.Matcher,
+		Supported: res.Supported,
+	}
+	if res.Report != nil {
+		out.Loss = wireLoss(res.Report)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// wireLoss converts a loss report for the wire.
+func wireLoss(l *engine.LossReport) *WireLoss {
+	phases := func(ps []engine.PhaseSeconds) []WirePhaseSeconds {
+		out := make([]WirePhaseSeconds, len(ps))
+		for i, p := range ps {
+			out[i] = WirePhaseSeconds{Phase: p.Phase, Seconds: p.Seconds}
+		}
+		return out
+	}
+	out := &WireLoss{
+		Workers:               l.Workers,
+		Batches:               l.Batches,
+		ApplySeconds:          l.ApplySeconds,
+		SeedSeconds:           l.SeedSeconds,
+		ActiveSeconds:         l.ActiveSeconds,
+		MergeSeconds:          l.MergeSeconds,
+		Phases:                phases(l.Phases),
+		SerialEstimateSeconds: l.SerialEstimateSeconds,
+		TrueSpeedup:           l.TrueSpeedup,
+		NominalConcurrency:    l.NominalConcurrency,
+		LossFactor:            l.LossFactor,
+	}
+	for _, wl := range l.PerWorker {
+		out.PerWorker = append(out.PerWorker, WireWorkerLoss{
+			Worker: wl.Worker, Tasks: wl.Tasks, Phases: phases(wl.Phases),
+		})
+	}
+	for _, b := range l.TaskSizes {
+		out.TaskSizes = append(out.TaskSizes, WireTaskBucket{UpToNanos: b.UpToNanos, Count: b.Count})
+	}
+	for _, c := range l.Decomposition {
+		out.Decomposition = append(out.Decomposition, WireLossComponent{
+			Name: c.Name, Seconds: c.Seconds, Share: c.Share,
+		})
+	}
+	return out
 }
 
 // wireSpan converts a cycle span for the wire.

@@ -109,6 +109,9 @@ type ProfileResult struct {
 	// matcher reports them (nil otherwise).
 	MatchStats *engine.MatchStats
 	Index      *engine.IndexReport
+	// Loss carries the matcher's loss-factor accounting when the
+	// matcher reports one (nil otherwise).
+	Loss *engine.LossReport
 }
 
 // Profile snapshots a session's live hot-node profile: per-node
@@ -149,6 +152,46 @@ func (s *Server) Profile(ctx context.Context, id string) (ProfileResult, error) 
 		if p := caps.Index; p != nil {
 			ix := p.Indexed()
 			res.Index = &ix
+		}
+		if p := caps.Loss; p != nil {
+			lr := p.LossReport()
+			res.Loss = &lr
+		}
+		return res, nil
+	})
+}
+
+// LossResult is one session's loss-factor accounting (§6): where the
+// parallel matcher's wall time went and how true speedup relates to
+// nominal concurrency.
+type LossResult struct {
+	// SessionID and Matcher identify what was measured.
+	SessionID string
+	Matcher   string
+	// Supported reports whether the matcher keeps phase accounting
+	// (only the parallel Rete does).
+	Supported bool
+	// Report is the accounting; nil when unsupported.
+	Report *engine.LossReport
+}
+
+// Loss snapshots a session's loss-factor accounting: the parallel
+// matcher's per-worker phase times, task-size histogram, and the
+// paper-§6 nominal-concurrency / true-speedup / loss-factor numbers.
+func (s *Server) Loss(ctx context.Context, id string) (LossResult, error) {
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (LossResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return LossResult{}, err
+		}
+		res := LossResult{
+			SessionID: id,
+			Matcher:   sess.sys.MatcherKind().String(),
+		}
+		if p := sess.sys.Engine.Capabilities().Loss; p != nil {
+			lr := p.LossReport()
+			res.Supported = true
+			res.Report = &lr
 		}
 		return res, nil
 	})

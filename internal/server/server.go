@@ -128,6 +128,13 @@ type Server struct {
 	runSeconds   *stats.Histogram
 	queueDepth   []*stats.Gauge
 
+	// Loss-accounting metrics: labelled series are created on first
+	// observation (the phase set comes from the matcher's loss report),
+	// guarded by lossMu; the counters themselves are lock-free.
+	lossMu     sync.Mutex
+	phaseSecs  map[string]*stats.FloatCounter
+	taskCounts map[string]*stats.Counter
+
 	// Durability metrics (zero-valued but present even when -data-dir
 	// is unset, so dashboards never miss the series).
 	walBytes        *stats.Counter
@@ -183,6 +190,8 @@ func New(cfg Config) *Server {
 			"latency of one durable-session snapshot", nil),
 		recovered: r.Counter("psmd_recovered_sessions",
 			"sessions recovered from durable state at startup"),
+		phaseSecs:  make(map[string]*stats.FloatCounter),
+		taskCounts: make(map[string]*stats.Counter),
 	}
 	r.GaugeFunc("psmd_uptime_seconds", "seconds since server start", func() float64 {
 		return time.Since(s.start).Seconds()
@@ -565,8 +574,69 @@ func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (Appl
 		st, pk := sess.schedDeltas()
 		s.steals.Add(st)
 		s.parks.Add(pk)
+		s.recordLoss(sess)
 		return res, nil
 	})
+}
+
+// recordLoss advances the server-wide loss metrics by the session
+// matcher's per-phase seconds and task-size counts accumulated since
+// the previous request (session.lossDeltas). Labelled series appear on
+// first observation — the phase vocabulary belongs to the matcher, not
+// the server.
+func (s *Server) recordLoss(sess *session) {
+	phases, buckets := sess.lossDeltas()
+	for name, secs := range phases {
+		if secs > 0 {
+			s.phaseCounter(name).Add(secs)
+		}
+	}
+	for le, n := range buckets {
+		if n > 0 {
+			s.taskCounter(le).Add(n)
+		}
+	}
+}
+
+// phaseCounter returns (creating on first use) the phase-seconds series
+// for one scheduler phase.
+func (s *Server) phaseCounter(phase string) *stats.FloatCounter {
+	s.lossMu.Lock()
+	defer s.lossMu.Unlock()
+	c := s.phaseSecs[phase]
+	if c == nil {
+		c = s.registry.FloatCounter(fmt.Sprintf("psmd_sched_phase_seconds_total{phase=%q}", phase),
+			"parallel-matcher wall time by scheduler phase (plus the serial seed/merge regions)")
+		s.phaseSecs[phase] = c
+	}
+	return c
+}
+
+// taskCounter returns (creating on first use) the activation-count
+// series for one task-size bucket (le = inclusive nanosecond bound).
+func (s *Server) taskCounter(le string) *stats.Counter {
+	s.lossMu.Lock()
+	defer s.lossMu.Unlock()
+	c := s.taskCounts[le]
+	if c == nil {
+		c = s.registry.Counter(fmt.Sprintf("psmd_task_activations{le=%q}", le),
+			"parallel-matcher activations by execution-time bucket (nanoseconds)")
+		s.taskCounts[le] = c
+	}
+	return c
+}
+
+// SchedPhaseSeconds snapshots the node's accumulated scheduler phase
+// seconds across all sessions — the cluster status endpoint uses it for
+// node-level loss visibility.
+func (s *Server) SchedPhaseSeconds() map[string]float64 {
+	s.lossMu.Lock()
+	defer s.lossMu.Unlock()
+	out := make(map[string]float64, len(s.phaseSecs))
+	for name, c := range s.phaseSecs {
+		out[name] = c.Value()
+	}
+	return out
 }
 
 // RunCycles executes up to maxCycles recognize-act cycles (0 = until
@@ -599,6 +669,7 @@ func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunRe
 		st, pk := sess.schedDeltas()
 		s.steals.Add(st)
 		s.parks.Add(pk)
+		s.recordLoss(sess)
 		if err != nil && !errors.Is(err, engine.ErrCycleLimit) {
 			return RunResult{}, err
 		}

@@ -18,6 +18,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/conflict"
@@ -88,6 +89,12 @@ type session struct {
 	// server-wide counters can be advanced by per-request deltas.
 	lastSteals int64
 	lastParks  int64
+
+	// lastPhaseSecs and lastTaskCounts do the same for the matcher's
+	// cumulative loss accounting (lossDeltas); nil until the first call
+	// on a loss-capable matcher.
+	lastPhaseSecs  map[string]float64
+	lastTaskCounts map[string]int64
 
 	// log is the session's durable state (nil when the server runs
 	// without -data-dir). walErrLogged throttles the append-failure
@@ -347,17 +354,68 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 
 // schedDeltas returns the growth of the session matcher's steal and
 // park counters since the previous call, owned-goroutine only. Both are
-// zero for matchers without a work-stealing scheduler.
+// zero for matchers without a work-stealing scheduler. A counter
+// regression means the matcher was rebuilt (session restore from a
+// snapshot): the baseline resyncs to zero so the server-wide monotone
+// counters advance by the new matcher's full count instead of going
+// negative.
 func (s *session) schedDeltas() (steals, parks int64) {
 	p := s.sys.Engine.Capabilities().Stats
 	if p == nil {
 		return 0, 0
 	}
 	ms := p.MatchStats()
+	if ms.Steals < s.lastSteals || ms.Parks < s.lastParks {
+		s.lastSteals, s.lastParks = 0, 0
+	}
 	steals = ms.Steals - s.lastSteals
 	parks = ms.Parks - s.lastParks
 	s.lastSteals, s.lastParks = ms.Steals, ms.Parks
 	return steals, parks
+}
+
+// lossDeltas returns the growth of the session matcher's cumulative
+// per-phase seconds (including the serial seed/merge Apply regions) and
+// task-size histogram counts since the previous call, owned-goroutine
+// only. Nil maps for matchers without loss accounting. As with
+// schedDeltas, a regression (matcher rebuilt on restore) resyncs the
+// baseline rather than yielding negative deltas.
+func (s *session) lossDeltas() (phases map[string]float64, buckets map[string]int64) {
+	p := s.sys.Engine.Capabilities().Loss
+	if p == nil {
+		return nil, nil
+	}
+	lr := p.LossReport()
+	if s.lastPhaseSecs == nil {
+		s.lastPhaseSecs = make(map[string]float64, len(lr.Phases)+2)
+		s.lastTaskCounts = make(map[string]int64, len(lr.TaskSizes))
+	}
+	phases = make(map[string]float64, len(lr.Phases)+2)
+	add := func(name string, cum float64) {
+		if cum < s.lastPhaseSecs[name] {
+			s.lastPhaseSecs[name] = 0
+		}
+		phases[name] = cum - s.lastPhaseSecs[name]
+		s.lastPhaseSecs[name] = cum
+	}
+	for _, ps := range lr.Phases {
+		add(ps.Phase, ps.Seconds)
+	}
+	add("seed", lr.SeedSeconds)
+	add("merge", lr.MergeSeconds)
+	buckets = make(map[string]int64, len(lr.TaskSizes))
+	for _, b := range lr.TaskSizes {
+		le := "+Inf"
+		if b.UpToNanos > 0 {
+			le = strconv.FormatInt(b.UpToNanos, 10)
+		}
+		if b.Count < s.lastTaskCounts[le] {
+			s.lastTaskCounts[le] = 0
+		}
+		buckets[le] = b.Count - s.lastTaskCounts[le]
+		s.lastTaskCounts[le] = b.Count
+	}
+	return phases, buckets
 }
 
 // info snapshots the session, owned-goroutine only.

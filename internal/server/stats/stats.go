@@ -36,6 +36,29 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// FloatCounter is a monotonically increasing float-valued metric
+// (accumulated seconds, e.g. scheduler phase time). The value is kept
+// as float64 bits updated by CAS, so Add is lock-free and safe for
+// concurrent use.
+type FloatCounter struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Add adds v (v must be >= 0; counters never decrease).
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // Gauge is an integer-valued metric that can go up and down (queue
 // depths, live session counts).
 type Gauge struct {
@@ -122,6 +145,11 @@ func (c *Counter) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
 }
 
+func (c *FloatCounter) metricName() string { return c.name }
+func (c *FloatCounter) render(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", c.name, fmtFloat(c.Value()))
+}
+
 func (g *Gauge) metricName() string { return g.name }
 func (g *Gauge) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
@@ -177,6 +205,13 @@ func NewRegistry() *Registry {
 // panics: metric identity bugs should fail loudly at startup.
 func (r *Registry) Counter(name, help string) *Counter {
 	c := &Counter{name: name, help: help}
+	r.register(c, help, "counter")
+	return c
+}
+
+// FloatCounter registers and returns a float-valued counter.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	c := &FloatCounter{name: name, help: help}
 	r.register(c, help, "counter")
 	return c
 }
