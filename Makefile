@@ -44,16 +44,29 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem .
 
-# bench-compare reruns the two tracked benchmarks and gates them
-# against the checked-in baselines in bench/baseline/ (>10% regression
-# fails; see cmd/benchcmp). The single-process matcher benchmark also
-# gates allocs/op — allocation counts are deterministic there, so any
+# bench-compare reruns the tracked benchmarks and gates them against
+# the checked-in baselines in bench/baseline/ (>10% regression fails;
+# see cmd/benchcmp). The single-process matcher benchmark also gates
+# allocs/op — allocation counts are deterministic there, so any
 # regression is a real code change, not noise. The server benchmark
-# (goroutines, HTTP buffers) gates time/throughput only. Run
-# bench-baseline to accept current numbers as the new baseline.
+# (goroutines, HTTP buffers) gates time/throughput only. The parallel
+# matcher benchmark gates the paper-§6 true-speedup: a regression
+# against baseline beyond the threshold fails, as does any value under
+# PRETE_SPEEDUP_FLOOR. Wall-derived metrics on a single-CPU shared
+# host show ~±10% run-to-run noise, so the parallel benchmark gates at
+# 20% relative and leans on the absolute floor as the backstop. On
+# multi-core hardware set the floor to 1.0 (the pool must beat the
+# serial matcher); the default 0.65 is calibrated for a single-CPU
+# host, where the pool cannot exceed serial and the floor instead pins
+# its overhead (measured 0.77-0.89 quiet, dipping to ~0.70 under
+# transient load, PR 9). Run bench-baseline to accept current numbers
+# as the new baseline.
+PRETE_SPEEDUP_FLOOR ?= 0.65
 bench-compare: bench
 	$(GO) run ./cmd/benchcmp -gate-allocs bench/baseline/BENCH_manners.json BENCH_manners.json
 	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_server.json BENCH_server.json
+	$(GO) run ./cmd/benchcmp -threshold 20 -gate-speedup -speedup-floor $(PRETE_SPEEDUP_FLOOR) \
+		bench/baseline/BENCH_prete.json BENCH_prete.json
 
 bench-baseline: bench
 	mkdir -p bench/baseline

@@ -508,6 +508,9 @@ func BenchmarkPreteApply(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			var last *prete.Matcher
 			for i := 0; i < b.N; i++ {
+				if last != nil {
+					last.Close()
+				}
 				m, err := prete.New(prods, workers)
 				if err != nil {
 					b.Fatal(err)
@@ -519,6 +522,7 @@ func BenchmarkPreteApply(b *testing.B) {
 				}
 				last = m
 			}
+			defer last.Close()
 			b.ReportMetric(float64(nChanges*b.N)/b.Elapsed().Seconds(), "wme-changes/s")
 			// Loss-factor accounting from the final iteration's matcher
 			// (one full script): the paper-§6 numbers plus the budget

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchcmp [-threshold 10] old.json new.json
+//	benchcmp [-threshold 10] [-gate-allocs] [-gate-speedup] [-speedup-floor F] old.json new.json
 //	benchcmp -loss bench.json
 //
 // The second form prints the loss-factor table recorded by
@@ -22,6 +22,12 @@
 //   - B/op and allocs/op are printed for visibility but only gate when
 //     -gate-allocs is set (allocation counts are deterministic in Go,
 //     but byte sizes can shift with map growth thresholds).
+//   - true-speedup (the paper-§6 serial-estimate / apply-wall ratio
+//     recorded by BenchmarkPreteApply) gates when -gate-speedup is set,
+//     and -speedup-floor additionally fails the run when any new
+//     true-speedup value sits below an absolute floor — the guard
+//     against the parallel matcher quietly falling behind the serial
+//     matcher it is supposed to beat.
 //
 // Exit status: 0 when no gated metric regresses beyond the threshold,
 // 1 on regression, 2 on usage or parse errors.
@@ -129,7 +135,7 @@ func trimProcSuffix(name string) string {
 
 // lowerIsBetter reports the regression direction for a metric unit.
 // The second return is whether the metric gates the comparison at all.
-func lowerIsBetter(unit string, gateAllocs bool) (lower, gated bool) {
+func lowerIsBetter(unit string, gateAllocs, gateSpeedup bool) (lower, gated bool) {
 	switch {
 	case unit == "ns/op":
 		return true, true
@@ -137,9 +143,14 @@ func lowerIsBetter(unit string, gateAllocs bool) (lower, gated bool) {
 		return false, true
 	case unit == "allocs/op" || unit == "B/op":
 		return true, gateAllocs
+	case unit == "true-speedup":
+		// The paper-§6 headline number: gated only when asked
+		// (-gate-speedup), because it is meaningful to gate solely for
+		// the parallel matcher benchmark.
+		return false, gateSpeedup
 	default:
-		// Paper-model metrics (speedup, concurrency, ...) are recorded
-		// for the EXPERIMENTS tables, not gated here.
+		// Paper-model metrics (concurrency, loss shares, ...) are
+		// recorded for the EXPERIMENTS tables, not gated here.
 		return false, false
 	}
 }
@@ -191,9 +202,11 @@ func printLossTable(path string) error {
 func main() {
 	threshold := flag.Float64("threshold", 10, "allowed regression in percent")
 	gateAllocs := flag.Bool("gate-allocs", false, "also fail on allocs/op and B/op regressions")
+	gateSpeedup := flag.Bool("gate-speedup", false, "also fail on true-speedup regressions beyond -threshold")
+	speedupFloor := flag.Float64("speedup-floor", 0, "fail when any true-speedup in the new record is below this absolute floor (0 disables; 1.0 = never slower than serial)")
 	loss := flag.Bool("loss", false, "print the loss-factor table from a single record instead of comparing two")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-threshold pct] [-gate-allocs] old.json new.json\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcmp [-threshold pct] [-gate-allocs] [-gate-speedup] [-speedup-floor F] old.json new.json\n"+
 			"       benchcmp -loss bench.json\n")
 		flag.PrintDefaults()
 	}
@@ -239,7 +252,7 @@ func main() {
 				continue
 			}
 			compared++
-			lower, gated := lowerIsBetter(unit, *gateAllocs)
+			lower, gated := lowerIsBetter(unit, *gateAllocs, *gateSpeedup)
 			deltaPct := (nv - ov) / ov * 100
 			worse := deltaPct
 			if !lower {
@@ -259,6 +272,27 @@ func main() {
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no comparable benchmark metrics found")
 		os.Exit(2)
+	}
+	// The absolute floor is judged on the new record alone: a baseline
+	// captured on different hardware cannot excuse the parallel matcher
+	// running slower than the floor here and now.
+	if *speedupFloor > 0 {
+		names := make([]string, 0, len(cur))
+		for name := range cur {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			v, ok := cur[name]["true-speedup"]
+			if !ok {
+				continue
+			}
+			if v < *speedupFloor {
+				fmt.Printf("%-40s %-16s %14.4g below floor %g  REGRESSION\n",
+					name, "true-speedup", v, *speedupFloor)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% threshold\n", *threshold)

@@ -64,21 +64,23 @@ func TestTrimProcSuffix(t *testing.T) {
 
 func TestLowerIsBetter(t *testing.T) {
 	cases := []struct {
-		unit         string
-		gateAllocs   bool
-		lower, gated bool
+		unit                    string
+		gateAllocs, gateSpeedup bool
+		lower, gated            bool
 	}{
-		{"ns/op", false, true, true},
-		{"wme-changes/s", false, false, true},
-		{"allocs/op", false, true, false},
-		{"allocs/op", true, true, true},
-		{"speedup", false, false, false},
+		{"ns/op", false, false, true, true},
+		{"wme-changes/s", false, false, false, true},
+		{"allocs/op", false, false, true, false},
+		{"allocs/op", true, false, true, true},
+		{"true-speedup", false, false, false, false},
+		{"true-speedup", false, true, false, true},
+		{"loss-factor", false, true, false, false},
 	}
 	for _, c := range cases {
-		lower, gated := lowerIsBetter(c.unit, c.gateAllocs)
+		lower, gated := lowerIsBetter(c.unit, c.gateAllocs, c.gateSpeedup)
 		if lower != c.lower || gated != c.gated {
-			t.Errorf("lowerIsBetter(%q, %v) = (%v, %v), want (%v, %v)",
-				c.unit, c.gateAllocs, lower, gated, c.lower, c.gated)
+			t.Errorf("lowerIsBetter(%q, %v, %v) = (%v, %v), want (%v, %v)",
+				c.unit, c.gateAllocs, c.gateSpeedup, lower, gated, c.lower, c.gated)
 		}
 	}
 }

@@ -109,6 +109,7 @@ func measureParallel(prods []*ops5.Production, script *matchtest.Script, workers
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer m.Close()
 	batches := cloneScript(script)
 	start := time.Now()
 	for _, b := range batches {

@@ -269,6 +269,9 @@ func (m preteMatcher) MatchStats() engine.MatchStats {
 		Tasks:           s.Tasks,
 		Steals:          s.Steals,
 		Parks:           s.Parks,
+		Wakeups:         s.Wakeups,
+		InlineBatches:   s.InlineBatches,
+		ResidentWorkers: s.ResidentWorkers,
 	}
 	if len(s.PerWorker) > 0 {
 		ms.Workers = make([]engine.WorkerStat, len(s.PerWorker))

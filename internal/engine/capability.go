@@ -26,6 +26,13 @@ type MatchStats struct {
 	Tasks  int64
 	Steals int64
 	Parks  int64
+	// Wakeups counts resident-pool wake broadcasts (batches run on the
+	// pool); InlineBatches counts batches the scheduler's serial bypass
+	// ran on the caller; ResidentWorkers is the number of live pool
+	// goroutines right now. All zero for serial matchers.
+	Wakeups         int64
+	InlineBatches   int64
+	ResidentWorkers int
 	// Workers breaks the scheduler counters down per worker lane; nil
 	// for matchers without a scheduler.
 	Workers []WorkerStat
@@ -149,6 +156,14 @@ type StatsProvider interface {
 	MatchStats() MatchStats
 }
 
+// Closer is the optional capability of releasing matcher-owned
+// resources — for the parallel Rete, its resident worker pool. Close
+// must be idempotent and must leave the matcher usable (it may fall
+// back to a serial path).
+type Closer interface {
+	Close()
+}
+
 // LossProvider is the optional capability of reporting loss-factor
 // accounting; only phase-instrumented parallel matchers implement it.
 type LossProvider interface {
@@ -183,6 +198,9 @@ type Caps struct {
 	// Loss reports loss-factor accounting (nil: no phase-instrumented
 	// scheduler).
 	Loss LossProvider
+	// Close releases matcher resources such as resident worker pools
+	// (nil: nothing to release).
+	Close Closer
 }
 
 // Capabilities discovers the optional capabilities of a matcher. It is
@@ -195,7 +213,19 @@ func Capabilities(m Matcher) Caps {
 	c.Profile, _ = m.(ProfileProvider)
 	c.Index, _ = m.(IndexProvider)
 	c.Loss, _ = m.(LossProvider)
+	c.Close, _ = m.(Closer)
 	return c
+}
+
+// Close releases matcher-owned resources — for the parallel matcher,
+// its resident worker pool. Idempotent; the engine stays usable (the
+// matcher falls back to its serial path). Every owner of an engine with
+// a resident-pool matcher must call it when retiring the engine, or the
+// pool goroutines leak.
+func (e *Engine) Close() {
+	if c := e.Capabilities().Close; c != nil {
+		c.Close()
+	}
 }
 
 // Capabilities returns the capability bundle of the engine's matcher.

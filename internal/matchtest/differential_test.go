@@ -32,6 +32,7 @@ func replayPrete(t *testing.T, prods []*ops5.Production, script *matchtest.Scrip
 	if err != nil {
 		t.Fatalf("prete new: %v", err)
 	}
+	t.Cleanup(m.Close)
 	tr := matchtest.NewTracker()
 	m.OnInsert = tr.Insert
 	m.OnRemove = tr.Remove
@@ -157,6 +158,7 @@ func TestStealsUnderSkewedWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(m.Close)
 	tr := matchtest.NewTracker()
 	m.OnInsert = tr.Insert
 	m.OnRemove = tr.Remove
@@ -204,6 +206,7 @@ func TestNoStealDrainsViaOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(m.Close)
 	tr := matchtest.NewTracker()
 	m.OnInsert = tr.Insert
 	m.OnRemove = tr.Remove

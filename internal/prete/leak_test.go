@@ -1,0 +1,128 @@
+package prete
+
+// Goroutine-lifecycle tests for the resident worker pool. The pool is
+// lazy (no goroutines until the first batch that actually wakes it) and
+// Close must be a full join: when Close returns, every resident worker
+// has exited and the matcher keeps working in inline mode. These tests
+// pin both halves, plus the Apply/Close race under -race.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/matchtest"
+	"repro/internal/ops5"
+)
+
+// waitGoroutines polls until the live goroutine count drops to at most
+// want, or the deadline passes. Close joins the workers before
+// returning, but the runtime may take a beat to deregister an exiting
+// goroutine after its final deferred Done.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: have %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// poolMatcher builds a matcher whose pool is guaranteed to wake:
+// serial bypass is disabled, so any multi-worker batch broadcasts.
+func poolMatcher(t *testing.T, workers int) (*Matcher, func()) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	params := matchtest.IndexStressGenParams()
+	prods := matchtest.RandomProgram(rng, params)
+	script := matchtest.RandomScript(rng, params, 6, 12)
+	m, err := NewWithConfig(prods, Config{Workers: workers, SerialThreshold: -1})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	m.OnInsert = func(*ops5.Instantiation) {}
+	m.OnRemove = func(*ops5.Instantiation) {}
+	apply := func() {
+		for _, batch := range script.Batches {
+			m.Apply(batch)
+		}
+	}
+	return m, apply
+}
+
+func TestCloseStopsResidentWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m, apply := poolMatcher(t, 8)
+
+	// The pool is lazy: nothing resident before the first wake.
+	if got := m.Stats().ResidentWorkers; got != 0 {
+		t.Fatalf("resident workers before first Apply = %d, want 0", got)
+	}
+	apply()
+	st := m.Stats()
+	if st.ResidentWorkers != 8 {
+		t.Fatalf("resident workers after Apply = %d, want 8", st.ResidentWorkers)
+	}
+	if st.Wakeups == 0 {
+		t.Fatal("bypass disabled but no wakeups recorded")
+	}
+	if n := runtime.NumGoroutine(); n < base+8 {
+		t.Fatalf("goroutine count %d after wake, want >= base(%d)+8", n, base)
+	}
+
+	m.Close()
+	// Close joins workerWG, and each worker decrements the resident
+	// gauge before Done — so this is exact, not eventual.
+	if got := m.Stats().ResidentWorkers; got != 0 {
+		t.Fatalf("resident workers after Close = %d, want 0", got)
+	}
+	waitGoroutines(t, base)
+
+	// Close is idempotent and the matcher stays usable: later batches
+	// run inline on the caller.
+	m.Close()
+	before := m.Stats().Tasks
+	apply()
+	after := m.Stats()
+	if after.Tasks <= before {
+		t.Fatalf("post-Close Apply executed no tasks (%d -> %d)", before, after.Tasks)
+	}
+	if after.ResidentWorkers != 0 {
+		t.Fatalf("post-Close Apply revived %d resident workers", after.ResidentWorkers)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestApplyCloseRace overlaps a stream of Apply calls with a Close from
+// another goroutine. Run under -race (make race covers this package):
+// the requirement is no panic, no deadlock, and no worker left parked —
+// Apply either wakes the pool before Close lands or falls back inline.
+func TestApplyCloseRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 8; round++ {
+		m, apply := poolMatcher(t, 4)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			apply()
+		}()
+		if round%2 == 1 {
+			runtime.Gosched() // vary interleaving: sometimes mid-batch
+		}
+		m.Close()
+		<-done
+		// Matcher must still answer inline after the racing Close.
+		apply()
+		if got := m.Stats().ResidentWorkers; got != 0 {
+			t.Fatalf("round %d: %d resident workers after Close", round, got)
+		}
+	}
+	waitGoroutines(t, base)
+}

@@ -51,11 +51,16 @@ const (
 	// phasePark is time blocked on the scheduler condvar (plus the
 	// park bookkeeping around it) — idle waiting for work or batch end.
 	phasePark
-	// phaseSpawn is the gap between Apply launching a lane's goroutine
-	// and the lane entering its loop — the software analogue of the
-	// paper's processor-allocation overhead. On small batches a lane
-	// can spawn after the batch's work is already done, so this phase
-	// is where negative scaling from per-Apply goroutine startup shows.
+	// phaseSpawn is the wake latency of the resident pool: the gap
+	// between Apply publishing a batch's epoch and the FIRST lane
+	// entering its batch loop — the software analogue of the paper's
+	// processor-allocation overhead. Before the resident pool this was
+	// a per-batch goroutine startup charged to every lane and dominated
+	// the budget (64-76%); now it is one condvar broadcast, plus the
+	// one-off goroutine creation charged to the first woken batch. The
+	// other lanes charge the same gap to park: on an oversubscribed
+	// host they were queued for a CPU, which is idle time, not
+	// dispatch cost.
 	phaseSpawn
 
 	numPhases
@@ -74,9 +79,10 @@ var clockBase = time.Now()
 func nanotime() int64 { return int64(time.Since(clockBase)) }
 
 // phaseClock is one worker's phase accumulator. last is owner-only
-// (successive workerLoop goroutines for a lane are ordered by Apply's
-// WaitGroup); the totals are atomics so Loss and Stats may snapshot
-// mid-batch under the race detector.
+// (a lane's successive batches, and Apply's own end-of-batch writes,
+// are ordered by the epoch gate and the batch barrier); the totals are
+// atomics so Loss and Stats may snapshot mid-batch under the race
+// detector.
 type phaseClock struct {
 	last int64
 	ns   [numPhases]atomic.Int64
@@ -177,9 +183,10 @@ type LossReport struct {
 	// Decomposition partitions the total processor budget
 	// (Workers x ApplySeconds): useful_match, memory_contention
 	// (lock wait), scheduling (submit + steal hits + overflow), idle
-	// (fruitless steals + parking), spawn (goroutine startup latency),
-	// serial_seed_merge (all lanes during the serial regions) and other
-	// (exit skew, loop tails). Shares sum to 1.
+	// (fruitless steals + parking, including lanes a bypassed batch
+	// left parked), spawn (pool wake latency), serial_seed_merge (all
+	// lanes during the serial regions) and other (exit skew, loop
+	// tails). Shares sum to 1.
 	Decomposition []LossComponent
 }
 

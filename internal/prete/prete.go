@@ -21,10 +21,21 @@
 //     relaxations over naive node parallelism).
 //   - Activations are dispatched by a per-worker work-stealing
 //     scheduler (sched.go) standing in for the paper's hardware task
-//     scheduler, and the per-activation path is allocation-free: join
-//     keys and token identities are uint64 hashes (shared with the
-//     serial matcher's indexes), memory entries are pooled, and
-//     conflict-set deltas batch per worker until the flush merge.
+//     scheduler: a pool of resident worker goroutines parked between
+//     batches on an epoch gate, woken by one broadcast per Apply. The
+//     per-activation path is allocation-free: join keys and token
+//     identities are uint64 hashes (shared with the serial matcher's
+//     indexes), memory entries are pooled, and conflict-set deltas
+//     batch per worker until the flush merge.
+//   - Task granularity is adaptive. Sibling right-activations of one
+//     WME (the successors of one alpha memory) seed as a single
+//     multi-activation task; an activation's downstream activations run
+//     inline on the producing worker when they are few and shallow
+//     (below inlineFanout/maxInlineDepth) instead of paying deque
+//     traffic; and a whole batch whose seeded activation count is under
+//     the profitability threshold runs inline on the caller without
+//     waking the pool at all — the §6 lesson that dispatch must cost
+//     less than the ~50-100 instructions of work it dispatches.
 //   - Within one Apply batch, activations may arrive at a node out of
 //     order (a token's deletion may be processed before its insertion
 //     reaches a downstream node). Memories therefore use counted
@@ -53,14 +64,43 @@ const (
 	rightSide
 )
 
-// task is one node activation.
+// task is one node activation — or, for a seed task, one WME's
+// activations of every right-input successor of one alpha memory
+// (nodes non-nil, aliasing the matcher's roots slice; no per-task
+// allocation). Coarsening siblings into one task keeps the deques
+// carrying profitably sized work.
 type task struct {
-	node *pnode
-	side side
-	dir  ops5.ChangeKind
-	tok  *rete.Token // left activations
-	wme  *ops5.WME   // right activations
+	node  *pnode
+	nodes []*pnode
+	side  side
+	dir   ops5.ChangeKind
+	tok   *rete.Token // left activations
+	wme   *ops5.WME   // right activations
 }
+
+// maxInlineDepth and inlineFanout bound depth-first inlining of
+// downstream activations: when an activation's output would schedule at
+// most inlineFanout downstream tasks and the recursion is shallower
+// than maxInlineDepth, the producing worker runs them directly — the
+// PR 8 task-size histogram put most activations under ~1µs, below the
+// grain where a deque round-trip pays. Wider fan-outs still go through
+// the deque so thieves can share them, and the depth bound keeps the
+// recursion (and its per-depth emit scratch) small.
+const (
+	maxInlineDepth = 8
+	inlineFanout   = 4
+)
+
+// serialBypassThreshold is the default seeded-activation count below
+// which a batch runs inline on the caller instead of waking the pool.
+// Calibrated from the loss report's serial estimate: a wake round-trip
+// costs a few µs and each activation averages a few hundred ns, so a
+// batch needs roughly fifty activations before the pool pays for its
+// own dispatch. BenchmarkPreteApply's allocs/op spread between
+// workers-1 and workers-16 doubles as the calibration check: the
+// threshold keeps sub-profitable batches off the reordering parallel
+// path, whose token churn is what separates the two columns.
+const serialBypassThreshold = 48
 
 // emit is one output of an activation: a token headed for the node's
 // downstream inputs and terminals.
@@ -96,16 +136,6 @@ type wmeEntry struct {
 	count int
 }
 
-// tokenEntryPool and wmeEntryPool recycle memory entries so the
-// activation hot path allocates nothing for the common
-// insert-then-delete churn of the recognize-act cycle. Entries are
-// reset on Get and stripped of references before Put; an entry is never
-// read after the drop that pools it (callers capture the counts they
-// need first).
-var tokenEntryPool = sync.Pool{New: func() any { return new(tokenEntry) }}
-
-var wmeEntryPool = sync.Pool{New: func() any { return new(wmeEntry) }}
-
 // stripes is the number of lock stripes per indexed node's memories.
 const stripes = 16
 
@@ -118,10 +148,46 @@ const stripes = 16
 // stripes. A node with no equality tests has a single shard with
 // everything under key zero, which degenerates to the old
 // whole-node lock.
+//
+// freeTok and freeWME recycle this shard's memory entries so the
+// activation hot path allocates nothing for the common
+// insert-then-delete churn of the recognize-act cycle. They are owned
+// by the shard and touched only under its lock, which is already held
+// at every get/put site — unlike a global sync.Pool they are never
+// cleared by the GC, so the entry population is exactly the shard's
+// high-water mark regardless of worker count or allocation pressure.
+// Entries are reset on get and stripped of references before put; an
+// entry is never read after the drop that frees it (callers capture
+// the counts they need first).
 type bucketShard struct {
 	mu    sync.Mutex
 	left  map[uint64]tokenSet
 	right map[uint64]map[int]*wmeEntry // join key -> time tag -> entry
+
+	freeTok []*tokenEntry
+	freeWME []*wmeEntry
+}
+
+// getTok takes a token entry from the shard freelist (or allocates).
+func (sh *bucketShard) getTok() *tokenEntry {
+	if n := len(sh.freeTok); n > 0 {
+		e := sh.freeTok[n-1]
+		sh.freeTok[n-1] = nil
+		sh.freeTok = sh.freeTok[:n-1]
+		return e
+	}
+	return new(tokenEntry)
+}
+
+// getWME takes a WME entry from the shard freelist (or allocates).
+func (sh *bucketShard) getWME() *wmeEntry {
+	if n := len(sh.freeWME); n > 0 {
+		e := sh.freeWME[n-1]
+		sh.freeWME[n-1] = nil
+		sh.freeWME = sh.freeWME[:n-1]
+		return e
+	}
+	return new(wmeEntry)
 }
 
 // pnode mirrors one rete two-input node, owning private copies of its
@@ -209,6 +275,13 @@ type Stats struct {
 	// Steals and Parks total the per-worker scheduler counters.
 	Steals int64
 	Parks  int64
+	// Wakeups counts pool wake broadcasts (batches run on the resident
+	// workers); InlineBatches counts batches the serial bypass ran on
+	// the caller; ResidentWorkers is the number of live pool goroutines
+	// (0 before the first woken batch and after Close).
+	Wakeups         int64
+	InlineBatches   int64
+	ResidentWorkers int
 	// PerWorker breaks the scheduler counters down by lane.
 	PerWorker []WorkerStat
 }
@@ -221,6 +294,12 @@ type Config struct {
 	// its own deque and the shared overflow list. Useful for measuring
 	// what stealing buys (the paper's §6 load-balance decomposition).
 	NoSteal bool
+	// SerialThreshold overrides the seeded-activation count below which
+	// a batch runs inline on the caller instead of waking the resident
+	// pool: 0 selects the default (serialBypassThreshold), a negative
+	// value disables the bypass so every batch wakes the pool (used by
+	// scheduler tests and measurements).
+	SerialThreshold int
 }
 
 // Matcher is the parallel Rete matcher. It satisfies engine.Matcher.
@@ -252,6 +331,14 @@ type Matcher struct {
 	activeNs int64
 	mergeNs  int64
 	flushBuf []pendingDelta // flush scratch, reused across batches
+
+	// bypassBelow is the resolved serial-bypass threshold (0 disables).
+	bypassBelow int
+	// seedBuf and laneLoad are Apply-only scratch: the batch's seed
+	// tasks and the per-lane seed counts for the affinity load cap.
+	// Reused across batches so seeding allocates nothing steady-state.
+	seedBuf  []task
+	laneLoad []int32
 }
 
 // New compiles the productions and builds the parallel node graph.
@@ -270,12 +357,21 @@ func NewWithConfig(prods []*ops5.Production, cfg Config) (*Matcher, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	m := &Matcher{
-		net:   net,
-		nodes: make(map[*rete.JoinNode]*pnode),
-		roots: make(map[*rete.AlphaMem][]*pnode),
-		sched: newScheduler(workers, !cfg.NoSteal),
+	bypass := cfg.SerialThreshold
+	switch {
+	case bypass == 0:
+		bypass = serialBypassThreshold
+	case bypass < 0:
+		bypass = 0
 	}
+	m := &Matcher{
+		net:         net,
+		nodes:       make(map[*rete.JoinNode]*pnode),
+		roots:       make(map[*rete.AlphaMem][]*pnode),
+		sched:       newScheduler(workers, !cfg.NoSteal),
+		bypassBelow: bypass,
+	}
+	m.laneLoad = make([]int32, workers)
 	for _, j := range net.Joins() {
 		pn := &pnode{
 			id:    j.ID,
@@ -329,6 +425,13 @@ func (m *Matcher) Network() *rete.Network { return m.net }
 // Workers returns the scheduler lane count.
 func (m *Matcher) Workers() int { return len(m.sched.workers) }
 
+// Close retires the resident worker pool, blocking until every pool
+// goroutine has exited. It is idempotent and safe to call concurrently
+// with Apply: a batch already published to the pool completes first. A
+// closed matcher remains fully usable — every later batch simply runs
+// inline on the caller, as the serial bypass does.
+func (m *Matcher) Close() { m.sched.close() }
+
 // Stats returns a snapshot of the work counters.
 func (m *Matcher) Stats() Stats {
 	m.mu.Lock()
@@ -341,6 +444,9 @@ func (m *Matcher) Stats() Stats {
 		ConflictRemoves: m.confRem,
 	}
 	m.mu.Unlock()
+	st.Wakeups = m.sched.wakeups.Load()
+	st.InlineBatches = m.sched.bypasses.Load()
+	st.ResidentWorkers = int(m.sched.resident.Load())
 	st.PerWorker = make([]WorkerStat, len(m.sched.workers))
 	for i := range m.sched.workers {
 		w := &m.sched.workers[i]
@@ -439,51 +545,77 @@ func (m *Matcher) NodeProfile() []rete.NodeProfEntry {
 }
 
 // Apply processes a batch of WM changes in parallel and flushes the net
-// conflict-set deltas through OnInsert/OnRemove before returning.
+// conflict-set deltas through OnInsert/OnRemove before returning. A
+// batch too small to amortise the pool wake runs inline on the caller.
+// Apply must not be called concurrently with itself; concurrent Close
+// is fine.
 func (m *Matcher) Apply(changes []ops5.Change) {
 	t0 := nanotime()
 	s := m.sched
+	lanes := len(s.workers)
 	// Dispatch every change through the (read-only) constant-test
-	// network; each alpha hit becomes one right activation per
-	// successor node. All changes are injected up front, seeded
-	// round-robin across the worker deques: the paper's "multiple
-	// changes to working memory are processed in parallel".
-	seeded := 0
+	// network. One WME's activations of one alpha memory's successors
+	// coarsen into a single seed task; the activation count under the
+	// seeds drives the bypass decision. All changes are injected up
+	// front: the paper's "multiple changes to working memory are
+	// processed in parallel".
+	seeds := m.seedBuf[:0]
+	activations := 0
 	for _, ch := range changes {
 		mems, _ := m.net.MatchAlphas(ch.WME)
 		for _, am := range mems {
-			for _, pn := range m.roots[am] {
-				s.submit(seeded%len(s.workers), task{node: pn, side: rightSide, dir: ch.Kind, wme: ch.WME})
-				seeded++
+			roots := m.roots[am]
+			if len(roots) == 0 {
+				continue
 			}
+			seeds = append(seeds, task{nodes: roots, side: rightSide, dir: ch.Kind, wme: ch.WME})
+			activations += len(roots)
 		}
 	}
 	t1 := nanotime()
-	if seeded > 0 {
-		var wg sync.WaitGroup
-		for i := range s.workers {
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				m.workerLoop(wi, t1)
-			}(i)
+	if len(seeds) > 0 {
+		bypass := lanes == 1 || (m.bypassBelow > 0 && activations < m.bypassBelow)
+		if bypass {
+			m.seedLane(0, seeds)
+			s.bypasses.Add(1)
+			m.drainInline(t1)
+		} else {
+			m.distribute(seeds)
+			if s.wake(m, t1) {
+				s.batchWG.Wait()
+			} else {
+				// Pool closed between seeding and wake: the caller
+				// drains the spread-out seeds itself.
+				s.bypasses.Add(1)
+				m.drainInline(t1)
+			}
 		}
-		wg.Wait()
 	}
 	t2 := nanotime()
-	if seeded > 0 {
+	if len(seeds) > 0 {
 		// Close each lane's books to the barrier: a lane's own stamps
-		// stop at its goroutine return, but the active window ends only
-		// when the last lane is through wg.Wait. Charging the straggler
-		// gap to park makes the phase totals cover the whole window, so
-		// seed + merge + phases/workers reconstructs Apply wall time.
-		// wg.Wait orders these writes after every lane's last stamp.
+		// stop at its batch-loop exit, but the active window ends only
+		// when the last lane is through the barrier. Charging the
+		// straggler gap to park makes the phase totals cover the whole
+		// window, so seed + merge + phases/workers reconstructs Apply
+		// wall time. A lane the batch never woke (the bypass path, or a
+		// pool that was never started) still owes its whole [t1, t2]
+		// share of the processor budget — that idle time is charged to
+		// park too. batchWG.Wait orders these writes after every woken
+		// lane's last stamp.
 		for i := range s.workers {
 			w := &s.workers[i]
+			if w.clock.last < t1 {
+				w.clock.last = t1
+			}
 			w.clock.ns[phasePark].Add(t2 - w.clock.last)
 			w.clock.last = t2
 		}
 	}
+	for i := range seeds {
+		seeds[i] = task{} // release WME references
+	}
+	m.seedBuf = seeds[:0]
 	m.flush()
 	t3 := nanotime()
 	m.mu.Lock()
@@ -496,23 +628,72 @@ func (m *Matcher) Apply(changes []ops5.Change) {
 	m.mu.Unlock()
 }
 
-// workerLoop is one scheduler lane's run loop for a single Apply batch:
-// drain the own deque LIFO, then steal or take overflow, then park. The
+// seedLane pushes every seed task onto one lane's deque.
+func (m *Matcher) seedLane(wi int, seeds []task) {
+	for _, t := range seeds {
+		m.sched.submit(wi, t)
+	}
+}
+
+// distribute spreads seed tasks across the worker deques by node-ID
+// hash — repeated activations of the same join nodes land on the same
+// lane, keeping that lane's memory stripes cache-warm — with a per-lane
+// load cap so a batch dominated by one alpha memory (one hash) still
+// spreads instead of serialising on a single lane. Capped overflow
+// round-robins across the lanes.
+func (m *Matcher) distribute(seeds []task) {
+	s := m.sched
+	lanes := len(s.workers)
+	cap32 := int32(2*len(seeds)/lanes + 1)
+	load := m.laneLoad
+	for i := range load {
+		load[i] = 0
+	}
+	next := 0
+	for _, t := range seeds {
+		h := uint64(t.nodes[0].id) * 0x9e3779b97f4a7c15
+		wi := int((h >> 33) % uint64(lanes))
+		if load[wi] >= cap32 {
+			for load[next] >= cap32 {
+				next++
+				if next == lanes {
+					next = 0
+				}
+			}
+			wi = next
+		}
+		load[wi]++
+		s.submit(wi, t)
+	}
+}
+
+// drainInline runs an already-seeded batch on the calling goroutine as
+// lane 0 — the serial bypass. With no pool woken there is no wake
+// round-trip, no barrier and no cross-lane traffic to pay for; the
+// caller simply retires tasks (lane 0's deque first, every deque for
+// the closed-pool fallback) until the batch is empty.
+func (m *Matcher) drainInline(t1 int64) {
+	s := m.sched
+	w := &s.workers[0]
+	w.clock.last = t1
+	w.clock.stamp(phaseSubmit) // the seeding pushes
+	for {
+		t, ok := s.popAny()
+		if !ok {
+			return
+		}
+		m.run(t, 0)
+		s.outstanding.Add(-1)
+	}
+}
+
+// batchLoop is one scheduler lane's run loop for a single batch: drain
+// the own deque LIFO, then steal or take overflow, then park. The
 // worker that retires the batch's last activation wakes every parked
-// lane and all loops return.
-func (m *Matcher) workerLoop(wi int, spawned int64) {
+// lane and all loops return to the epoch gate.
+func (m *Matcher) batchLoop(wi int) {
 	s := m.sched
 	w := &s.workers[wi]
-	// Charge the goroutine startup gap — from Apply launching this lane
-	// to the loop actually entering — to spawn. On small batches another
-	// lane may drain the whole batch inside this gap, which is exactly
-	// the negative-scaling overhead the spawn phase exists to expose.
-	w.clock.last = spawned
-	w.clock.stamp(phaseSpawn)
-	// The exit tail (retiring the last task's bookkeeping, or the final
-	// park wake-up) is charged to park so the lane's phase totals cover
-	// its whole time in the loop.
-	defer w.clock.stamp(phasePark)
 	for {
 		t, ok := w.dq.popTail()
 		if !ok {
@@ -525,7 +706,6 @@ func (m *Matcher) workerLoop(wi int, spawned int64) {
 			continue
 		}
 		m.run(t, wi)
-		w.executed.Add(1)
 		if s.outstanding.Add(-1) == 0 {
 			s.wakeAll()
 			return
@@ -533,16 +713,28 @@ func (m *Matcher) workerLoop(wi int, spawned int64) {
 	}
 }
 
-// run executes one node activation, pushing downstream activations onto
-// the executing worker's deque and batching conflict deltas on the
-// worker. Only the task's own join-key bucket (and its lock stripe) is
-// touched: a matching pair always shares the key, so the opposite
-// bucket under the same stripe lock is the complete candidate set.
+// run executes one scheduler task: a single node activation, or a
+// coarsened seed task's activation of every sibling right-input node.
 func (m *Matcher) run(t task, wi int) {
-	w := &m.sched.workers[wi]
-	emits := w.emits[:0]
+	if t.nodes == nil {
+		m.runNode(t.node, t, wi, 0)
+		return
+	}
+	for _, n := range t.nodes {
+		m.runNode(n, t, wi, 0)
+	}
+}
 
-	n := t.node
+// runNode executes one node activation, batching conflict deltas on the
+// worker and either inlining the downstream activations (small fan-out,
+// shallow recursion — see inlineFanout/maxInlineDepth) or pushing them
+// onto the executing worker's deque. Only the task's own join-key
+// bucket (and its lock stripe) is touched: a matching pair always
+// shares the key, so the opposite bucket under the same stripe lock is
+// the complete candidate set.
+func (m *Matcher) runNode(n *pnode, t task, wi, depth int) {
+	w := &m.sched.workers[wi]
+	emits := w.emits[depth][:0]
 	key := n.key(t)
 	sh := n.shardOf(key)
 	tested := 0
@@ -666,19 +858,36 @@ func (m *Matcher) run(t task, wi int) {
 	if len(emits) > 0 {
 		n.prof.emitted.Add(int64(len(emits)))
 	}
+	w.executed.Add(1)
 	w.clock.stamp(phaseMatch)
+	w.taskSizes[taskBucket(w.clock.last-start)].Add(1)
 
 	for _, e := range emits {
-		for _, dn := range n.downstream {
-			m.sched.submit(wi, task{node: dn, side: leftSide, dir: e.dir, tok: e.tok})
-		}
 		for _, term := range n.terminals {
 			w.pending = append(w.pending, pendingDelta{term: term, tok: e.tok, dir: e.dir})
 		}
 	}
-	w.clock.stamp(phaseSubmit)
-	w.taskSizes[taskBucket(w.clock.last-start)].Add(1)
-	w.emits = emits[:0]
+	// Small, shallow fan-outs run depth-first on this worker — the
+	// activation is cheaper than its deque round-trip; inlined children
+	// stamp their own phases, so the parent charges nothing here. Wider
+	// fan-outs go through the deque so thieves can share them.
+	downstream := len(emits) * len(n.downstream)
+	if downstream > 0 && downstream <= inlineFanout && depth < maxInlineDepth {
+		w.clock.stamp(phaseSubmit)
+		for _, e := range emits {
+			for _, dn := range n.downstream {
+				m.runNode(dn, task{side: leftSide, dir: e.dir, tok: e.tok}, wi, depth+1)
+			}
+		}
+	} else {
+		for _, e := range emits {
+			for _, dn := range n.downstream {
+				m.sched.submit(wi, task{node: dn, side: leftSide, dir: e.dir, tok: e.tok})
+			}
+		}
+		w.clock.stamp(phaseSubmit)
+	}
+	w.emits[depth] = emits[:0]
 }
 
 // rightBucket returns the right bucket for a join key, creating it when
@@ -707,7 +916,7 @@ func (sh *bucketShard) leftEntry(key uint64, tok *rete.Token) *tokenEntry {
 			return e
 		}
 	}
-	e := tokenEntryPool.Get().(*tokenEntry)
+	e := sh.getTok()
 	e.tok, e.count, e.matches = tok, 0, 0
 	ts[th] = append(ts[th], e)
 	return e
@@ -731,7 +940,7 @@ func (sh *bucketShard) dropLeft(key uint64, tok *rete.Token) {
 				ts[th] = chain[:last]
 			}
 			e.tok = nil
-			tokenEntryPool.Put(e)
+			sh.freeTok = append(sh.freeTok, e)
 			break
 		}
 	}
@@ -746,7 +955,7 @@ func (sh *bucketShard) updateRight(key uint64, t task) (cancelled bool) {
 	b := sh.rightBucket(key)
 	e := b[t.wme.TimeTag]
 	if e == nil {
-		e = wmeEntryPool.Get().(*wmeEntry)
+		e = sh.getWME()
 		e.wme, e.count = t.wme, 0
 		b[t.wme.TimeTag] = e
 	}
@@ -779,7 +988,7 @@ func (sh *bucketShard) dropRight(key uint64, tag int) {
 	b := sh.right[key]
 	if e := b[tag]; e != nil {
 		e.wme = nil
-		wmeEntryPool.Put(e)
+		sh.freeWME = append(sh.freeWME, e)
 	}
 	delete(b, tag)
 	if len(b) == 0 {

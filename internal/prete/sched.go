@@ -5,11 +5,24 @@ package prete
 // between nominal and true speedup (§6) to scheduling and
 // synchronisation overhead, and argues parallel Rete only pays off when
 // dispatching one node activation costs about one bus cycle. A single
-// shared queue — the previous design — serialises every push and pop on
-// one mutex and is exactly the bottleneck the paper warns about.
+// shared queue — the original design — serialises every push and pop on
+// one mutex; per-batch goroutine spawning — the second design — charges
+// a goroutine startup to every lane on every Apply, which PR 8's loss
+// accounting measured at 64-76% of the processor budget. Both are
+// exactly the overheads the paper warns about.
 //
-// The scheduler here keeps one bounded deque per worker:
+// The scheduler here keeps one bounded deque per worker, serviced by a
+// pool of resident worker goroutines:
 //
+//   - Workers are long-lived: they are spawned once, on the first batch
+//     big enough to parallelise, and then park between batches on an
+//     epoch gate (gateMu/gateCond). Apply seeds the deques, publishes a
+//     new epoch and broadcasts; the first lane to run charges the
+//     broadcast-to-entry latency to the spawn phase — spawn collapses
+//     from goroutine startup to wake latency — while late lanes charge
+//     their CPU-queueing to park. A per-epoch WaitGroup is the
+//     batch barrier. Close retires the pool; a closed matcher still
+//     works, running every batch inline on the caller.
 //   - A worker pushes the activations it generates onto its own deque
 //     tail and pops from the tail (LIFO), so a token's downstream
 //     activations run depth-first on the producing worker while their
@@ -21,12 +34,14 @@ package prete
 //   - Deque overflow spills to a shared overflow list; it is drained
 //     after steals fail and before parking.
 //   - Only when every deque and the overflow list drain does a worker
-//     park on the shared condvar; pushers signal it only when sleepers
-//     are registered, so the hot path pays one atomic load. An
+//     park on the in-batch condvar; pushers signal it only when
+//     sleepers are registered, so the hot path pays one atomic load. An
 //     outstanding-task count provides termination: the worker that
-//     retires the last activation broadcasts batch completion.
+//     retires the last activation broadcasts batch completion, and the
+//     lanes return to the epoch gate.
 //
-// Per-worker executed/stolen/parked counters make the paper's
+// Per-worker executed/stolen/parked counters plus the pool's
+// wakeups/inline-batches/resident counters make the paper's
 // scheduling-overhead decomposition a measurable series (exported via
 // Stats, engine.MatchStats and psmd's /metrics).
 
@@ -35,9 +50,9 @@ import (
 	"sync/atomic"
 )
 
-// deqCap bounds each worker-local deque. Tasks are small (five words),
-// so 256 slots keep a worker's window under a few KB while still
-// letting steal-half move meaningful chunks of work.
+// deqCap bounds each worker-local deque. Tasks are small, so 256 slots
+// keep a worker's window under a few KB while still letting steal-half
+// move meaningful chunks of work.
 const deqCap = 256
 
 // wdeque is one worker's bounded ring deque. The owner pushes and pops
@@ -121,10 +136,12 @@ type worker struct {
 	stolen   atomic.Int64
 	parked   atomic.Int64
 
-	// emits is the owner-only scratch buffer for one activation's
-	// outputs; pending batches the worker's conflict-set deltas until
-	// the flush merge. Both retain capacity across batches.
-	emits   []emit
+	// emits holds one owner-only scratch buffer per inline depth for an
+	// activation's outputs — inlined downstream activations recurse, so
+	// each depth needs its own buffer; pending batches the worker's
+	// conflict-set deltas until the flush merge. Both retain capacity
+	// across batches.
+	emits   [maxInlineDepth + 1][]emit
 	pending []pendingDelta
 
 	// clock attributes this lane's wall time to phases and taskSizes
@@ -147,9 +164,10 @@ func (w *worker) nextRand() uint32 {
 	return x
 }
 
-// scheduler owns the workers, the overflow list and the parking state
-// for one Matcher. It persists across Apply batches so deques, scratch
-// buffers and counters are reused.
+// scheduler owns the workers, the overflow list, the parking state and
+// the resident-pool gate for one Matcher. It persists across Apply
+// batches so deques, scratch buffers, counters — and now the worker
+// goroutines themselves — are reused.
 type scheduler struct {
 	workers []worker
 	steal   bool
@@ -163,25 +181,145 @@ type scheduler struct {
 		items []task
 	}
 
-	// Parking: a worker that finds no work registers in sleepers and
-	// waits on cond; pushers signal only when sleepers > 0, so pushes
-	// pay one atomic load when everyone is busy.
+	// In-batch parking: a worker that finds no work registers in
+	// sleepers and waits on cond; pushers signal only when sleepers > 0,
+	// so pushes pay one atomic load when everyone is busy.
 	parkMu   sync.Mutex
 	cond     *sync.Cond
 	sleepers atomic.Int32
+
+	// Between-batch parking: the epoch gate. Apply publishes a new epoch
+	// under gateMu and broadcasts gateCond; each resident worker waits
+	// for an epoch it has not seen (or closed). started flips when the
+	// pool is lazily spawned on the first non-bypassed batch; closed is
+	// set once by close(). wakeNs is the publish instant — the lanes'
+	// books for the batch open there (spawn for the first runner, park
+	// for the rest; see firstRun).
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	epoch    int64
+	wakeNs   int64
+	started  bool
+	closed   bool
+
+	// batchWG is the per-epoch barrier: Add(lanes) before the epoch is
+	// published, Done per lane at batch end, Wait in Apply. workerWG
+	// tracks the resident goroutines themselves, for close().
+	batchWG  sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	// firstRun holds the newest epoch whose wake latency has been
+	// claimed: the first lane to start running an epoch charges
+	// [wakeNs, entry] to spawn — that is the pool's actual wake latency
+	// — while the other lanes charge the same interval to park, since
+	// they were runnable but waiting for a CPU their peers were using
+	// (idle time, not dispatch cost).
+	firstRun atomic.Int64
+
+	// wakeups counts epoch broadcasts; bypasses counts batches run
+	// inline on the caller; resident counts live pool goroutines.
+	wakeups  atomic.Int64
+	bypasses atomic.Int64
+	resident atomic.Int32
 }
 
 func newScheduler(workers int, steal bool) *scheduler {
 	s := &scheduler{workers: make([]worker, workers), steal: steal}
 	s.cond = sync.NewCond(&s.parkMu)
+	s.gateCond = sync.NewCond(&s.gateMu)
 	for i := range s.workers {
 		s.workers[i].rng = uint32(i)*2654435761 + 1
 	}
 	return s
 }
 
+// wake publishes a new epoch at instant now and broadcasts the resident
+// lanes awake, lazily spawning them on the first call. It returns false
+// when the pool is closed — the caller then drains the already-seeded
+// deques inline. On success the caller must wait on batchWG.
+func (s *scheduler) wake(m *Matcher, now int64) bool {
+	s.gateMu.Lock()
+	if s.closed {
+		s.gateMu.Unlock()
+		return false
+	}
+	if !s.started {
+		s.started = true
+		for i := range s.workers {
+			s.workerWG.Add(1)
+			s.resident.Add(1)
+			go m.residentLoop(i)
+		}
+	}
+	s.batchWG.Add(len(s.workers))
+	s.epoch++
+	s.wakeNs = now
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
+	s.wakeups.Add(1)
+	return true
+}
+
+// close retires the resident pool: lanes finish any published epoch,
+// then exit. Idempotent; blocks until every lane is gone.
+func (s *scheduler) close() {
+	s.gateMu.Lock()
+	if s.closed {
+		s.gateMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.gateCond.Broadcast()
+	s.gateMu.Unlock()
+	s.workerWG.Wait()
+}
+
+// residentLoop is one pool goroutine: park at the epoch gate, run the
+// published batch, signal the barrier, repeat until closed. A pending
+// epoch is always processed before exiting, so close() cannot strand a
+// batch Apply is waiting on.
+func (m *Matcher) residentLoop(wi int) {
+	s := m.sched
+	w := &s.workers[wi]
+	defer s.workerWG.Done()
+	defer s.resident.Add(-1)
+	var seen int64
+	for {
+		s.gateMu.Lock()
+		for s.epoch == seen && !s.closed {
+			s.gateCond.Wait()
+		}
+		if s.epoch == seen {
+			s.gateMu.Unlock()
+			return
+		}
+		seen = s.epoch
+		wakeNs := s.wakeNs
+		s.gateMu.Unlock()
+		// Every lane's books start at the epoch publish instant, but only
+		// the first lane to run charges the gap to spawn: that gap is the
+		// pool's wake latency, the residue of what used to be a goroutine
+		// startup. The remaining lanes were merely queued for a CPU while
+		// their peers (or the caller) ran — on an oversubscribed host that
+		// queueing can span most of the batch, and it is idle time (park),
+		// not dispatch cost.
+		w.clock.last = wakeNs
+		if f := s.firstRun.Load(); f < seen && s.firstRun.CompareAndSwap(f, seen) {
+			w.clock.stamp(phaseSpawn)
+		} else {
+			w.clock.stamp(phasePark)
+		}
+		m.batchLoop(wi)
+		// The exit tail (retiring the last task's bookkeeping, or the
+		// final park wake-up) is charged to park so the lane's phase
+		// totals cover its whole time in the batch.
+		w.clock.stamp(phasePark)
+		s.batchWG.Done()
+	}
+}
+
 // submit enqueues a task on worker wi's deque (spilling to overflow
-// when full) and wakes a sleeper if any worker is parked.
+// when full) and wakes an in-batch sleeper if any worker is parked.
 func (s *scheduler) submit(wi int, t task) {
 	s.outstanding.Add(1)
 	if !s.workers[wi].dq.pushTail(t) {
@@ -222,6 +360,19 @@ func (s *scheduler) popOverflow() (task, bool) {
 	s.overflow.items = s.overflow.items[:n-1]
 	s.overflow.mu.Unlock()
 	return t, true
+}
+
+// popAny drains in inline mode: lane 0's deque first (inline batches
+// submit only there), then — for the closed-pool fallback, whose seeds
+// were already spread across lanes — every other deque and the overflow
+// list.
+func (s *scheduler) popAny() (task, bool) {
+	for i := range s.workers {
+		if t, ok := s.workers[i].dq.popTail(); ok {
+			return t, true
+		}
+	}
+	return s.popOverflow()
 }
 
 // findWork is the slow path for a worker whose own deque is empty:
@@ -322,7 +473,7 @@ func (s *scheduler) park(wi int) bool {
 	}
 }
 
-// wakeAll broadcasts batch completion to every parked worker.
+// wakeAll broadcasts batch completion to every in-batch parked worker.
 func (s *scheduler) wakeAll() {
 	s.parkMu.Lock()
 	s.cond.Broadcast()

@@ -82,6 +82,7 @@ func (s *Server) AdoptSession(ctx context.Context, id string) error {
 			return fmt.Errorf("server: adopt %q: %w", id, err)
 		}
 		if sess.id != id {
+			sess.sys.Engine.Close()
 			return fmt.Errorf("server: adopt %q: directory holds session %q", id, sess.id)
 		}
 		sh.sessions[id] = sess
@@ -129,6 +130,7 @@ func (s *Server) Demote(ctx context.Context, id string) (string, error) {
 		delete(sh.sessions, id)
 		s.index.Delete(id)
 		s.sessions.Add(-1)
+		s.closeSession(sess)
 		return sess.log.Dir(), nil
 	})
 }

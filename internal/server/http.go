@@ -176,6 +176,9 @@ type WireMatchStats struct {
 	Tasks           int64            `json:"tasks,omitempty"`
 	Steals          int64            `json:"steals,omitempty"`
 	Parks           int64            `json:"parks,omitempty"`
+	Wakeups         int64            `json:"wakeups,omitempty"`
+	InlineBatches   int64            `json:"inline_batches,omitempty"`
+	ResidentWorkers int              `json:"resident_workers,omitempty"`
 	Workers         []WireWorkerStat `json:"workers,omitempty"`
 }
 
@@ -653,6 +656,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) error {
 			Tasks:           res.MatchStats.Tasks,
 			Steals:          res.MatchStats.Steals,
 			Parks:           res.MatchStats.Parks,
+			Wakeups:         res.MatchStats.Wakeups,
+			InlineBatches:   res.MatchStats.InlineBatches,
+			ResidentWorkers: res.MatchStats.ResidentWorkers,
 		}
 		for _, ws := range res.MatchStats.Workers {
 			ms.Workers = append(ms.Workers, WireWorkerStat{

@@ -124,6 +124,8 @@ type Server struct {
 	cycles       *stats.Counter
 	steals       *stats.Counter
 	parks        *stats.Counter
+	wakeups      *stats.Counter
+	residents    *stats.Gauge
 	matchSeconds *stats.Histogram
 	runSeconds   *stats.Histogram
 	queueDepth   []*stats.Gauge
@@ -180,6 +182,10 @@ func New(cfg Config) *Server {
 			"parallel-matcher activations moved between workers by stealing"),
 		parks: r.Counter("psmd_sched_park_total",
 			"parallel-matcher worker parks (condvar waits for work)"),
+		wakeups: r.Counter("psmd_sched_wakeups_total",
+			"parallel-matcher resident-pool wake broadcasts (batches not run inline)"),
+		residents: r.Gauge("psmd_sched_resident_workers",
+			"live resident pool-worker goroutines across all sessions"),
 		matchSeconds: r.Histogram("psmd_match_seconds",
 			"latency of one change batch through the matcher", nil),
 		runSeconds: r.Histogram("psmd_run_seconds",
@@ -336,6 +342,7 @@ func (s *Server) recoverSession(dir string) (*session, durable.RecoverStats, err
 	}
 	log, rstats, err := durable.Recover(dir, sess.sys.Engine, s.durableOpts())
 	if err != nil {
+		sess.sys.Engine.Close()
 		return nil, rstats, err
 	}
 	sess.trace = obs.NewRing(s.cfg.TraceDepth)
@@ -372,14 +379,15 @@ func (s *Server) close(snapshot bool) {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	if !snapshot {
-		return
-	}
 	// Shard goroutines have exited; session maps are single-threaded
-	// again (same license Close has always used).
+	// again (same license Close has always used). Matcher pools stop on
+	// both paths — Abort simulates a crash of the durable state, not a
+	// goroutine leak in the surviving process (the in-process cluster
+	// test harness keeps running after aborting a node).
 	for _, sh := range s.shards {
 		for _, sess := range sh.sessions {
-			if sess.log == nil {
+			s.closeSession(sess)
+			if sess.log == nil || !snapshot {
 				continue
 			}
 			if _, err := sess.log.Snapshot(); err != nil {
@@ -468,6 +476,7 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 	sess.sys.Engine.OnCycle = s.observeCycle(sess)
 	return dispatchShard(s, ctx, s.shardFor(spec.ID), func(sh *shard) (SessionInfo, error) {
 		if _, dup := sh.sessions[spec.ID]; dup {
+			sess.sys.Engine.Close()
 			return SessionInfo{}, fmt.Errorf("%w: %q", ErrSessionExists, spec.ID)
 		}
 		if s.cfg.DataDir != "" {
@@ -476,10 +485,12 @@ func (s *Server) CreateSession(ctx context.Context, spec CreateSpec) (SessionInf
 			// session exactly as created.
 			manifest, err := json.Marshal(spec)
 			if err != nil {
+				sess.sys.Engine.Close()
 				return SessionInfo{}, err
 			}
 			log, err := durable.Create(s.sessionDir(spec.ID), manifest, sess.sys.Engine, s.durableOpts())
 			if err != nil {
+				sess.sys.Engine.Close()
 				return SessionInfo{}, fmt.Errorf("server: create durable log: %w", err)
 			}
 			s.attachDurable(sess, log)
@@ -551,6 +562,7 @@ func (s *Server) DeleteSession(ctx context.Context, id string) error {
 		delete(sh.sessions, id)
 		s.index.Delete(id)
 		s.sessions.Add(-1)
+		s.closeSession(sess)
 		return nil
 	})
 }
@@ -571,12 +583,31 @@ func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (Appl
 		}
 		s.matchSeconds.Observe(time.Since(t0).Seconds())
 		s.wmeChanges.Add(int64(res.Applied))
-		st, pk := sess.schedDeltas()
-		s.steals.Add(st)
-		s.parks.Add(pk)
+		s.recordSched(sess)
 		s.recordLoss(sess)
 		return res, nil
 	})
+}
+
+// recordSched advances the server-wide scheduler metrics by the session
+// matcher's deltas since the previous request, including the resident
+// worker gauge.
+func (s *Server) recordSched(sess *session) {
+	st, pk, wk, rd := sess.schedDeltas()
+	s.steals.Add(st)
+	s.parks.Add(pk)
+	s.wakeups.Add(wk)
+	s.residents.Add(rd)
+}
+
+// closeSession releases a session's matcher resources on teardown: the
+// engine's resident worker pool stops, and the pool's contribution to
+// the resident-workers gauge is returned. Owned-goroutine only (or
+// post-shutdown, when the session maps are single-threaded again).
+func (s *Server) closeSession(sess *session) {
+	sess.sys.Engine.Close()
+	s.residents.Add(-sess.lastResident)
+	sess.lastResident = 0
 }
 
 // recordLoss advances the server-wide loss metrics by the session
@@ -666,9 +697,7 @@ func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunRe
 		s.cycles.Add(int64(n))
 		s.firings.Add(int64(eng.Fired - firedBefore))
 		s.wmeChanges.Add(int64(eng.TotalChanges - changesBefore))
-		st, pk := sess.schedDeltas()
-		s.steals.Add(st)
-		s.parks.Add(pk)
+		s.recordSched(sess)
 		s.recordLoss(sess)
 		if err != nil && !errors.Is(err, engine.ErrCycleLimit) {
 			return RunResult{}, err

@@ -84,11 +84,16 @@ type session struct {
 	// requests counts every operation routed to this session.
 	requests int64
 
-	// lastSteals and lastParks remember the matcher's cumulative
-	// scheduler counters at the previous schedDeltas call, so the
-	// server-wide counters can be advanced by per-request deltas.
-	lastSteals int64
-	lastParks  int64
+	// lastSteals, lastParks and lastWakeups remember the matcher's
+	// cumulative scheduler counters at the previous schedDeltas call, so
+	// the server-wide counters can be advanced by per-request deltas.
+	// lastResident mirrors the matcher's resident pool-goroutine count
+	// into the server-wide gauge the same way — and is the amount the
+	// gauge must give back when the session is torn down.
+	lastSteals   int64
+	lastParks    int64
+	lastWakeups  int64
+	lastResident int64
 
 	// lastPhaseSecs and lastTaskCounts do the same for the matcher's
 	// cumulative loss accounting (lossDeltas); nil until the first call
@@ -288,6 +293,7 @@ func newSession(spec CreateSpec, defaultQuota Quota, now time.Time, noInitialWM 
 		return nil, &BadRequestError{Err: err}
 	}
 	if quota.MaxWMEs > 0 && sys.WM.Size() > quota.MaxWMEs {
+		sys.Engine.Close()
 		return nil, badReqf("server: initial working memory (%d elements) exceeds quota %d",
 			sys.WM.Size(), quota.MaxWMEs)
 	}
@@ -352,26 +358,30 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 	return res, nil
 }
 
-// schedDeltas returns the growth of the session matcher's steal and
-// park counters since the previous call, owned-goroutine only. Both are
-// zero for matchers without a work-stealing scheduler. A counter
-// regression means the matcher was rebuilt (session restore from a
-// snapshot): the baseline resyncs to zero so the server-wide monotone
-// counters advance by the new matcher's full count instead of going
-// negative.
-func (s *session) schedDeltas() (steals, parks int64) {
+// schedDeltas returns the growth of the session matcher's steal, park
+// and pool-wakeup counters since the previous call, plus the change in
+// its resident worker count, owned-goroutine only. All are zero for
+// matchers without a work-stealing scheduler. A counter regression
+// means the matcher was rebuilt (session restore from a snapshot): the
+// baseline resyncs to zero so the server-wide monotone counters advance
+// by the new matcher's full count instead of going negative. resident
+// is a gauge delta and may legitimately be negative (pool closed).
+func (s *session) schedDeltas() (steals, parks, wakeups, resident int64) {
 	p := s.sys.Engine.Capabilities().Stats
 	if p == nil {
-		return 0, 0
+		return 0, 0, 0, 0
 	}
 	ms := p.MatchStats()
-	if ms.Steals < s.lastSteals || ms.Parks < s.lastParks {
-		s.lastSteals, s.lastParks = 0, 0
+	if ms.Steals < s.lastSteals || ms.Parks < s.lastParks || ms.Wakeups < s.lastWakeups {
+		s.lastSteals, s.lastParks, s.lastWakeups = 0, 0, 0
 	}
 	steals = ms.Steals - s.lastSteals
 	parks = ms.Parks - s.lastParks
-	s.lastSteals, s.lastParks = ms.Steals, ms.Parks
-	return steals, parks
+	wakeups = ms.Wakeups - s.lastWakeups
+	s.lastSteals, s.lastParks, s.lastWakeups = ms.Steals, ms.Parks, ms.Wakeups
+	resident = int64(ms.ResidentWorkers) - s.lastResident
+	s.lastResident = int64(ms.ResidentWorkers)
+	return steals, parks, wakeups, resident
 }
 
 // lossDeltas returns the growth of the session matcher's cumulative
