@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-all bench-compare bench-baseline serve profile clean
+.PHONY: all build test race vet fmt-check check bench bench-all bench-compare bench-baseline soak serve profile clean
 
 all: build vet test
 
@@ -39,6 +39,7 @@ bench:
 	$(GO) test -json -run '^$$' -bench BenchmarkMissManners -benchmem . > BENCH_manners.json
 	$(GO) test -json -run '^$$' -bench BenchmarkServerThroughput -benchmem . > BENCH_server.json
 	$(GO) test -json -run '^$$' -bench BenchmarkPreteApply -benchmem . > BENCH_prete.json
+	$(GO) test -json -run '^$$' -bench BenchmarkStreamThroughput -benchmem . > BENCH_stream.json
 
 # bench-all runs every benchmark with human-readable output.
 bench-all:
@@ -59,18 +60,34 @@ bench-all:
 # serial matcher); the default 0.65 is calibrated for a single-CPU
 # host, where the pool cannot exceed serial and the floor instead pins
 # its overhead (measured 0.77-0.89 quiet, dipping to ~0.70 under
-# transient load, PR 9). Run bench-baseline to accept current numbers
-# as the new baseline.
+# transient load, PR 9). The streaming benchmark gates events/s and
+# allocs/op at 20% — ingest crosses the HTTP stack, so time-derived
+# numbers are noisier than the pure matcher runs, while allocation
+# counts stay deterministic. Run bench-baseline to accept current
+# numbers as the new baseline.
 PRETE_SPEEDUP_FLOOR ?= 0.65
 bench-compare: bench
 	$(GO) run ./cmd/benchcmp -gate-allocs bench/baseline/BENCH_manners.json BENCH_manners.json
 	$(GO) run ./cmd/benchcmp bench/baseline/BENCH_server.json BENCH_server.json
 	$(GO) run ./cmd/benchcmp -threshold 20 -gate-speedup -speedup-floor $(PRETE_SPEEDUP_FLOOR) \
 		bench/baseline/BENCH_prete.json BENCH_prete.json
+	$(GO) run ./cmd/benchcmp -threshold 20 -gate-allocs \
+		bench/baseline/BENCH_stream.json BENCH_stream.json
 
 bench-baseline: bench
 	mkdir -p bench/baseline
-	cp BENCH_manners.json BENCH_server.json BENCH_prete.json bench/baseline/
+	cp BENCH_manners.json BENCH_server.json BENCH_prete.json BENCH_stream.json bench/baseline/
+
+# soak runs the kill/promote streaming soak (see
+# internal/cluster/clustertest/soak_test.go) under the race detector.
+# The default duration gives the nightly shape in miniature — one
+# kill/promote round every quarter of the run; the nightly workflow
+# sets SOAK_DURATION=10m. Failure artifacts land in SOAK_ARTIFACTS.
+SOAK_DURATION ?= 5s
+soak:
+	SOAK_DURATION=$(SOAK_DURATION) SOAK_ARTIFACTS=$(SOAK_ARTIFACTS) \
+		$(GO) test -race -v -timeout 30m -run TestClusterStreamSoak \
+		./internal/cluster/clustertest
 
 serve: build
 	$(GO) run ./cmd/psmd -addr :8080

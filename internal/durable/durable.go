@@ -101,13 +101,22 @@ const (
 // counters and refraction marks after it. Counters are absolute, so
 // recovery sets rather than accumulates them.
 type record struct {
-	Seq          int64       `json:"seq"`
-	Cycles       int         `json:"cycles"`
-	Fired        int         `json:"fired"`
-	TotalChanges int         `json:"total_changes"`
-	Halted       bool        `json:"halted,omitempty"`
-	FiredKeys    []string    `json:"fired_keys,omitempty"`
-	Changes      []walChange `json:"changes,omitempty"`
+	Seq          int64 `json:"seq"`
+	Cycles       int   `json:"cycles"`
+	Fired        int   `json:"fired"`
+	TotalChanges int   `json:"total_changes"`
+	// Clock is the engine's logical clock after the batch — the
+	// determinism anchor for event expiry: replay restores it before
+	// applying the batch, so TTL deadlines recompute to their original
+	// values, and expiry batches themselves are ordinary delete records.
+	// A record may carry a clock advance and no changes at all (a pure
+	// AdvanceClock with nothing due); losing such an advance would let
+	// later events compute different deadlines than the live run did.
+	Clock     int64       `json:"clock,omitempty"`
+	Expired   int         `json:"expired,omitempty"`
+	Halted    bool        `json:"halted,omitempty"`
+	FiredKeys []string    `json:"fired_keys,omitempty"`
+	Changes   []walChange `json:"changes,omitempty"`
 }
 
 // walChange is one working-memory change on disk.
@@ -325,6 +334,8 @@ func (l *Log) Append(changes []ops5.Change, firedKeys []string) error {
 		Cycles:       l.eng.Cycles,
 		Fired:        l.eng.Fired,
 		TotalChanges: l.eng.TotalChanges,
+		Clock:        l.eng.Clock,
+		Expired:      l.eng.Expired,
 		Halted:       l.eng.Halted,
 		FiredKeys:    firedKeys,
 		Changes:      encodeChanges(changes),
@@ -396,10 +407,13 @@ func (l *Log) Snapshot() (SnapshotInfo, error) {
 	for _, cr := range classes {
 		nWMEs += len(cr.Rows)
 	}
-	// Format v2: binary columnar with the symbol table embedded, straight
-	// off working memory's class rows (see snapv2.go).
-	payload := encodeSnapshotV2(l.seq, l.eng.WM.NextTag(), l.eng.Cycles,
-		l.eng.Fired, l.eng.TotalChanges, l.eng.Halted, l.eng.CS.FiredKeys(), classes)
+	// Format v3: binary columnar with the symbol table embedded, straight
+	// off working memory's class rows, plus the logical clock and expiry
+	// table (see snapv2.go).
+	expTags, expDeadlines := l.eng.Expiries()
+	payload := encodeSnapshotV3(l.seq, l.eng.WM.NextTag(), l.eng.Cycles,
+		l.eng.Fired, l.eng.TotalChanges, l.eng.Halted, l.eng.CS.FiredKeys(), classes,
+		l.eng.Clock, l.eng.Expired, expTags, expDeadlines)
 	if err := writeFileAtomic(filepath.Join(l.dir, snapshotFile), payload); err != nil {
 		return SnapshotInfo{}, err
 	}

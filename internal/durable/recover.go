@@ -44,6 +44,8 @@ func Recover(dir string, eng *engine.Engine, opts Options) (*Log, RecoverStats, 
 	}
 	eng.Cycles, eng.Fired = snap.Cycles, snap.Fired
 	eng.TotalChanges, eng.Halted = snap.TotalChanges, snap.Halted
+	eng.Clock, eng.Expired = snap.Clock, snap.Expired
+	eng.RestoreExpiries(snap.ExpTags, snap.ExpDeadlines)
 	stats.SnapshotSeq = snap.Seq
 
 	seq, err := replayWAL(filepath.Join(dir, walFile), eng, snap.Seq, &stats)
@@ -152,16 +154,22 @@ func replayWAL(path string, eng *engine.Engine, snapSeq int64, stats *RecoverSta
 }
 
 // applyRecord replays one record: the change batch through the engine,
-// then the counters (absolute values) and refraction marks.
+// then the counters (absolute values) and refraction marks. The logical
+// clock is restored BEFORE the batch applies — TTL deadlines of
+// replayed inserts recompute from it, and they must land on the values
+// the live run computed (the expiry-determinism rule; see engine/ttl.go
+// and the format comment on record.Clock).
 func applyRecord(eng *engine.Engine, rec record) error {
 	changes, err := decodeChanges(rec.Changes)
 	if err != nil {
 		return err
 	}
+	eng.Clock = rec.Clock
 	if err := eng.Replay(changes, rec.FiredKeys); err != nil {
 		return err
 	}
 	eng.Cycles, eng.Fired = rec.Cycles, rec.Fired
 	eng.TotalChanges, eng.Halted = rec.TotalChanges, rec.Halted
+	eng.Expired = rec.Expired
 	return nil
 }

@@ -12,14 +12,20 @@ import (
 	"repro/internal/wm"
 )
 
-// Snapshot format v2: a binary, columnar encoding that embeds the
+// Snapshot format v2/v3: a binary, columnar encoding that embeds the
 // symbol table it was written with, so loading is re-intern plus
-// integer remap instead of re-parsing strings from JSON.
+// integer remap instead of re-parsing strings from JSON. Format v3 is
+// v2 plus the event-expiry state ("PS3\x00" magic): the logical clock,
+// the expired counter, and the pending expiry table — (time tag,
+// deadline) pairs, which are not derivable from working memory alone
+// because each deadline bakes in the clock at insert time.
 //
 // Layout (integers are unsigned varints unless noted):
 //
-//	magic   "PS2\x00" (4 bytes)
+//	magic   "PS2\x00" or "PS3\x00" (4 bytes)
 //	header  seq, nextTag, cycles, fired, totalChanges, halted (1 byte)
+//	v3 only clock, expired, expiry count, then per pending expiry:
+//	        time tag, deadline
 //	fired   count, then count length-prefixed conflict-set keys
 //	symbols count, then count length-prefixed names; the i-th name
 //	        (0-based) is local symbol ID i+1. Local ID 0 is "no symbol".
@@ -42,6 +48,9 @@ import (
 // first byte distinguishes the formats unambiguously.
 var snapMagic = [4]byte{'P', 'S', '2', 0}
 
+// snapMagic3 marks a v3 snapshot (v2 plus clock and expiry table).
+var snapMagic3 = [4]byte{'P', 'S', '3', 0}
+
 // snapState is a decoded snapshot, format-independent: the WMEs carry
 // their original time tags and are ready for engine.Restore.
 type snapState struct {
@@ -53,6 +62,13 @@ type snapState struct {
 	Halted       bool
 	FiredKeys    []string
 	WMEs         []*ops5.WME
+
+	// Event-expiry state (format v3; zero for v1/v2 snapshots, which
+	// predate event facts and therefore have none pending).
+	Clock        int64
+	Expired      int
+	ExpTags      []int
+	ExpDeadlines []int64
 }
 
 // symEnc assigns dense snapshot-local IDs to process symbol IDs on
@@ -75,17 +91,36 @@ func (se *symEnc) id(id sym.ID) uint64 {
 	return l
 }
 
-// encodeSnapshotV2 serializes the snapshot state from working memory's
-// raw class rows (wm.Memory.Classes — no per-element string round
-// trip).
+// encodeSnapshotV2 serializes the snapshot state in format v2 — kept
+// for the migration tests; production snapshots are v3.
 func encodeSnapshotV2(seq int64, nextTag, cycles, fired, totalChanges int,
 	halted bool, firedKeys []string, classes []wm.ClassRows) []byte {
+	return encodeSnapshotBinary(snapMagic, seq, nextTag, cycles, fired, totalChanges,
+		halted, firedKeys, classes, 0, 0, nil, nil)
+}
+
+// encodeSnapshotV3 serializes the snapshot state in format v3: v2 plus
+// the logical clock, expired counter and pending expiry table.
+func encodeSnapshotV3(seq int64, nextTag, cycles, fired, totalChanges int,
+	halted bool, firedKeys []string, classes []wm.ClassRows,
+	clock int64, expired int, expTags []int, expDeadlines []int64) []byte {
+	return encodeSnapshotBinary(snapMagic3, seq, nextTag, cycles, fired, totalChanges,
+		halted, firedKeys, classes, clock, expired, expTags, expDeadlines)
+}
+
+// encodeSnapshotBinary serializes the snapshot state from working
+// memory's raw class rows (wm.Memory.Classes — no per-element string
+// round trip). The magic selects the format; the expiry fields are
+// written only under the v3 magic.
+func encodeSnapshotBinary(magic [4]byte, seq int64, nextTag, cycles, fired, totalChanges int,
+	halted bool, firedKeys []string, classes []wm.ClassRows,
+	clock int64, expired int, expTags []int, expDeadlines []int64) []byte {
 	nRows := 0
 	for _, cr := range classes {
 		nRows += len(cr.Rows)
 	}
 	buf := make([]byte, 0, 64+32*nRows)
-	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, magic[:]...)
 	buf = binary.AppendUvarint(buf, uint64(seq))
 	buf = binary.AppendUvarint(buf, uint64(nextTag))
 	buf = binary.AppendUvarint(buf, uint64(cycles))
@@ -95,6 +130,15 @@ func encodeSnapshotV2(seq int64, nextTag, cycles, fired, totalChanges int,
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
+	}
+	if magic == snapMagic3 {
+		buf = binary.AppendUvarint(buf, uint64(clock))
+		buf = binary.AppendUvarint(buf, uint64(expired))
+		buf = binary.AppendUvarint(buf, uint64(len(expTags)))
+		for i, tag := range expTags {
+			buf = binary.AppendUvarint(buf, uint64(tag))
+			buf = binary.AppendUvarint(buf, uint64(expDeadlines[i]))
+		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(firedKeys)))
 	for _, k := range firedKeys {
@@ -177,9 +221,9 @@ func (r *snapReader) byte1() byte {
 	return b[0]
 }
 
-// decodeSnapshotV2 decodes a v2 snapshot, verifying the CRC footer and
-// re-interning the embedded symbol table into the process table (the ID
-// remap: snapshot-local ID -> current process ID).
+// decodeSnapshotV2 decodes a v2 or v3 snapshot, verifying the CRC
+// footer and re-interning the embedded symbol table into the process
+// table (the ID remap: snapshot-local ID -> current process ID).
 func decodeSnapshotV2(data []byte) (snapState, error) {
 	var st snapState
 	if len(data) < len(snapMagic)+4 {
@@ -189,6 +233,7 @@ func decodeSnapshotV2(data []byte) (snapState, error) {
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(footer); got != want {
 		return st, fmt.Errorf("durable: snapshot CRC mismatch (%08x != %08x)", got, want)
 	}
+	v3 := isSnapV3(data)
 	r := &snapReader{b: body, off: len(snapMagic)}
 	st.Seq = int64(r.uvarint())
 	st.NextTag = int(r.uvarint())
@@ -196,6 +241,18 @@ func decodeSnapshotV2(data []byte) (snapState, error) {
 	st.Fired = int(r.uvarint())
 	st.TotalChanges = int(r.uvarint())
 	st.Halted = r.byte1() != 0
+	if v3 {
+		st.Clock = int64(r.uvarint())
+		st.Expired = int(r.uvarint())
+		nExp := r.uvarint()
+		if r.err == nil && nExp > uint64(len(body)) {
+			return st, fmt.Errorf("durable: snapshot expiry count %d exceeds payload", nExp)
+		}
+		for i := uint64(0); i < nExp && r.err == nil; i++ {
+			st.ExpTags = append(st.ExpTags, int(r.uvarint()))
+			st.ExpDeadlines = append(st.ExpDeadlines, int64(r.uvarint()))
+		}
+	}
 	if n := r.uvarint(); n > 0 && r.err == nil {
 		st.FiredKeys = make([]string, 0, n)
 		for i := uint64(0); i < n && r.err == nil; i++ {
@@ -273,13 +330,21 @@ func decodeSnapshotV2(data []byte) (snapState, error) {
 	return st, nil
 }
 
-// isSnapV2 reports whether data carries the v2 magic.
+// isSnapV2 reports whether data carries either binary magic (v2 or v3;
+// the two share framing and the seq-first header).
 func isSnapV2(data []byte) bool {
-	return len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == string(snapMagic[:])
+	return len(data) >= len(snapMagic) &&
+		(string(data[:len(snapMagic)]) == string(snapMagic[:]) ||
+			string(data[:len(snapMagic3)]) == string(snapMagic3[:]))
 }
 
-// decodeSnapshot decodes either snapshot format into the common state:
-// v2 by magic sniff, anything else as the v1 JSON document.
+// isSnapV3 reports whether data carries the v3 magic specifically.
+func isSnapV3(data []byte) bool {
+	return len(data) >= len(snapMagic3) && string(data[:len(snapMagic3)]) == string(snapMagic3[:])
+}
+
+// decodeSnapshot decodes any snapshot format into the common state:
+// v2/v3 by magic sniff, anything else as the v1 JSON document.
 func decodeSnapshot(data []byte) (snapState, error) {
 	if isSnapV2(data) {
 		return decodeSnapshotV2(data)

@@ -57,12 +57,20 @@ type Engine struct {
 	// batch (application-level parallelism, §8).
 	ParallelFirings int
 
+	// Clock is the engine-owned logical clock driving event expiry: it
+	// advances by one per recognize-act cycle and jumps to ingest
+	// timestamps via AdvanceClock. Mutate it only through those paths —
+	// crash recovery restores it directly from the log.
+	Clock int64
+
 	// Fired counts production firings.
 	Fired int
 	// Cycles counts recognize-act cycles executed.
 	Cycles int
 	// TotalChanges counts WM changes processed.
 	TotalChanges int
+	// Expired counts elements retracted by TTL expiry (see ttl.go).
+	Expired int
 	// Halted reports whether a halt action ran.
 	Halted bool
 	// OnFire, when set, observes each instantiation as it fires.
@@ -83,6 +91,9 @@ type Engine struct {
 
 	// funcs holds host functions invokable with (call name args...).
 	funcs map[string]CallFunc
+
+	// ttl schedules expiry of event facts inserted with ^__ttl.
+	ttl ttlIndex
 }
 
 // CallFunc is a host function invokable from a production's right-hand
@@ -154,6 +165,7 @@ func (e *Engine) applyBatch(changes []ops5.Change, firedKeys []string) {
 			// twice); they are surfaced loudly rather than silently skipped.
 			panic(fmt.Sprintf("engine: %v", err))
 		}
+		e.trackTTL(changes)
 		e.Matcher.Apply(changes)
 		e.TotalChanges += len(changes)
 	}
@@ -229,6 +241,10 @@ func (e *Engine) Step() (bool, error) {
 		return false, nil
 	}
 	e.Cycles++
+	// One recognize-act cycle is one tick of the logical clock; the
+	// advance precedes the commit so the batch is logged at the clock it
+	// was applied under (TTL deadlines derive from it).
+	e.Clock++
 	if observe {
 		phase = time.Now()
 	}
@@ -241,6 +257,7 @@ func (e *Engine) Step() (bool, error) {
 			WMSize: e.WM.Size(), ConflictSize: e.CS.Len(),
 		})
 	}
+	e.ExpireDue()
 	return true, nil
 }
 
@@ -359,6 +376,11 @@ func (e *Engine) Replay(changes []ops5.Change, firedKeys []string) error {
 		if _, err := e.WM.Apply(resolved); err != nil {
 			return fmt.Errorf("engine: replay: %w", err)
 		}
+		// Rebuild the expiry index as the log replays. The caller set
+		// Clock from the record before this call, so deadlines recompute
+		// to their original values; logged expiry batches replay as the
+		// ordinary deletes above, so replay itself never expires.
+		e.trackTTL(resolved)
 		e.Matcher.Apply(resolved)
 		e.TotalChanges += len(resolved)
 	}

@@ -1,0 +1,183 @@
+package engine
+
+// Event facts and the logical clock. A working-memory element inserted
+// with a numeric ^__ttl N field is an event: it expires — is retracted
+// by the engine through the ordinary matcher delete path — once the
+// engine's logical clock has advanced N ticks past the insert. The
+// clock is logical, never wall time: it advances by one per
+// recognize-act cycle (Step) and jumps forward to ingest timestamps
+// (AdvanceClock). Determinism rule: every expiry is a function of
+// (insert-time clock, N, clock advances), all of which the WAL records,
+// so crash recovery and cluster replicas reproduce the exact same
+// retractions at the exact same ticks without re-deciding anything —
+// replay applies logged expiry deletes and never expires on its own.
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/ops5"
+)
+
+// ttlEntry schedules one expiry: the element with time tag tag is due
+// when the logical clock reaches deadline.
+type ttlEntry struct {
+	deadline int64
+	tag      int
+}
+
+// ttlHeap is a min-heap of entries ordered by (deadline, tag). The
+// secondary tag order makes each expiry batch deterministic, which the
+// WAL and the recovery-parity tests rely on.
+type ttlHeap []ttlEntry
+
+func (h ttlHeap) Len() int { return len(h) }
+func (h ttlHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].tag < h[j].tag
+}
+func (h ttlHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ttlHeap) Push(x any)   { *h = append(*h, x.(ttlEntry)) }
+func (h *ttlHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// ttlIndex tracks pending expiries: a deadline-ordered heap for the
+// "what is due" scan plus a tag -> deadline map for O(1) cancellation
+// when an element is retracted (by a rule or by expiry) before its
+// deadline. Cancellation is lazy — the map entry goes away immediately,
+// the heap entry is discarded when it surfaces.
+type ttlIndex struct {
+	h         ttlHeap
+	deadlines map[int]int64
+}
+
+func (x *ttlIndex) add(tag int, deadline int64) {
+	if x.deadlines == nil {
+		x.deadlines = make(map[int]int64)
+	}
+	x.deadlines[tag] = deadline
+	heap.Push(&x.h, ttlEntry{deadline: deadline, tag: tag})
+}
+
+func (x *ttlIndex) remove(tag int) {
+	delete(x.deadlines, tag)
+}
+
+// due pops every entry with deadline <= clock that is still live and
+// returns the tags in (deadline, tag) order. Popped tags leave the map.
+func (x *ttlIndex) due(clock int64) []int {
+	var tags []int
+	for len(x.h) > 0 && x.h[0].deadline <= clock {
+		e := heap.Pop(&x.h).(ttlEntry)
+		if d, ok := x.deadlines[e.tag]; ok && d == e.deadline {
+			delete(x.deadlines, e.tag)
+			tags = append(tags, e.tag)
+		}
+	}
+	return tags
+}
+
+func (x *ttlIndex) pending() int { return len(x.deadlines) }
+
+// Expiries returns the live expiry table — parallel slices of time tag
+// and deadline, sorted by tag — for snapshotting. Deadlines are not
+// derivable from the ^__ttl field alone (the insert-time clock is
+// gone), so snapshots persist the table itself.
+func (e *Engine) Expiries() (tags []int, deadlines []int64) {
+	if e.ttl.pending() == 0 {
+		return nil, nil
+	}
+	tags = make([]int, 0, e.ttl.pending())
+	for tag := range e.ttl.deadlines {
+		tags = append(tags, tag)
+	}
+	sort.Ints(tags)
+	deadlines = make([]int64, len(tags))
+	for i, tag := range tags {
+		deadlines[i] = e.ttl.deadlines[tag]
+	}
+	return tags, deadlines
+}
+
+// RestoreExpiries primes the expiry index from a recovered snapshot's
+// table (see Expiries). Like Restore, it must run on a freshly
+// constructed engine; the caller also restores Clock and Expired.
+func (e *Engine) RestoreExpiries(tags []int, deadlines []int64) {
+	for i, tag := range tags {
+		e.ttl.add(tag, deadlines[i])
+	}
+}
+
+// PendingExpiries reports how many live elements await expiry (the
+// psmd_ttl_pending gauge).
+func (e *Engine) PendingExpiries() int { return e.ttl.pending() }
+
+// trackTTL maintains the expiry index across one committed batch:
+// inserts carrying a numeric ^__ttl N schedule an expiry at Clock+N
+// (N < 1 clamps to 1 — an event lives at least one tick), deletes
+// cancel any pending expiry for their tag. Runs after working memory
+// assigned tags, on both the live apply path and WAL replay — replay
+// recomputes the same deadlines because the caller restored Clock from
+// the record first.
+func (e *Engine) trackTTL(changes []ops5.Change) {
+	for _, ch := range changes {
+		switch ch.Kind {
+		case ops5.Delete:
+			e.ttl.remove(ch.WME.TimeTag)
+		case ops5.Insert:
+			if v := ch.WME.GetID(ops5.TTLAttr); v.Kind == ops5.NumValue {
+				n := int64(v.Num)
+				if n < 1 {
+					n = 1
+				}
+				e.ttl.add(ch.WME.TimeTag, e.Clock+n)
+			}
+		}
+	}
+}
+
+// ExpireDue retracts every event whose deadline the clock has reached,
+// as one delete batch through the normal apply path — the matcher sees
+// ordinary deletes, dependent instantiations leave the conflict set,
+// and the change-log sink records the batch so recovery and replicas
+// reproduce it. Returns the number of elements retracted.
+func (e *Engine) ExpireDue() int {
+	tags := e.ttl.due(e.Clock)
+	if len(tags) == 0 {
+		return 0
+	}
+	batch := make([]ops5.Change, 0, len(tags))
+	for _, tag := range tags {
+		if w, ok := e.WM.Get(tag); ok {
+			batch = append(batch, ops5.Change{Kind: ops5.Delete, WME: w})
+		}
+	}
+	e.Expired += len(batch)
+	e.applyBatch(batch, nil)
+	return len(batch)
+}
+
+// AdvanceClock moves the logical clock forward to at least t (it never
+// goes backward) and retracts whatever came due, returning the number
+// of expiries. A pure advance — clock moved, nothing due — still
+// reaches the change-log sink as an empty batch: if it were not
+// persisted, a crash would rewind the clock and later events would
+// compute different deadlines than the uninterrupted run.
+func (e *Engine) AdvanceClock(t int64) int {
+	if t <= e.Clock {
+		return 0
+	}
+	e.Clock = t
+	n := e.ExpireDue()
+	if n == 0 && e.Sink != nil {
+		e.Sink(nil, nil)
+	}
+	return n
+}

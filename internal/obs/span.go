@@ -5,7 +5,7 @@ import (
 	"time"
 )
 
-// SpanKind distinguishes the two shapes of engine work a span records.
+// SpanKind distinguishes the shapes of engine work a span records.
 type SpanKind string
 
 // The span kinds.
@@ -16,6 +16,11 @@ const (
 	// SpanApply is one externally submitted change batch pushed through
 	// the matcher (no firings of its own).
 	SpanApply SpanKind = "apply"
+	// SpanStream is one NDJSON event batch through streaming ingest:
+	// clock advance, expiries, asserts, then cycles to quiescence.
+	// Match covers the whole batch wall time; Fired and Changes count
+	// the work it triggered.
+	SpanStream SpanKind = "stream"
 )
 
 // CycleSpan is one engine synchronization step, attributed to the

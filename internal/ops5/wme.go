@@ -8,6 +8,17 @@ import (
 	"repro/internal/sym"
 )
 
+// TTLAttrName is the source spelling of the reserved time-to-live
+// attribute. A numeric value N on an inserted element marks it as an
+// event fact: the engine retracts it automatically once its logical
+// clock has advanced N ticks past the insert (see engine.AdvanceClock).
+// The attribute is otherwise ordinary — rules may declare, test, and
+// copy it like any other.
+const TTLAttrName = "__ttl"
+
+// TTLAttr is the interned ID of TTLAttrName.
+var TTLAttr = sym.Intern(TTLAttrName)
+
 // Field is one attribute-value pair of a working-memory element, with
 // the attribute as an interned symbol ID. A WME's fields are kept
 // sorted by Attr, so lookup is a short scan or binary search over a

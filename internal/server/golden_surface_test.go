@@ -32,6 +32,8 @@ func v1Surface() map[string]any {
 		"ChangesResponse":   ChangesResponse{},
 		"RunRequest":        RunRequest{},
 		"RunResponse":       RunResponse{},
+		"StreamEvent":       StreamEvent{},
+		"StreamResponse":    StreamResponse{},
 		"WireWME":           WireWME{},
 		"WireInst":          WireInst{},
 		"SessionResponse":   SessionResponse{},

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -71,6 +73,34 @@ type RunResponse struct {
 	ConflictSize int  `json:"conflict_size"`
 }
 
+// StreamEvent is one NDJSON line of POST /sessions/{id}/stream: an
+// event fact to assert. ts, when set, advances the session's logical
+// clock to at least that value before the event lands (monotone —
+// out-of-order timestamps never move the clock backward). ttl, when
+// positive, makes the fact an expiring event: the engine retracts it
+// once the clock has advanced ttl ticks past the insert.
+type StreamEvent struct {
+	Class string         `json:"class"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	TS    int64          `json:"ts,omitempty"`
+	TTL   int            `json:"ttl,omitempty"`
+}
+
+// StreamResponse summarises one stream connection's ingest: the body of
+// POST /sessions/{id}/stream on success. Clock, WMSize and ConflictSize
+// reflect the session after the final batch.
+type StreamResponse struct {
+	SessionID    string `json:"session_id"`
+	Events       int    `json:"events"`
+	Batches      int    `json:"batches"`
+	Fired        int    `json:"fired"`
+	Cycles       int    `json:"cycles"`
+	Expired      int    `json:"expired"`
+	Clock        int64  `json:"clock"`
+	WMSize       int    `json:"wm_size"`
+	ConflictSize int    `json:"conflict_size"`
+}
+
 // WireWME is one working-memory element on the wire.
 type WireWME struct {
 	Tag   int            `json:"tag"`
@@ -106,6 +136,11 @@ type SessionResponse struct {
 	TraceSpans      int     `json:"trace_spans"`
 	TraceTotal      int64   `json:"trace_total"`
 	LastCycleSecs   float64 `json:"last_cycle_seconds,omitempty"`
+	// Streaming: the logical clock, cumulative TTL expiries, and live
+	// elements still awaiting expiry.
+	Clock           int64 `json:"clock,omitempty"`
+	Expired         int   `json:"expired,omitempty"`
+	PendingExpiries int   `json:"pending_expiries,omitempty"`
 	// Durability: present when the server runs with -data-dir.
 	Durable         bool   `json:"durable,omitempty"`
 	Recovered       bool   `json:"recovered,omitempty"`
@@ -305,6 +340,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) 
 //	DELETE /v1/sessions/{id}           delete a session
 //	POST   /v1/sessions/{id}/changes   submit batched assert/retract changes
 //	POST   /v1/sessions/{id}/run       run N recognize-act cycles
+//	POST   /v1/sessions/{id}/stream    ingest NDJSON event batches (TTL'd facts)
 //	GET    /v1/sessions/{id}/conflicts conflict set (LEX order)
 //	GET    /v1/sessions/{id}/wm        working memory (?class= filters)
 //	GET    /v1/sessions/{id}/trace     recent cycle spans (survives deletion)
@@ -365,6 +401,7 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	api("DELETE /sessions/{id}", s.handleDelete)
 	api("POST /sessions/{id}/changes", s.handleChanges)
 	api("POST /sessions/{id}/run", s.handleRun)
+	api("POST /sessions/{id}/stream", s.handleStream)
 	api("GET /sessions/{id}/conflicts", s.handleConflicts)
 	api("GET /sessions/{id}/wm", s.handleWM)
 	api("GET /sessions/{id}/trace", s.handleTrace)
@@ -561,6 +598,94 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 		Quiesced: res.Quiesced, LimitHit: res.LimitHit,
 		WMSize: res.WMSize, ConflictSize: res.ConflictSize,
 	})
+}
+
+// streamBatchSize is how many NDJSON events one shard dispatch carries:
+// large enough to amortize the mailbox round trip, small enough that a
+// slow rule pack yields the shard to other tenants between batches.
+const streamBatchSize = 256
+
+// streamMaxLine bounds one NDJSON line (1 MiB).
+const streamMaxLine = 1 << 20
+
+// handleStream ingests a chunked NDJSON event stream: one JSON object
+// per line (StreamEvent), applied in batches of streamBatchSize, each
+// batch one shard dispatch that advances the clock, expires due events,
+// asserts the new ones, and cycles to quiescence. Backpressure is
+// connection-level: a full shard mailbox fails the stream with the
+// standard 429 busy envelope plus Retry-After, and any mid-stream
+// failure carries X-Stream-Events-Applied so the client can resume from
+// the first unapplied event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	out := StreamResponse{SessionID: id}
+	var batch []EventSpec
+	// Events parsed but never dispatched leave the lag gauge here;
+	// dispatched batches settle their own lag in StreamApply.
+	defer func() { s.StreamLagAdd(-int64(len(batch))) }()
+	fail := func(err error) error {
+		w.Header().Set("X-Stream-Events-Applied", strconv.Itoa(out.Events))
+		return err
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res, err := s.StreamApply(r.Context(), id, batch)
+		batch = batch[:0]
+		if err != nil {
+			return err
+		}
+		out.Events += res.Events
+		out.Batches++
+		out.Fired += res.Fired
+		out.Cycles += res.Cycles
+		out.Expired += res.Expired
+		out.Clock = res.Clock
+		out.WMSize, out.ConflictSize = res.WMSize, res.ConflictSize
+		return nil
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), streamMaxLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var ev StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			return fail(badReqf("stream line %d: %v", line, err))
+		}
+		spec := EventSpec{Class: ev.Class, TS: ev.TS, TTL: ev.TTL}
+		if len(ev.Attrs) > 0 {
+			spec.Attrs = make(map[string]ops5.Value, len(ev.Attrs))
+			for k, v := range ev.Attrs {
+				val, err := jsonToValue(v)
+				if err != nil {
+					return fail(badReqf("stream line %d attribute %q: %v", line, k, err))
+				}
+				spec.Attrs[k] = val
+			}
+		}
+		batch = append(batch, spec)
+		s.StreamLagAdd(1)
+		if len(batch) >= streamBatchSize {
+			if err := flush(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(badReqf("stream read: %v", err))
+	}
+	if err := flush(); err != nil {
+		return fail(err)
+	}
+	return writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
@@ -809,7 +934,8 @@ func sessionResponse(in SessionInfo) SessionResponse {
 		Halted: in.Halted, Requests: in.Requests, AgeSeconds: in.Age.Seconds(),
 		TraceSpans: in.TraceSpans, TraceTotal: in.TraceTotal,
 		LastCycleSecs: in.LastCycle.Seconds(),
-		Durable:       in.Durable, Recovered: in.Recovered,
+		Clock:         in.Clock, Expired: in.Expired, PendingExpiries: in.PendingExpiries,
+		Durable: in.Durable, Recovered: in.Recovered,
 		ReplayedRecords: in.ReplayedRecords,
 		WALSeq:          in.WALSeq, SnapshotSeq: in.SnapshotSeq,
 		WALRecords: in.WALRecords, WALBytes: in.WALBytes, WALError: in.WALError,

@@ -130,6 +130,12 @@ type Server struct {
 	runSeconds   *stats.Histogram
 	queueDepth   []*stats.Gauge
 
+	// Streaming-ingest metrics (the /v1/sessions/{id}/stream endpoint).
+	streamEvents  *stats.Counter
+	streamBatches *stats.Counter
+	streamLag     *stats.Gauge
+	expiredWMEs   *stats.Counter
+
 	// Loss-accounting metrics: labelled series are created on first
 	// observation (the phase set comes from the matcher's loss report),
 	// guarded by lossMu; the counters themselves are lock-free.
@@ -190,6 +196,14 @@ func New(cfg Config) *Server {
 			"latency of one change batch through the matcher", nil),
 		runSeconds: r.Histogram("psmd_run_seconds",
 			"latency of one run-cycles request", nil),
+		streamEvents: r.Counter("psmd_stream_events_total",
+			"events applied through streaming ingest"),
+		streamBatches: r.Counter("psmd_stream_batches_total",
+			"event batches applied through streaming ingest"),
+		streamLag: r.Gauge("psmd_stream_lag_events",
+			"events read off stream connections but not yet applied"),
+		expiredWMEs: r.Counter("psmd_expired_wmes_total",
+			"event facts retracted by TTL expiry"),
 		walBytes: r.Counter("psmd_wal_bytes_total",
 			"bytes appended to session write-ahead logs"),
 		snapshotSeconds: r.Histogram("psmd_snapshot_seconds",
@@ -347,6 +361,10 @@ func (s *Server) recoverSession(dir string) (*session, durable.RecoverStats, err
 	}
 	sess.trace = obs.NewRing(s.cfg.TraceDepth)
 	sess.sys.Engine.OnCycle = s.observeCycle(sess)
+	// Recovery restored the engine's absolute expiry counter; prime the
+	// delta baseline so the recovered total is not re-counted into
+	// psmd_expired_wmes_total on the next request.
+	sess.lastExpired = sess.sys.Engine.Expired
 	s.attachDurable(sess, log)
 	return sess, rstats, nil
 }
@@ -583,11 +601,56 @@ func (s *Server) Apply(ctx context.Context, id string, specs []ChangeSpec) (Appl
 		}
 		s.matchSeconds.Observe(time.Since(t0).Seconds())
 		s.wmeChanges.Add(int64(res.Applied))
+		s.expiredWMEs.Add(sess.expiredDelta())
 		s.recordSched(sess)
 		s.recordLoss(sess)
 		return res, nil
 	})
 }
+
+// StreamApply commits one streaming event batch to a session: clock
+// advance, TTL expiries, asserts, then recognize-act cycles to
+// quiescence (see session.ingest). It is one shard dispatch — a full
+// mailbox surfaces BusyError, the stream handler's connection-level
+// backpressure signal. The caller moved the batch onto the
+// psmd_stream_lag_events gauge when it was read; the gauge is given
+// back here whether the batch applies or fails.
+func (s *Server) StreamApply(ctx context.Context, id string, events []EventSpec) (StreamResult, error) {
+	defer s.streamLag.Add(-int64(len(events)))
+	return dispatchShard(s, ctx, s.shardFor(id), func(sh *shard) (StreamResult, error) {
+		sess, err := sh.get(id)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		sess.sys.Engine.TraceID = obs.TraceID(ctx)
+		t0 := time.Now()
+		res, err := sess.ingest(ctx, events)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		s.matchSeconds.Observe(time.Since(t0).Seconds())
+		s.streamEvents.Add(int64(res.Events))
+		s.streamBatches.Inc()
+		s.cycles.Add(int64(res.Cycles))
+		s.firings.Add(int64(res.Fired))
+		s.wmeChanges.Add(int64(res.Events + res.Expired))
+		s.expiredWMEs.Add(sess.expiredDelta())
+		s.recordSched(sess)
+		s.recordLoss(sess)
+		sess.trace.Add(obs.CycleSpan{
+			TraceID: obs.TraceID(ctx), Kind: obs.SpanStream, Cycle: sess.sys.Cycles,
+			Start: t0, Match: time.Since(t0),
+			Fired: res.Fired, Changes: res.Events,
+			WMSize: res.WMSize, ConflictSize: res.ConflictSize,
+		})
+		return res, nil
+	})
+}
+
+// StreamLagAdd moves n events onto (or off, negative) the
+// psmd_stream_lag_events gauge — the handler calls it as events come
+// off the wire, before their batch reaches a shard.
+func (s *Server) StreamLagAdd(n int64) { s.streamLag.Add(n) }
 
 // recordSched advances the server-wide scheduler metrics by the session
 // matcher's deltas since the previous request, including the resident
@@ -697,6 +760,7 @@ func (s *Server) RunCycles(ctx context.Context, id string, maxCycles int) (RunRe
 		s.cycles.Add(int64(n))
 		s.firings.Add(int64(eng.Fired - firedBefore))
 		s.wmeChanges.Add(int64(eng.TotalChanges - changesBefore))
+		s.expiredWMEs.Add(sess.expiredDelta())
 		s.recordSched(sess)
 		s.recordLoss(sess)
 		if err != nil && !errors.Is(err, engine.ErrCycleLimit) {

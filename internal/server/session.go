@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/ops5"
 	"repro/internal/sym"
@@ -95,6 +97,12 @@ type session struct {
 	lastWakeups  int64
 	lastResident int64
 
+	// lastExpired remembers the engine's cumulative TTL-retraction count
+	// at the previous expiredDelta call (same per-request delta pattern).
+	// Recovery primes it to the restored absolute value so a rebuilt
+	// session does not replay its history into the process counter.
+	lastExpired int
+
 	// lastPhaseSecs and lastTaskCounts do the same for the matcher's
 	// cumulative loss accounting (lossDeltas); nil until the first call
 	// on a loss-capable matcher.
@@ -124,6 +132,36 @@ type ChangeSpec struct {
 	Class string
 	Attrs map[string]ops5.Value
 	Tag   int
+}
+
+// EventSpec is one streaming-ingest event: an assert of an event fact,
+// optionally stamped with an ingest timestamp (advances the session's
+// logical clock) and a TTL in logical ticks (injected as the reserved
+// ^__ttl attribute; the engine retracts the fact once the clock passes
+// insert + TTL).
+type EventSpec struct {
+	Class string
+	Attrs map[string]ops5.Value
+	TS    int64
+	TTL   int
+}
+
+// StreamResult aggregates one applied stream batch (or a whole stream —
+// the handler sums batches).
+type StreamResult struct {
+	// Events is the number of event facts asserted.
+	Events int
+	// Fired and Cycles count the recognize-act work the batch triggered.
+	Fired  int
+	Cycles int
+	// Expired is the number of event facts the engine retracted by TTL
+	// during the batch (clock advance plus triggered cycles).
+	Expired int
+	// Clock is the session's logical clock after the batch.
+	Clock int64
+	// WMSize and ConflictSize snapshot the session after the batch.
+	WMSize       int
+	ConflictSize int
 }
 
 // ApplyResult reports a committed change batch.
@@ -174,6 +212,12 @@ type SessionInfo struct {
 	Halted          bool
 	Requests        int64
 	Age             time.Duration
+	// Clock is the session's logical clock; Expired counts TTL
+	// retractions over its lifetime, and PendingExpiries the live event
+	// facts still awaiting their deadline.
+	Clock           int64
+	Expired         int
+	PendingExpiries int
 	// TraceSpans and TraceTotal summarise the session's trace ring
 	// (buffered spans and spans ever recorded); LastCycle is the most
 	// recent span's total duration.
@@ -358,6 +402,68 @@ func (s *session) apply(specs []ChangeSpec) (ApplyResult, error) {
 	return res, nil
 }
 
+// ingest commits one streaming event batch, owned-goroutine only:
+// advance the logical clock to the batch's newest timestamp (expiring
+// whatever comes due), assert the events with their TTLs injected, then
+// run recognize-act cycles to quiescence (bounded by the session's
+// per-request cycle quota and the request deadline). One batch is one
+// continuous Apply wave — the traffic shape streaming adds over the
+// batch API.
+func (s *session) ingest(ctx context.Context, events []EventSpec) (StreamResult, error) {
+	eng := s.sys.Engine
+	var maxTS int64
+	changes := make([]ops5.Change, 0, len(events))
+	for i, ev := range events {
+		if ev.Class == "" {
+			return StreamResult{}, badReqf("server: event %d: missing class", i)
+		}
+		if ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		fields := make([]ops5.Field, 0, len(ev.Attrs)+1)
+		for k, v := range ev.Attrs {
+			fields = append(fields, ops5.Field{Attr: sym.Intern(k), Val: v})
+		}
+		if ev.TTL > 0 {
+			fields = append(fields, ops5.Field{Attr: ops5.TTLAttr, Val: ops5.Num(float64(ev.TTL))})
+		}
+		changes = append(changes, ops5.Change{Kind: ops5.Insert, WME: ops5.NewFact(sym.Intern(ev.Class), fields)})
+	}
+	if s.quota.MaxWMEs > 0 && s.sys.WM.Size()+len(changes) > s.quota.MaxWMEs {
+		return StreamResult{}, fmt.Errorf("%w: %d elements + %d events > %d",
+			ErrWMQuota, s.sys.WM.Size(), len(changes), s.quota.MaxWMEs)
+	}
+	firedBefore, cyclesBefore, expiredBefore := eng.Fired, eng.Cycles, eng.Expired
+	eng.AdvanceClock(maxTS)
+	s.sys.ApplyChanges(changes)
+	if _, err := eng.RunContext(ctx, s.quota.MaxCyclesPerRequest); err != nil &&
+		!errors.Is(err, engine.ErrCycleLimit) {
+		return StreamResult{}, err
+	}
+	return StreamResult{
+		Events:       len(changes),
+		Fired:        eng.Fired - firedBefore,
+		Cycles:       eng.Cycles - cyclesBefore,
+		Expired:      eng.Expired - expiredBefore,
+		Clock:        eng.Clock,
+		WMSize:       s.sys.WM.Size(),
+		ConflictSize: s.sys.CS.Len(),
+	}, nil
+}
+
+// expiredDelta returns the growth of the engine's TTL-retraction
+// counter since the previous call, owned-goroutine only (feeds
+// psmd_expired_wmes_total).
+func (s *session) expiredDelta() int64 {
+	cur := s.sys.Engine.Expired
+	if cur < s.lastExpired {
+		s.lastExpired = 0
+	}
+	d := int64(cur - s.lastExpired)
+	s.lastExpired = cur
+	return d
+}
+
 // schedDeltas returns the growth of the session matcher's steal, park
 // and pool-wakeup counters since the previous call, plus the change in
 // its resident worker count, owned-goroutine only. All are zero for
@@ -446,6 +552,9 @@ func (s *session) info(shard int, now time.Time) SessionInfo {
 		Halted:          s.sys.Halted,
 		Requests:        s.requests,
 		Age:             now.Sub(s.created),
+		Clock:           s.sys.Engine.Clock,
+		Expired:         s.sys.Engine.Expired,
+		PendingExpiries: s.sys.Engine.PendingExpiries(),
 	}
 	if s.trace != nil {
 		info.TraceSpans = s.trace.Len()
